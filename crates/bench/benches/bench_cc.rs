@@ -1,0 +1,33 @@
+//! Criterion bench: ECL-CC baseline vs. first-neighbor-optimized init
+//! (the Table 7 experiment as wall time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_cc::CcConfig;
+
+const SCALE: f64 = 0.002;
+const SEED: u64 = 42;
+
+fn bench_cc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecl-cc");
+    group.sample_size(10);
+    for name in ["2d-2e20.sym", "as-skitter", "cit-Patents", "europe_osm"] {
+        let spec = ecl_graphgen::registry::find(name).expect("registered input");
+        let g = spec.generate(SCALE, SEED);
+        group.bench_with_input(BenchmarkId::new("baseline", name), &g, |b, g| {
+            b.iter(|| {
+                let device = ecl_bench::scaled_device(SCALE);
+                std::hint::black_box(ecl_cc::run(&device, g, &CcConfig::baseline()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimized-init", name), &g, |b, g| {
+            b.iter(|| {
+                let device = ecl_bench::scaled_device(SCALE);
+                std::hint::black_box(ecl_cc::run(&device, g, &CcConfig::optimized()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cc);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: ECL-GC with and without the two shortcuts (the
+//! DESIGN.md ablation of the §2.2 optimizations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_gc::GcConfig;
+
+const SCALE: f64 = 0.002;
+const SEED: u64 = 42;
+
+fn bench_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecl-gc");
+    group.sample_size(10);
+    for name in ["amazon0601", "coPapersDBLP", "rmat16.sym"] {
+        let spec = ecl_graphgen::registry::find(name).expect("registered input");
+        let g = spec.generate(SCALE, SEED);
+        group.bench_with_input(BenchmarkId::new("shortcuts", name), &g, |b, g| {
+            b.iter(|| {
+                let device = ecl_bench::scaled_device(SCALE);
+                std::hint::black_box(ecl_gc::run(&device, g, &GcConfig::default()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("plain-jp", name), &g, |b, g| {
+            b.iter(|| {
+                let device = ecl_bench::scaled_device(SCALE);
+                std::hint::black_box(ecl_gc::run(&device, g, &GcConfig::no_shortcuts()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gc);
+criterion_main!(benches);

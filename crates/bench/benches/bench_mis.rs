@@ -1,0 +1,55 @@
+//! Criterion bench: ECL-MIS across structurally different inputs
+//! (the Table 2 workloads as wall time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_mis::MisConfig;
+
+const SCALE: f64 = 0.002;
+const SEED: u64 = 42;
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecl-mis");
+    group.sample_size(10);
+    for name in ["europe_osm", "as-skitter", "kron_g500-logn21", "internet"] {
+        let spec = ecl_graphgen::registry::find(name).expect("registered input");
+        let g = spec.generate(SCALE, SEED);
+        group.bench_with_input(BenchmarkId::new("select", name), &g, |b, g| {
+            b.iter(|| {
+                let device = ecl_bench::scaled_device(SCALE);
+                std::hint::black_box(ecl_mis::run(&device, g, &MisConfig::default()))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation of the §2.3 priority design choice: degree-based vs.
+/// random-permutation vs. id-order priorities (quality is asserted by
+/// the `degree_priority_boosts_mis_size` test; this measures speed).
+fn bench_mis_priorities(c: &mut Criterion) {
+    use ecl_mis::status::PriorityPolicy;
+    let mut group = c.benchmark_group("ecl-mis-priority-ablation");
+    group.sample_size(10);
+    let spec = ecl_graphgen::registry::find("soc-LiveJournal1").expect("registered input");
+    let g = spec.generate(SCALE, SEED);
+    for (label, policy) in [
+        ("degree-based", PriorityPolicy::DegreeBased),
+        ("random-permutation", PriorityPolicy::RandomPermutation),
+        ("id-order", PriorityPolicy::IdOrder),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, "soc-LiveJournal1"), &g, |b, g| {
+            b.iter(|| {
+                let device = ecl_bench::scaled_device(SCALE);
+                std::hint::black_box(ecl_mis::run(
+                    &device,
+                    g,
+                    &MisConfig::with_priority(policy),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis, bench_mis_priorities);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: ECL-MST baseline vs. corrected launch
+//! configuration (the Table 8 experiment as wall time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_mst::MstConfig;
+
+const SCALE: f64 = 0.002;
+const SEED: u64 = 42;
+const MAX_WEIGHT: u32 = 1 << 20;
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecl-mst");
+    group.sample_size(10);
+    for name in ["amazon0601", "2d-2e20.sym", "r4-2e23.sym"] {
+        let spec = ecl_graphgen::registry::find(name).expect("registered input");
+        let g = spec.generate_weighted(SCALE, SEED, MAX_WEIGHT);
+        group.bench_with_input(BenchmarkId::new("stale-launch", name), &g, |b, g| {
+            b.iter(|| {
+                let device = ecl_bench::scaled_device(SCALE);
+                std::hint::black_box(ecl_mst::run(&device, g, &MstConfig::baseline()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fixed-launch", name), &g, |b, g| {
+            b.iter(|| {
+                let device = ecl_bench::scaled_device(SCALE);
+                std::hint::black_box(ecl_mst::run(&device, g, &MstConfig::fixed()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst);
+criterion_main!(benches);

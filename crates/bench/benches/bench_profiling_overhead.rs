@@ -1,0 +1,39 @@
+//! Criterion bench: counter overhead — the same instrumented kernels
+//! with profiling on vs. off (the §3 observation that "our approach
+//! introduces overhead and, hence, affects the execution time").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_cc::CcConfig;
+use ecl_mis::MisConfig;
+use ecl_profiling::ProfileMode;
+
+const SCALE: f64 = 0.002;
+const SEED: u64 = 42;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling-overhead");
+    group.sample_size(10);
+    let spec = ecl_graphgen::registry::find("as-skitter").expect("registered input");
+    let g = spec.generate(SCALE, SEED);
+
+    for (label, mode) in [("counters-on", ProfileMode::On), ("counters-off", ProfileMode::Off)] {
+        group.bench_with_input(BenchmarkId::new("cc", label), &g, |b, g| {
+            let cfg = CcConfig { mode, ..CcConfig::baseline() };
+            b.iter(|| {
+                let device = ecl_bench::scaled_device(SCALE);
+                std::hint::black_box(ecl_cc::run(&device, g, &cfg))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mis", label), &g, |b, g| {
+            let cfg = MisConfig { mode, ..MisConfig::default() };
+            b.iter(|| {
+                let device = ecl_bench::scaled_device(SCALE);
+                std::hint::black_box(ecl_mis::run(&device, g, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

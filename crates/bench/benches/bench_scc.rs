@@ -1,0 +1,56 @@
+//! Criterion bench: ECL-SCC thread-block-size sweep on the meshes
+//! (the Table 6 experiment as wall time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_scc::SccConfig;
+
+const SCALE: f64 = 0.002;
+const SEED: u64 = 42;
+
+fn bench_scc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecl-scc");
+    group.sample_size(10);
+    for name in ["toroid-wedge", "star"] {
+        let spec = ecl_graphgen::registry::find(name).expect("registered input");
+        let g = spec.generate(SCALE, SEED);
+        for bs in [64usize, 128, 256, 512, 1024] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("block-{bs}"), name),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let device =
+                            ecl_bench::scaled_device_min(SCALE, ecl_bench::SCC_MIN_SMS);
+                        std::hint::black_box(ecl_scc::run(
+                            &device,
+                            g,
+                            &SccConfig::with_block_size(bs),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Ablation of the trimming extension (zero-degree vertex peeling).
+fn bench_scc_trim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecl-scc-trim-ablation");
+    group.sample_size(10);
+    let spec = ecl_graphgen::registry::find("toroid-wedge").expect("registered input");
+    let g = spec.generate(SCALE, SEED);
+    for (label, trim) in [("baseline", false), ("trimmed", true)] {
+        group.bench_with_input(BenchmarkId::new(label, "toroid-wedge"), &g, |b, g| {
+            b.iter(|| {
+                let device = ecl_bench::scaled_device_min(SCALE, ecl_bench::SCC_MIN_SMS);
+                let cfg = SccConfig { trim, ..SccConfig::original() };
+                std::hint::black_box(ecl_scc::run(&device, g, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scc, bench_scc_trim);
+criterion_main!(benches);

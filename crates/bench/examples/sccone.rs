@@ -1,0 +1,15 @@
+//! Diagnostic: one ECL-SCC run on one mesh with timing and work
+//! totals (used while sizing the harness scales).
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "klein-bottle".into());
+    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.04);
+    let bs: usize = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let spec = ecl_graphgen::registry::find(&name).unwrap();
+    let g = spec.generate(scale, 3);
+    println!("{} n={} e={}", name, g.num_vertices(), g.num_arcs());
+    let device = ecl_bench::scaled_device_min(scale, 8);
+    let (r, secs) = ecl_gpusim::run_timed(|| ecl_scc::run(&device, &g, &ecl_scc::SccConfig::with_block_size(bs)));
+    println!("m={} relaunches={} sccs={} ptime={:.0} work={} wall={secs:.2}s",
+        r.outer_iterations, r.counters.grid_relaunches.get(), r.num_sccs(), r.modeled_parallel_time,
+        device.cost().units(ecl_gpusim::CostKind::ThreadWork));
+}

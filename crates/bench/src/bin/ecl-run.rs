@@ -1,0 +1,273 @@
+//! `ecl-run` — run any of the five instrumented algorithms on any
+//! registered input and dump the counters the paper's methodology
+//! produces.
+//!
+//! ```text
+//! ecl-run --algo cc  --input europe_osm --scale 0.01 [--optimized]
+//! ecl-run --algo mis --input as-skitter --histogram
+//! ecl-run --algo scc --input star --block-size 256 [--trim]
+//! ecl-run --algo mst --input amazon0601 [--fixed-launch]
+//! ecl-run --algo gc  --input coPapersDBLP [--no-shortcuts]
+//! ecl-run --list
+//! ```
+
+use ecl_profiling::{chart, Histogram};
+
+struct Args {
+    algo: String,
+    input: String,
+    scale: f64,
+    seed: u64,
+    optimized: bool,
+    fixed_launch: bool,
+    no_shortcuts: bool,
+    trim: bool,
+    block_size: Option<usize>,
+    histogram: bool,
+    kernels: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ecl-run --algo <cc|gc|mis|mst|scc> --input <name> \
+         [--scale f] [--seed n] [--block-size n]\n\
+         \x20      [--optimized] [--fixed-launch] [--no-shortcuts] [--trim] [--histogram] [--kernels]\n\
+         \x20      ecl-run --list    (show registered inputs)"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        algo: String::new(),
+        input: String::new(),
+        scale: ecl_bench::DEFAULT_SCALE,
+        seed: ecl_bench::DEFAULT_SEED,
+        optimized: false,
+        fixed_launch: false,
+        no_shortcuts: false,
+        trim: false,
+        block_size: None,
+        histogram: false,
+        kernels: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--list" => {
+                for spec in ecl_graphgen::all_inputs() {
+                    println!(
+                        "{:<18} {:<14} {}directed, paper |V| = {}",
+                        spec.name,
+                        spec.graph_type,
+                        if spec.directed { "" } else { "un" },
+                        spec.paper_vertices
+                    );
+                }
+                std::process::exit(0);
+            }
+            "--algo" if i + 1 < argv.len() => {
+                a.algo = argv[i + 1].clone();
+                i += 1;
+            }
+            "--input" if i + 1 < argv.len() => {
+                a.input = argv[i + 1].clone();
+                i += 1;
+            }
+            "--scale" if i + 1 < argv.len() => {
+                a.scale = argv[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--seed" if i + 1 < argv.len() => {
+                a.seed = argv[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--block-size" if i + 1 < argv.len() => {
+                a.block_size = argv[i + 1].parse().ok();
+                i += 1;
+            }
+            "--optimized" => a.optimized = true,
+            "--fixed-launch" => a.fixed_launch = true,
+            "--no-shortcuts" => a.no_shortcuts = true,
+            "--trim" => a.trim = true,
+            "--histogram" => a.histogram = true,
+            "--kernels" => a.kernels = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if a.algo.is_empty() || a.input.is_empty() {
+        usage();
+    }
+    a
+}
+
+fn print_cost(device: &ecl_gpusim::Device) {
+    println!("\nmodeled cost: {:.0} units", device.modeled_time());
+    for (kind, units) in device.cost().breakdown() {
+        if units > 0 {
+            println!("  {kind:?}: {units}");
+        }
+    }
+}
+
+fn main() {
+    let a = parse();
+    let spec = ecl_graphgen::registry::find(&a.input).unwrap_or_else(|| {
+        eprintln!("unknown input '{}'; try --list", a.input);
+        std::process::exit(2);
+    });
+    let device = ecl_bench::scaled_device(a.scale);
+    println!(
+        "input {} at scale {} (seed {}), device: {} SMs / {} threads",
+        spec.name,
+        a.scale,
+        a.seed,
+        device.config().num_sms,
+        device.resident_threads()
+    );
+
+    match a.algo.as_str() {
+        "cc" => {
+            let g = spec.generate(a.scale, a.seed);
+            let cfg = if a.optimized {
+                ecl_cc::CcConfig::optimized()
+            } else {
+                ecl_cc::CcConfig::baseline()
+            };
+            if a.kernels {
+                let ((r, profile), secs) =
+                    ecl_gpusim::run_timed(|| ecl_cc::run_profiled(&device, &g, &cfg));
+                println!("\nECL-CC: {} components in {secs:.3}s", r.num_components());
+                print!("{}", profile.render("per-kernel cost breakdown"));
+                print_cost(&device);
+                return;
+            }
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_cc::run(&device, &g, &cfg));
+            println!(
+                "\nECL-CC{}: {} components in {:.3}s",
+                if a.optimized { " (optimized init)" } else { "" },
+                r.num_components(),
+                secs
+            );
+            let c = &r.counters;
+            println!("  vertices initialized: {}", c.vertices_initialized.get());
+            println!("  neighbors traversed:  {}", c.vertices_traversed.get());
+            println!(
+                "  representative(): {} calls ({} made progress)",
+                c.find_calls.get(),
+                c.find_smaller.get()
+            );
+            println!(
+                "  hook atomicCAS: {} attempted, {} failed",
+                c.hook_cas.attempted(),
+                c.hook_cas.cas_failed()
+            );
+            print_cost(&device);
+        }
+        "mis" => {
+            let g = spec.generate(a.scale, a.seed);
+            let cfg = ecl_mis::MisConfig::default();
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_mis::run(&device, &g, &cfg));
+            println!("\nECL-MIS: {} selected in {} rounds ({secs:.3}s)", r.set_size(), r.rounds);
+            for (name, counter) in [
+                ("iterations", &r.counters.iterations),
+                ("assigned", &r.counters.assigned),
+                ("finalized", &r.counters.finalized),
+            ] {
+                let s = counter.summary();
+                println!("  {name}: avg {:.2}, max {:.0}", s.avg, s.max);
+                if a.histogram {
+                    print!("{}", Histogram::of(&counter.values()).render(&format!("  {name} distribution"), 40));
+                }
+            }
+            print_cost(&device);
+        }
+        "gc" => {
+            let g = spec.generate(a.scale, a.seed);
+            let cfg = if a.no_shortcuts {
+                ecl_gc::GcConfig::no_shortcuts()
+            } else {
+                ecl_gc::GcConfig::default()
+            };
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_gc::run(&device, &g, &cfg));
+            println!(
+                "\nECL-GC{}: {} colors in {} rounds ({secs:.3}s)",
+                if a.no_shortcuts { " (no shortcuts)" } else { "" },
+                r.num_colors(),
+                r.rounds
+            );
+            let (bc, nyp) = r.counters.large_vertex_summaries(&g, ecl_gc::LARGE_DEGREE);
+            println!("  runLarge best-color-changed: avg {:.2}, max {:.0}", bc.avg, bc.max);
+            println!("  runLarge not-yet-possible:   avg {:.2}, max {:.0}", nyp.avg, nyp.max);
+            println!("  shortcut-2 removals: {}", r.counters.shortcut2_removals.get());
+            if a.histogram {
+                print!(
+                    "{}",
+                    Histogram::of(&r.counters.not_yet_possible.values())
+                        .render("  per-vertex stall distribution", 40)
+                );
+            }
+            print_cost(&device);
+        }
+        "mst" => {
+            let g = spec.generate_weighted(a.scale, a.seed, 1 << 20);
+            let cfg = if a.fixed_launch {
+                ecl_mst::MstConfig::fixed()
+            } else {
+                ecl_mst::MstConfig::baseline()
+            };
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_mst::run(&device, &g, &cfg));
+            println!(
+                "\nECL-MST{}: {} edges, weight {}, {} trees ({secs:.3}s)",
+                if a.fixed_launch { " (fixed launch)" } else { "" },
+                r.edges.len(),
+                r.total_weight,
+                r.num_trees
+            );
+            print!("{}", r.counters.bars.to_table("  per-iteration metrics").render());
+            println!(
+                "  atomicMin total: {} attempted, {:.1}% useless",
+                r.counters.atomics.attempted(),
+                100.0 * r.counters.atomics.useless_fraction()
+            );
+            print_cost(&device);
+        }
+        "scc" => {
+            if !spec.directed {
+                eprintln!("'{}' is undirected; SCC needs one of the mesh inputs", spec.name);
+                std::process::exit(2);
+            }
+            let g = spec.generate(a.scale, a.seed);
+            let mut cfg = ecl_scc::SccConfig::original();
+            if let Some(bs) = a.block_size {
+                cfg.block_size = bs;
+            }
+            cfg.trim = a.trim;
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_scc::run(&device, &g, &cfg));
+            println!(
+                "\nECL-SCC (block {}{}): {} SCCs in {} outer iterations ({secs:.3}s)",
+                cfg.block_size,
+                if a.trim { ", trimmed" } else { "" },
+                r.num_sccs(),
+                r.outer_iterations
+            );
+            println!("  edges pruned: {}", r.counters.edges_removed.get());
+            println!(
+                "  atomicMax: {} attempted, {} effective",
+                r.counters.max_tally.attempted(),
+                r.counters.max_tally.updated()
+            );
+            println!("  modeled parallel time: {:.0}", r.modeled_parallel_time);
+            if let Some(row) = r.counters.series.row(1, 1) {
+                print!("{}", chart::column_chart("  block updates, m=1 n=1", &row, 60, 6));
+            }
+            print_cost(&device);
+        }
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            usage();
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Harness binary regenerating the paper's Figure 1 (ECL-SCC code
+//! progression on the star mesh): a summary table over the four
+//! panels, a per-block column chart per panel (the terminal
+//! equivalent of the paper's scatter plots), and the raw per-block
+//! data.
+fn main() {
+    let (scale, seed) = ecl_bench::parse_args();
+    print!("{}", ecl_bench::experiments::fig1::table(scale, seed).render());
+    let result = ecl_bench::experiments::fig1::run_star(scale, seed);
+    for (m, n) in ecl_bench::experiments::fig1::panels(&result.counters.series) {
+        let values = result.counters.series.row(m, n).unwrap_or_default();
+        println!();
+        print!(
+            "{}",
+            ecl_profiling::chart::column_chart(
+                &format!("updates per block, m={m}, n={n}"),
+                &values,
+                72,
+                8,
+            )
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Harness binary regenerating the paper's Figure 2 (ECL-MST
+//! per-iteration metrics on amazon0601): the bar table plus grouped
+//! text bars per iteration.
+fn main() {
+    let (scale, seed) = ecl_bench::parse_args();
+    print!("{}", ecl_bench::experiments::fig2::table(scale, seed).render());
+    let bars = ecl_bench::experiments::fig2::bars(scale, seed);
+    let mut entries = Vec::new();
+    for b in &bars {
+        let kind = match b.kind {
+            ecl_profiling::series::IterationKind::Regular => "R",
+            ecl_profiling::series::IterationKind::Filter => "F",
+        };
+        entries.push((format!("{kind}{} work%", b.index), b.threads_with_work_pct));
+        entries.push((format!("{kind}{} conflict%", b.index), b.conflicts_pct));
+        entries.push((format!("{kind}{} useless%", b.index), b.useless_atomics_pct));
+    }
+    println!();
+    print!(
+        "{}",
+        ecl_profiling::chart::bar_chart("per-iteration metrics (percent)", &entries, 50)
+    );
+}

@@ -1,0 +1,5 @@
+//! Harness binary regenerating the paper's table2.
+fn main() {
+    let (scale, seed) = ecl_bench::parse_args();
+    print!("{}", ecl_bench::experiments::table2::table(scale, seed).render());
+}

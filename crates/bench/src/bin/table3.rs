@@ -1,0 +1,5 @@
+//! Harness binary regenerating the paper's table3.
+fn main() {
+    let (scale, seed) = ecl_bench::parse_args();
+    print!("{}", ecl_bench::experiments::table3::table(scale, seed).render());
+}

@@ -1,0 +1,5 @@
+//! Harness binary regenerating the paper's table4.
+fn main() {
+    let (scale, seed) = ecl_bench::parse_args();
+    print!("{}", ecl_bench::experiments::table4::table(scale, seed).render());
+}

@@ -1,0 +1,5 @@
+//! Harness binary regenerating the paper's table6.
+fn main() {
+    let (scale, seed) = ecl_bench::parse_args();
+    print!("{}", ecl_bench::experiments::table6::table(scale, seed).render());
+}

@@ -1,0 +1,5 @@
+//! Harness binary regenerating the paper's table7.
+fn main() {
+    let (scale, seed) = ecl_bench::parse_args();
+    print!("{}", ecl_bench::experiments::table7::table(scale, seed).render());
+}

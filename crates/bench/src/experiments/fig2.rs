@@ -1,0 +1,83 @@
+//! Figure 2: ECL-MST per-iteration profiling bars on amazon0601.
+//!
+//! For each Regular/Filter iteration of the main kernel: % of launched
+//! threads with work, % of conflicting threads, % of useless atomics.
+//! The §6.1.4 shapes: useful work collapses after the first iteration
+//! of each kind, conflicts decrease with iteration count, useless
+//! atomics increase.
+
+use ecl_graphgen::registry::find;
+use ecl_mst::{MstConfig, MstResult};
+use ecl_profiling::series::IterationBar;
+#[cfg(test)]
+use ecl_profiling::series::IterationKind;
+use ecl_profiling::Table;
+
+use crate::scaled_device;
+
+/// Weight range used for the amazon0601 MST input.
+pub const MAX_WEIGHT: u32 = 1 << 20;
+
+/// Runs the baseline ECL-MST on the amazon0601 analogue.
+pub fn run_amazon(scale: f64, seed: u64) -> MstResult {
+    let spec = find("amazon0601").expect("amazon0601 registered");
+    let g = spec.generate_weighted(scale, seed, MAX_WEIGHT);
+    let device = scaled_device(scale);
+    ecl_mst::run(&device, &g, &MstConfig::baseline())
+}
+
+/// The recorded bars.
+pub fn bars(scale: f64, seed: u64) -> Vec<IterationBar> {
+    run_amazon(scale, seed).counters.bars.bars()
+}
+
+/// Renders the figure as its bar table.
+pub fn table(scale: f64, seed: u64) -> Table {
+    let r = run_amazon(scale, seed);
+    r.counters
+        .bars
+        .to_table(&format!("Figure 2: ECL-MST iteration metrics on amazon0601 (scale {scale})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_and_percentages_sane() {
+        let bs = bars(0.002, 5);
+        assert!(!bs.is_empty());
+        assert!(bs.iter().any(|b| b.kind == IterationKind::Regular));
+        for b in &bs {
+            assert!((0.0..=100.0).contains(&b.threads_with_work_pct), "{b:?}");
+            assert!((0.0..=100.0).contains(&b.conflicts_pct), "{b:?}");
+            assert!((0.0..=100.0).contains(&b.useless_atomics_pct), "{b:?}");
+        }
+    }
+
+    #[test]
+    fn useful_work_collapses_after_first_regular_iteration() {
+        let bs = bars(0.004, 5);
+        let regs: Vec<_> = bs.iter().filter(|b| b.kind == IterationKind::Regular).collect();
+        if regs.len() >= 2 {
+            assert!(
+                regs.last().unwrap().threads_with_work_pct < regs[0].threads_with_work_pct,
+                "useful-work fraction should decay: {:?}",
+                regs.iter().map(|b| b.threads_with_work_pct).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn conflicts_trend_downward_across_regular_iterations() {
+        let bs = bars(0.004, 5);
+        let regs: Vec<_> = bs.iter().filter(|b| b.kind == IterationKind::Regular).collect();
+        if regs.len() >= 3 {
+            assert!(
+                regs.last().unwrap().conflicts_pct <= regs[0].conflicts_pct,
+                "conflicts should not grow: {:?}",
+                regs.iter().map(|b| b.conflicts_pct).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per reproduced table/figure. Each exposes a pure
+//! function from `(scale, seed)` to renderable output so the harness
+//! binaries stay thin and the experiments are unit-testable.
+
+pub mod fig1;
+pub mod fig2;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;

@@ -1,0 +1,95 @@
+//! Table 3: ECL-MIS iteration counts across multiple runs.
+//!
+//! Demonstrates the §3/§6.1.1 point: the code is internally
+//! non-deterministic (per-thread iteration counts differ run to run)
+//! but the trends are stable — and the *final result* is identical.
+
+use ecl_graphgen::general_inputs;
+use ecl_mis::MisConfig;
+use ecl_profiling::{MultiRun, Table};
+
+use crate::scaled_device;
+
+/// Per-input multi-run iteration summaries.
+#[derive(Debug)]
+pub struct Row {
+    /// Input name.
+    pub name: &'static str,
+    /// One summary per run.
+    pub runs: MultiRun,
+    /// Whether the selected set was identical across runs.
+    pub deterministic_result: bool,
+}
+
+/// Runs ECL-MIS `reps` times per input.
+pub fn rows(scale: f64, seed: u64, reps: usize) -> Vec<Row> {
+    general_inputs()
+        .iter()
+        .map(|spec| {
+            let g = spec.generate(scale, seed);
+            let mut runs = MultiRun::new();
+            let mut first_set: Option<Vec<bool>> = None;
+            let mut deterministic = true;
+            for _ in 0..reps {
+                let device = scaled_device(scale);
+                let (r, secs) =
+                    ecl_gpusim::run_timed(|| ecl_mis::run(&device, &g, &MisConfig::default()));
+                runs.push(r.counters.iterations.summary(), secs);
+                match &first_set {
+                    None => first_set = Some(r.in_set),
+                    Some(s) => deterministic &= *s == r.in_set,
+                }
+            }
+            Row { name: spec.name, runs, deterministic_result: deterministic }
+        })
+        .collect()
+}
+
+/// Renders the paper-shaped table (3 runs).
+pub fn table(scale: f64, seed: u64) -> Table {
+    let rs = rows(scale, seed, 3);
+    let mut t = Table::new(
+        &format!("Table 3: ECL-MIS iterations across runs (scale {scale})"),
+        &[
+            "Graph",
+            "Run1 Avg",
+            "Run1 Max",
+            "Run2 Avg",
+            "Run2 Max",
+            "Run3 Avg",
+            "Run3 Max",
+            "Same result",
+        ],
+    );
+    for r in &rs {
+        let mut cells: Vec<String> = vec![r.name.to_string()];
+        for run in r.runs.runs() {
+            cells.push(format!("{:.2}", run.avg));
+            cells.push(format!("{:.0}", run.max));
+        }
+        cells.push(if r.deterministic_result { "yes" } else { "NO" }.to_string());
+        t.row_owned(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_deterministic_trends_stable() {
+        // Subset of inputs at tiny scale for speed: take the produced
+        // rows and check the paper's two claims.
+        let rs = rows(0.002, 11, 3);
+        for r in rs.iter().take(5) {
+            assert!(r.deterministic_result, "{}: final MIS differed across runs", r.name);
+            assert!(
+                r.runs.avg_spread() < 0.5,
+                "{}: avg iteration spread too large: {}",
+                r.name,
+                r.runs.avg_spread()
+            );
+        }
+    }
+}

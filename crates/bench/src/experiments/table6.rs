@@ -1,0 +1,114 @@
+//! Table 6: ECL-SCC speedups for different thread-block sizes.
+//!
+//! §6.2.1: block-size tuning trades block-local spin cost (large
+//! blocks keep idle threads alive through block-wide syncs) against
+//! grid-level relaunch cost (small blocks push propagation to outer
+//! passes). Speedups are modeled-cost ratios against the original 512
+//! threads/block configuration, evaluated on the five SCC meshes.
+
+use ecl_graphgen::scc_inputs;
+use ecl_profiling::Table;
+use ecl_scc::SccConfig;
+
+use crate::scaled_device_min;
+
+/// Block sizes swept by the paper (original = 512).
+pub const BLOCK_SIZES: [usize; 4] = [64, 128, 256, 1024];
+
+/// The baseline block size.
+pub const ORIGINAL: usize = 512;
+
+/// One mesh's speedups.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Mesh name.
+    pub name: &'static str,
+    /// Modeled time of the original configuration.
+    pub baseline_cost: f64,
+    /// Speedup (baseline cost / this cost) per swept block size,
+    /// aligned with [`BLOCK_SIZES`].
+    pub speedups: Vec<f64>,
+}
+
+fn modeled_cost(g: &ecl_graph::Csr, scale: f64, block_size: usize) -> f64 {
+    let device = scaled_device_min(scale, crate::SCC_MIN_SMS);
+    let cfg = SccConfig::with_block_size(block_size);
+    let r = ecl_scc::run(&device, g, &cfg);
+    // Critical-path (parallel) time, divided by achievable SM
+    // occupancy: blocks are scheduled whole, so 1024-thread blocks
+    // leave a third of each 1536-thread SM idle — a hardware effect
+    // the work tally cannot see.
+    r.modeled_parallel_time / device.config().occupancy(block_size)
+}
+
+/// Sweeps the block sizes over every mesh.
+pub fn rows(scale: f64, seed: u64) -> Vec<Row> {
+    scc_inputs()
+        .iter()
+        .map(|spec| {
+            let g = spec.generate(scale, seed);
+            let baseline = modeled_cost(&g, scale, ORIGINAL);
+            let speedups = BLOCK_SIZES
+                .iter()
+                .map(|&bs| baseline / modeled_cost(&g, scale, bs))
+                .collect();
+            Row { name: spec.name, baseline_cost: baseline, speedups }
+        })
+        .collect()
+}
+
+/// Renders the paper-shaped table.
+pub fn table(scale: f64, seed: u64) -> Table {
+    let rs = rows(scale, seed);
+    let mut t = Table::new(
+        &format!("Table 6: ECL-SCC block-size speedups vs 512 (scale {scale}, modeled cost)"),
+        &["Graph", "64", "128", "256", "1024"],
+    );
+    for r in &rs {
+        let mut cells = vec![r.name.to_string()];
+        cells.extend(r.speedups.iter().map(|s| format!("{s:.2}")));
+        t.row_owned(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_meshes_with_positive_speedups() {
+        let rs = rows(0.002, 3);
+        assert_eq!(rs.len(), 5);
+        for r in &rs {
+            assert_eq!(r.speedups.len(), 4);
+            assert!(r.speedups.iter().all(|&s| s > 0.0), "{}: {:?}", r.name, r.speedups);
+            assert!(r.baseline_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn sweet_spot_is_interior() {
+        // The Table 6 shape: the optimum block size is moderate — the
+        // extremes (64 and 1024) lose to the interior sizes (128, 256,
+        // or the 512 baseline itself, whose speedup is 1 by
+        // definition). The paper's sweet spot sits at 128/256; ours
+        // lands at 256/512 (see EXPERIMENTS.md), but in both the
+        // interior beats the extremes.
+        let rs = rows(0.002, 3);
+        let avg = |idx: usize| rs.iter().map(|r| r.speedups[idx]).sum::<f64>() / rs.len() as f64;
+        let interior_best = avg(1).max(avg(2)).max(1.0);
+        let extreme_best = avg(0).max(avg(3));
+        assert!(
+            interior_best > extreme_best,
+            "interior sizes ({interior_best:.3}) should beat the extremes ({extreme_best:.3}); \
+             64: {:.3}, 128: {:.3}, 256: {:.3}, 1024: {:.3}",
+            avg(0),
+            avg(1),
+            avg(2),
+            avg(3)
+        );
+        // 256 must also beat 64 outright.
+        assert!(avg(2) > avg(0), "256 ({:.3}) should beat 64 ({:.3})", avg(2), avg(0));
+    }
+}

@@ -1,0 +1,124 @@
+//! Text charts for the harness binaries.
+//!
+//! The paper presents Figure 1 as per-block scatter plots and
+//! Figure 2 as grouped bars; these renderers produce the terminal
+//! equivalents so the harness output is "visual" rather than only
+//! tabular.
+
+use std::fmt::Write as _;
+
+/// Renders a horizontal bar chart: one labeled row per entry, bars
+/// scaled to `width` characters against the maximum value.
+pub fn bar_chart(title: &str, entries: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let max = entries.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    if max <= 0.0 {
+        let _ = writeln!(out, "  (all values zero)");
+        return out;
+    }
+    for (label, v) in entries {
+        let bar_len = ((v / max) * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "  {label:<label_w$}  {v:>10.1} |{}",
+            "█".repeat(bar_len),
+        );
+    }
+    out
+}
+
+/// Renders a down-sampled series as a fixed-height column chart:
+/// `values[i]` plotted over x; used for Figure 1's per-block update
+/// profiles. Values are max-pooled into `width` columns.
+pub fn column_chart(title: &str, values: &[u64], width: usize, height: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if values.is_empty() || height == 0 {
+        let _ = writeln!(out, "  (no data)");
+        return out;
+    }
+    // Max-pool into `width` columns.
+    let cols = width.min(values.len().max(1));
+    let mut pooled = vec![0u64; cols];
+    for (i, &v) in values.iter().enumerate() {
+        let c = i * cols / values.len();
+        pooled[c] = pooled[c].max(v);
+    }
+    let max = pooled.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        let _ = writeln!(out, "  (all zero over {} blocks)", values.len());
+        return out;
+    }
+    for row in (1..=height).rev() {
+        let threshold = max as f64 * row as f64 / height as f64;
+        let mut line = if row == height {
+            format!("{max:>8} ")
+        } else if row == 1 {
+            format!("{:>8} ", 0)
+        } else {
+            format!("{:>8} ", "")
+        };
+        for &v in &pooled {
+            line.push(if v as f64 >= threshold { '█' } else { ' ' });
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "{:>9}{}", "", "-".repeat(cols));
+    let _ = writeln!(out, "{:>9}block 0 .. {}", "", values.len() - 1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart(
+            "test",
+            &[("a".into(), 10.0), ("bb".into(), 5.0)],
+            10,
+        );
+        assert!(s.contains("test"));
+        let lines: Vec<&str> = s.lines().collect();
+        let bars: Vec<usize> =
+            lines[1..].iter().map(|l| l.matches('█').count()).collect();
+        assert_eq!(bars[0], 10);
+        assert_eq!(bars[1], 5);
+    }
+
+    #[test]
+    fn bar_chart_zero_values() {
+        let s = bar_chart("z", &[("a".into(), 0.0)], 10);
+        assert!(s.contains("all values zero"));
+    }
+
+    #[test]
+    fn column_chart_renders_profile() {
+        let values: Vec<u64> = (0..100).map(|i| if i < 50 { 70 } else { 0 }).collect();
+        let s = column_chart("updates", &values, 40, 5);
+        assert!(s.contains("updates"));
+        assert!(s.contains('█'));
+        assert!(s.contains("block 0 .. 99"));
+        // Left half dense, right half blank on the bottom data row.
+        let data_rows: Vec<&str> = s.lines().filter(|l| l.contains('█')).collect();
+        assert!(!data_rows.is_empty());
+    }
+
+    #[test]
+    fn column_chart_empty_and_zero() {
+        assert!(column_chart("t", &[], 10, 4).contains("no data"));
+        assert!(column_chart("t", &[0, 0, 0], 10, 4).contains("all zero"));
+    }
+
+    #[test]
+    fn column_chart_pools_down() {
+        // 1000 values into 20 columns must not panic and must keep the max.
+        let mut values = vec![1u64; 1000];
+        values[999] = 50;
+        let s = column_chart("t", &values, 20, 4);
+        assert!(s.contains("50"));
+    }
+}

@@ -1,0 +1,227 @@
+//! The paper's general metrics (§3.1) built on the raw counters.
+
+use crate::counter::{GlobalCounter, PerThreadCounter};
+use crate::stats::Summary;
+
+/// Load balance (§3.1.1): per-thread work counts plus derived imbalance
+/// measures.
+#[derive(Debug)]
+pub struct LoadBalance {
+    work: PerThreadCounter,
+}
+
+impl LoadBalance {
+    /// A tracker for `num_threads` threads.
+    pub fn new(num_threads: usize) -> Self {
+        Self { work: PerThreadCounter::new(num_threads) }
+    }
+
+    /// Records `units` of work done by thread `tid`.
+    #[inline]
+    pub fn record(&self, tid: usize, units: u64) {
+        self.work.add(tid, units);
+    }
+
+    /// The underlying per-thread counter.
+    pub fn per_thread(&self) -> &PerThreadCounter {
+        &self.work
+    }
+
+    /// Summary over per-thread work.
+    pub fn summary(&self) -> Summary {
+        self.work.summary()
+    }
+
+    /// Imbalance factor: max / avg work per thread. 1.0 is perfectly
+    /// balanced; large values indicate a straggler. Returns 0 when no
+    /// work was recorded.
+    pub fn imbalance_factor(&self) -> f64 {
+        let s = self.summary();
+        if s.avg == 0.0 {
+            0.0
+        } else {
+            s.max / s.avg
+        }
+    }
+
+    /// Fraction of threads that did any work at all.
+    pub fn participation(&self) -> f64 {
+        let vals = self.work.values();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        vals.iter().filter(|&&v| v > 0).count() as f64 / vals.len() as f64
+    }
+}
+
+/// Idle/active thread tracking (§3.1.3–3.1.4). A thread is *idle* when
+/// it was launched but either had no element assigned (last-block
+/// remainder) or its element failed the work condition.
+#[derive(Debug, Default)]
+pub struct ActivityTally {
+    active: GlobalCounter,
+    idle_unassigned: GlobalCounter,
+    idle_no_work: GlobalCounter,
+}
+
+impl ActivityTally {
+    /// A zeroed tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a thread that actively computed.
+    #[inline]
+    pub fn record_active(&self) {
+        self.active.inc();
+    }
+
+    /// Records a launched thread with no assigned element ("some of the
+    /// threads in the last block may not have any work assigned").
+    #[inline]
+    pub fn record_idle_unassigned(&self) {
+        self.idle_unassigned.inc();
+    }
+
+    /// Records a thread whose element did not fulfill the work
+    /// condition ("the assigned thread may not have to do anything").
+    #[inline]
+    pub fn record_idle_no_work(&self) {
+        self.idle_no_work.inc();
+    }
+
+    /// Threads that computed.
+    pub fn active(&self) -> u64 {
+        self.active.get()
+    }
+
+    /// Idle threads of both kinds.
+    pub fn idle(&self) -> u64 {
+        self.idle_unassigned.get() + self.idle_no_work.get()
+    }
+
+    /// Idle threads that had no element assigned.
+    pub fn idle_unassigned(&self) -> u64 {
+        self.idle_unassigned.get()
+    }
+
+    /// Idle threads whose element failed the work condition.
+    pub fn idle_no_work(&self) -> u64 {
+        self.idle_no_work.get()
+    }
+
+    /// All launched threads recorded.
+    pub fn launched(&self) -> u64 {
+        self.active() + self.idle()
+    }
+
+    /// Fraction of launched threads that computed (Figure 2's "threads
+    /// with work"); 0 when nothing was recorded.
+    pub fn active_fraction(&self) -> f64 {
+        let l = self.launched();
+        if l == 0 {
+            0.0
+        } else {
+            self.active() as f64 / l as f64
+        }
+    }
+
+    /// Resets all tallies (requires exclusive access).
+    pub fn reset(&mut self) {
+        self.active.reset();
+        self.idle_unassigned.reset();
+        self.idle_no_work.reset();
+    }
+}
+
+impl Clone for ActivityTally {
+    fn clone(&self) -> Self {
+        Self {
+            active: self.active.clone(),
+            idle_unassigned: self.idle_unassigned.clone(),
+            idle_no_work: self.idle_no_work.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_load() {
+        let lb = LoadBalance::new(4);
+        for tid in 0..4 {
+            lb.record(tid, 10);
+        }
+        assert!((lb.imbalance_factor() - 1.0).abs() < 1e-12);
+        assert_eq!(lb.participation(), 1.0);
+    }
+
+    #[test]
+    fn straggler_detection() {
+        let lb = LoadBalance::new(4);
+        lb.record(0, 100);
+        for tid in 1..4 {
+            lb.record(tid, 10);
+        }
+        // avg = 32.5, max = 100 -> imbalance ≈ 3.08
+        assert!(lb.imbalance_factor() > 3.0);
+        assert_eq!(lb.participation(), 1.0);
+    }
+
+    #[test]
+    fn partial_participation() {
+        let lb = LoadBalance::new(4);
+        lb.record(1, 5);
+        lb.record(3, 5);
+        assert_eq!(lb.participation(), 0.5);
+    }
+
+    #[test]
+    fn empty_load_balance() {
+        let lb = LoadBalance::new(0);
+        assert_eq!(lb.imbalance_factor(), 0.0);
+        assert_eq!(lb.participation(), 0.0);
+    }
+
+    #[test]
+    fn no_work_recorded() {
+        let lb = LoadBalance::new(3);
+        assert_eq!(lb.imbalance_factor(), 0.0);
+    }
+
+    #[test]
+    fn activity_fractions() {
+        let a = ActivityTally::new();
+        for _ in 0..3 {
+            a.record_active();
+        }
+        a.record_idle_unassigned();
+        for _ in 0..6 {
+            a.record_idle_no_work();
+        }
+        assert_eq!(a.launched(), 10);
+        assert_eq!(a.active(), 3);
+        assert_eq!(a.idle(), 7);
+        assert_eq!(a.idle_unassigned(), 1);
+        assert_eq!(a.idle_no_work(), 6);
+        assert!((a.active_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activity_empty() {
+        let a = ActivityTally::new();
+        assert_eq!(a.active_fraction(), 0.0);
+        assert_eq!(a.launched(), 0);
+    }
+
+    #[test]
+    fn activity_reset() {
+        let mut a = ActivityTally::new();
+        a.record_active();
+        a.record_idle_no_work();
+        a.reset();
+        assert_eq!(a.launched(), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Named counter registries and snapshots.
+//!
+//! Algorithms typically own their counters directly in a `Counters`
+//! struct; the registry exists so harnesses and reports can treat a
+//! heterogeneous set of counters uniformly: register during setup, pass
+//! `&Registry` into the parallel region, snapshot afterwards.
+
+use crate::atomics::AtomicTally;
+use crate::counter::{GlobalCounter, PerThreadCounter};
+use crate::metrics::ActivityTally;
+use crate::stats::Summary;
+use crate::table::Table;
+
+/// Handle to a counter registered in a [`Registry`]. The `kind` is
+/// encoded in the type parameter-free handle; using a handle with the
+/// wrong accessor panics, which indicates a programming error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterHandle {
+    kind: Kind,
+    index: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Global,
+    PerThread,
+    Tally,
+    Activity,
+}
+
+/// A named collection of counters of all granularities.
+#[derive(Debug, Default)]
+pub struct Registry {
+    global: Vec<(String, GlobalCounter)>,
+    per_thread: Vec<(String, PerThreadCounter)>,
+    tallies: Vec<(String, AtomicTally)>,
+    activities: Vec<(String, ActivityTally)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a global counter under `name`.
+    pub fn global(&mut self, name: impl Into<String>) -> CounterHandle {
+        self.global.push((name.into(), GlobalCounter::new()));
+        CounterHandle { kind: Kind::Global, index: self.global.len() - 1 }
+    }
+
+    /// Registers a per-thread counter with `num_threads` slots.
+    pub fn per_thread(&mut self, name: impl Into<String>, num_threads: usize) -> CounterHandle {
+        self.per_thread.push((name.into(), PerThreadCounter::new(num_threads)));
+        CounterHandle { kind: Kind::PerThread, index: self.per_thread.len() - 1 }
+    }
+
+    /// Registers an atomic-outcome tally.
+    pub fn tally(&mut self, name: impl Into<String>) -> CounterHandle {
+        self.tallies.push((name.into(), AtomicTally::new()));
+        CounterHandle { kind: Kind::Tally, index: self.tallies.len() - 1 }
+    }
+
+    /// Registers an idle/active activity tally.
+    pub fn activity(&mut self, name: impl Into<String>) -> CounterHandle {
+        self.activities.push((name.into(), ActivityTally::new()));
+        CounterHandle { kind: Kind::Activity, index: self.activities.len() - 1 }
+    }
+
+    /// The global counter behind `h`.
+    ///
+    /// # Panics
+    /// Panics if `h` is not a global-counter handle from this registry.
+    pub fn get_global(&self, h: CounterHandle) -> &GlobalCounter {
+        assert_eq!(h.kind, Kind::Global, "handle kind mismatch");
+        &self.global[h.index].1
+    }
+
+    /// The per-thread counter behind `h`.
+    pub fn get_per_thread(&self, h: CounterHandle) -> &PerThreadCounter {
+        assert_eq!(h.kind, Kind::PerThread, "handle kind mismatch");
+        &self.per_thread[h.index].1
+    }
+
+    /// The atomic tally behind `h`.
+    pub fn get_tally(&self, h: CounterHandle) -> &AtomicTally {
+        assert_eq!(h.kind, Kind::Tally, "handle kind mismatch");
+        &self.tallies[h.index].1
+    }
+
+    /// The activity tally behind `h`.
+    pub fn get_activity(&self, h: CounterHandle) -> &ActivityTally {
+        assert_eq!(h.kind, Kind::Activity, "handle kind mismatch");
+        &self.activities[h.index].1
+    }
+
+    /// Looks up a counter by name across all kinds.
+    pub fn find(&self, name: &str) -> Option<CounterHandle> {
+        if let Some(i) = self.global.iter().position(|(n, _)| n == name) {
+            return Some(CounterHandle { kind: Kind::Global, index: i });
+        }
+        if let Some(i) = self.per_thread.iter().position(|(n, _)| n == name) {
+            return Some(CounterHandle { kind: Kind::PerThread, index: i });
+        }
+        if let Some(i) = self.tallies.iter().position(|(n, _)| n == name) {
+            return Some(CounterHandle { kind: Kind::Tally, index: i });
+        }
+        if let Some(i) = self.activities.iter().position(|(n, _)| n == name) {
+            return Some(CounterHandle { kind: Kind::Activity, index: i });
+        }
+        None
+    }
+
+    /// Captures the current values of every registered counter.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut entries = Vec::new();
+        for (name, c) in &self.global {
+            entries.push((name.clone(), Entry::Global { total: c.get() }));
+        }
+        for (name, c) in &self.per_thread {
+            entries.push((
+                name.clone(),
+                Entry::PerThread { total: c.total(), summary: c.summary() },
+            ));
+        }
+        for (name, t) in &self.tallies {
+            entries.push((
+                name.clone(),
+                Entry::Atomic {
+                    attempted: t.attempted(),
+                    updated: t.updated(),
+                    no_effect: t.no_effect(),
+                    cas_failed: t.cas_failed(),
+                },
+            ));
+        }
+        for (name, a) in &self.activities {
+            entries.push((
+                name.clone(),
+                Entry::Activity {
+                    active: a.active(),
+                    idle_unassigned: a.idle_unassigned(),
+                    idle_no_work: a.idle_no_work(),
+                },
+            ));
+        }
+        Snapshot { entries }
+    }
+
+    /// Resets every registered counter (requires exclusive access).
+    pub fn reset(&mut self) {
+        for (_, c) in &mut self.global {
+            c.reset();
+        }
+        for (_, c) in &mut self.per_thread {
+            c.reset();
+        }
+        for (_, t) in &mut self.tallies {
+            t.reset();
+        }
+        for (_, a) in &mut self.activities {
+            a.reset();
+        }
+    }
+}
+
+/// A point-in-time capture of all counters in a registry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    entries: Vec<(String, Entry)>,
+}
+
+/// One captured counter value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Entry {
+    /// A global counter total.
+    Global {
+        /// Cumulative event count.
+        total: u64,
+    },
+    /// A per-thread counter, pre-aggregated.
+    PerThread {
+        /// Sum over all thread slots.
+        total: u64,
+        /// Avg/max/min/std over thread slots.
+        summary: Summary,
+    },
+    /// An atomic-outcome tally.
+    Atomic {
+        /// Operations attempted.
+        attempted: u64,
+        /// Operations that changed the target.
+        updated: u64,
+        /// Min/max operations with no effect.
+        no_effect: u64,
+        /// Failed CAS attempts.
+        cas_failed: u64,
+    },
+    /// An idle/active activity tally.
+    Activity {
+        /// Actively computing threads.
+        active: u64,
+        /// Launched threads without an assigned element.
+        idle_unassigned: u64,
+        /// Threads whose element failed the work condition.
+        idle_no_work: u64,
+    },
+}
+
+impl Snapshot {
+    /// All captured entries in registration order.
+    pub fn entries(&self) -> &[(String, Entry)] {
+        &self.entries
+    }
+
+    /// The entry registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&Entry> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, e)| e)
+    }
+
+    /// Renders the snapshot as an aligned text table.
+    pub fn to_table(&self, title: &str) -> Table {
+        let mut t = Table::new(title, &["Counter", "Total", "Avg", "Max", "Detail"]);
+        for (name, e) in &self.entries {
+            match e {
+                Entry::Global { total } => {
+                    t.row(&[name, &total.to_string(), "-", "-", "global"]);
+                }
+                Entry::PerThread { total, summary } => {
+                    t.row(&[
+                        name,
+                        &total.to_string(),
+                        &format!("{:.2}", summary.avg),
+                        &format!("{:.0}", summary.max),
+                        &format!("per-thread ({} slots)", summary.count),
+                    ]);
+                }
+                Entry::Atomic { attempted, updated, no_effect, cas_failed } => {
+                    t.row(&[
+                        name,
+                        &attempted.to_string(),
+                        "-",
+                        "-",
+                        &format!("updated={updated} no-effect={no_effect} cas-failed={cas_failed}"),
+                    ]);
+                }
+                Entry::Activity { active, idle_unassigned, idle_no_work } => {
+                    t.row(&[
+                        name,
+                        &(active + idle_unassigned + idle_no_work).to_string(),
+                        "-",
+                        "-",
+                        &format!(
+                            "active={active} idle-unassigned={idle_unassigned} idle-no-work={idle_no_work}"
+                        ),
+                    ]);
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_record_snapshot() {
+        let mut r = Registry::new();
+        let g = r.global("hooks");
+        let p = r.per_thread("iterations", 4);
+        let t = r.tally("cas");
+        let a = r.activity("kernel1");
+
+        r.get_global(g).add(7);
+        r.get_per_thread(p).add(2, 5);
+        r.get_tally(t).record(crate::atomics::AtomicOutcome::CasFailed);
+        r.get_activity(a).record_active();
+
+        let snap = r.snapshot();
+        assert_eq!(snap.get("hooks"), Some(&Entry::Global { total: 7 }));
+        match snap.get("iterations") {
+            Some(Entry::PerThread { total, summary }) => {
+                assert_eq!(*total, 5);
+                assert_eq!(summary.max, 5.0);
+            }
+            other => panic!("unexpected entry {other:?}"),
+        }
+        match snap.get("cas") {
+            Some(Entry::Atomic { attempted, cas_failed, .. }) => {
+                assert_eq!(*attempted, 1);
+                assert_eq!(*cas_failed, 1);
+            }
+            other => panic!("unexpected entry {other:?}"),
+        }
+        assert!(snap.get("missing").is_none());
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut r = Registry::new();
+        let g = r.global("a");
+        let p = r.per_thread("b", 2);
+        assert_eq!(r.find("a"), Some(g));
+        assert_eq!(r.find("b"), Some(p));
+        assert_eq!(r.find("zzz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "handle kind mismatch")]
+    fn wrong_kind_panics() {
+        let mut r = Registry::new();
+        let g = r.global("a");
+        r.get_per_thread(g);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let mut r = Registry::new();
+        let g = r.global("a");
+        let p = r.per_thread("b", 2);
+        r.get_global(g).add(3);
+        r.get_per_thread(p).inc(0);
+        r.reset();
+        let snap = r.snapshot();
+        assert_eq!(snap.get("a"), Some(&Entry::Global { total: 0 }));
+        match snap.get("b") {
+            Some(Entry::PerThread { total, .. }) => assert_eq!(*total, 0),
+            other => panic!("unexpected entry {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_table_renders_all_kinds() {
+        let mut r = Registry::new();
+        r.global("g");
+        r.per_thread("p", 3);
+        r.tally("t");
+        r.activity("a");
+        let text = r.snapshot().to_table("test").render();
+        for name in ["g", "p", "t", "a"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_point_in_time() {
+        let mut r = Registry::new();
+        let g = r.global("g");
+        r.get_global(g).add(1);
+        let snap = r.snapshot();
+        r.get_global(g).add(10);
+        assert_eq!(snap.get("g"), Some(&Entry::Global { total: 1 }));
+    }
+}

@@ -1,0 +1,164 @@
+//! Run-to-run aggregation for internally non-deterministic codes.
+//!
+//! ECL-MIS is deterministic in its final result but its intermediate
+//! behavior depends on thread timing (§3, §6.1.1), so the paper profiles
+//! it several times and reports each run side by side (Table 3). This
+//! module collects per-run summaries and quantifies their stability.
+
+use crate::stats::{median, Summary};
+
+/// Per-run summaries of one metric across repeated executions.
+#[derive(Clone, Debug, Default)]
+pub struct MultiRun {
+    runs: Vec<Summary>,
+    runtimes: Vec<f64>,
+}
+
+impl MultiRun {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one run's metric summary (and optional runtime in
+    /// seconds, used for median-run selection; pass 0.0 if unused).
+    pub fn push(&mut self, summary: Summary, runtime: f64) {
+        self.runs.push(summary);
+        self.runtimes.push(runtime);
+    }
+
+    /// Number of recorded runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when no runs are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The summary of run `i`.
+    pub fn run(&self, i: usize) -> &Summary {
+        &self.runs[i]
+    }
+
+    /// All run summaries.
+    pub fn runs(&self) -> &[Summary] {
+        &self.runs
+    }
+
+    /// The run with the median runtime, which is the run the paper
+    /// reports ("we run each code nine times per input and report
+    /// results from the run yielding the median runtime", §5.2).
+    pub fn median_run(&self) -> Option<&Summary> {
+        crate::stats::median_index(&self.runtimes).map(|i| &self.runs[i])
+    }
+
+    /// Median runtime across runs.
+    pub fn median_runtime(&self) -> f64 {
+        median(&self.runtimes)
+    }
+
+    /// Relative spread of the per-run averages:
+    /// `(max avg − min avg) / median avg`. Small values mean the metric
+    /// is stable despite internal non-determinism — the Table 3 finding
+    /// ("the iteration counts are a little different for every run, but
+    /// the general trends remain the same").
+    pub fn avg_spread(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let avgs: Vec<f64> = self.runs.iter().map(|s| s.avg).collect();
+        let lo = avgs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = avgs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mid = median(&avgs);
+        if mid == 0.0 {
+            0.0
+        } else {
+            (hi - lo) / mid
+        }
+    }
+
+    /// Like [`MultiRun::avg_spread`] but over the per-run maxima, which
+    /// vary more (Table 3's Max columns).
+    pub fn max_spread(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let maxs: Vec<f64> = self.runs.iter().map(|s| s.max).collect();
+        let lo = maxs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = maxs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mid = median(&maxs);
+        if mid == 0.0 {
+            0.0
+        } else {
+            (hi - lo) / mid
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(avg: f64, max: f64) -> Summary {
+        Summary { count: 10, sum: avg * 10.0, avg, max, min: 0.0, std: 0.0 }
+    }
+
+    #[test]
+    fn collects_runs() {
+        let mut m = MultiRun::new();
+        m.push(s(2.28, 42.0), 1.0);
+        m.push(s(2.32, 49.0), 1.2);
+        m.push(s(2.26, 37.0), 0.9);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.run(1).avg, 2.32);
+    }
+
+    #[test]
+    fn median_run_selection() {
+        let mut m = MultiRun::new();
+        m.push(s(1.0, 1.0), 5.0);
+        m.push(s(2.0, 2.0), 1.0);
+        m.push(s(3.0, 3.0), 3.0);
+        // runtimes sorted: 1.0 (run 1), 3.0 (run 2), 5.0 (run 0) -> median run 2.
+        assert_eq!(m.median_run().unwrap().avg, 3.0);
+        assert_eq!(m.median_runtime(), 3.0);
+    }
+
+    #[test]
+    fn stable_runs_have_small_spread() {
+        let mut m = MultiRun::new();
+        m.push(s(2.28, 42.0), 0.0);
+        m.push(s(2.32, 49.0), 0.0);
+        m.push(s(2.26, 37.0), 0.0);
+        assert!(m.avg_spread() < 0.05, "avg spread {}", m.avg_spread());
+        assert!(m.max_spread() < 0.35, "max spread {}", m.max_spread());
+    }
+
+    #[test]
+    fn unstable_runs_have_large_spread() {
+        let mut m = MultiRun::new();
+        m.push(s(1.0, 10.0), 0.0);
+        m.push(s(9.0, 90.0), 0.0);
+        assert!(m.avg_spread() > 1.0);
+    }
+
+    #[test]
+    fn empty_multirun() {
+        let m = MultiRun::new();
+        assert!(m.is_empty());
+        assert!(m.median_run().is_none());
+        assert_eq!(m.avg_spread(), 0.0);
+        assert_eq!(m.median_runtime(), 0.0);
+    }
+
+    #[test]
+    fn zero_average_spread_guard() {
+        let mut m = MultiRun::new();
+        m.push(s(0.0, 0.0), 0.0);
+        m.push(s(0.0, 0.0), 0.0);
+        assert_eq!(m.avg_spread(), 0.0);
+        assert_eq!(m.max_spread(), 0.0);
+    }
+}

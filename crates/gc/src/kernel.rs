@@ -1,0 +1,276 @@
+//! The ECL-GC coloring kernels (`runSmall` / `runLarge`).
+
+use ecl_gpusim::atomics::{atomic_u32_array, atomic_u8_array};
+use ecl_gpusim::{launch_flat, CostKind, CountedU32, CountedU64, CountedU8, Device, LaunchConfig};
+use ecl_graph::Csr;
+
+use crate::bitmap::{self, BitmapLayout};
+use crate::counters::GcCounters;
+use crate::priority;
+use crate::{GcConfig, GcResult, LARGE_DEGREE};
+
+/// Sentinel for an uncolored vertex.
+const UNCOLORED: u32 = u32::MAX;
+
+/// Shared read-only state of one coloring run.
+struct State<'a> {
+    g: &'a Csr,
+    layout: BitmapLayout,
+    poss: Vec<CountedU64>,
+    colors: Vec<CountedU32>,
+    /// One flag per arc of the dependent endpoint: 1 while the
+    /// dependency on the higher-priority neighbor is still active;
+    /// cleared when that neighbor colors or shortcut 2 fires.
+    arc_active: Vec<CountedU8>,
+}
+
+/// Runs the full ECL-GC pipeline.
+pub fn color(device: &Device, g: &Csr, config: &GcConfig) -> GcResult {
+    let n = g.num_vertices();
+    let counters = GcCounters::new(n, config.mode);
+
+    // Initialization stage: LDF priorities, DAG in-degrees, and the
+    // possible-color bitmaps of indegree + 1 bits each (§2.2).
+    let in_degrees = priority::dag_in_degrees(g);
+    let layout = BitmapLayout::new(&in_degrees);
+    let poss = layout.allocate();
+    device.charge(CostKind::ThreadWork, n as u64);
+    let state = State {
+        g,
+        layout,
+        poss,
+        colors: atomic_u32_array(n, |_| UNCOLORED),
+        arc_active: atomic_u8_array(g.num_arcs(), |_| 1),
+    };
+
+    // Coloring stage: rounds over the shrinking uncolored worklist,
+    // split into the small and large kernels by degree.
+    let mut worklist: Vec<u32> = (0..n as u32).collect();
+    let mut rounds = 0u32;
+    while !worklist.is_empty() {
+        rounds += 1;
+        let (small, large): (Vec<u32>, Vec<u32>) =
+            worklist.iter().partition(|&&v| g.degree(v) <= LARGE_DEGREE);
+        run_kernel(device, &state, config, &counters, &small);
+        run_kernel(device, &state, config, &counters, &large);
+        let before = worklist.len();
+        worklist.retain(|&v| state.colors[v as usize].load() == UNCOLORED);
+        if counters.enabled() {
+            counters.uncolored_per_round.push(worklist.len() as u64);
+        }
+        assert!(
+            worklist.len() < before,
+            "coloring made no progress in round {rounds} — DAG invariant violated"
+        );
+    }
+
+    let colors = state.colors.iter().map(|c| c.load()).collect();
+    GcResult { colors, counters, rounds }
+}
+
+/// One kernel launch processing the given uncolored vertices.
+fn run_kernel(
+    device: &Device,
+    state: &State<'_>,
+    config: &GcConfig,
+    counters: &GcCounters,
+    verts: &[u32],
+) {
+    if verts.is_empty() {
+        return;
+    }
+    let total = verts.len();
+    let cfg = LaunchConfig::cover(total, config.block_size);
+    launch_flat(device, cfg, |t| {
+        if t.global >= total {
+            device.charge(CostKind::IdleCheck, 1);
+            return;
+        }
+        process_vertex(device, state, config, counters, verts[t.global]);
+    });
+}
+
+/// One coloring attempt for uncolored vertex `v`.
+///
+/// Pass 1 absorbs colored higher-priority neighbors (clearing their
+/// colors from `v`'s bitmap — the "best available color changed"
+/// event when the lowest bit goes away). Pass 2 decides whether `v`
+/// can take its best color now: with shortcut 1, only an uncolored
+/// higher-priority neighbor that still has `best` in its possible set
+/// blocks; without it, any active uncolored higher neighbor blocks.
+fn process_vertex(
+    device: &Device,
+    state: &State<'_>,
+    config: &GcConfig,
+    counters: &GcCounters,
+    v: u32,
+) {
+    let g = state.g;
+    let adj = g.neighbors(v);
+    let arc0 = g.arc_range(v).start;
+    let profiling = counters.enabled();
+
+    let mut best = bitmap::lowest_set(&state.poss, &state.layout, v)
+        .expect("uncolored vertex must have a possible color");
+
+    // Pass 1: absorb colored higher-priority neighbors.
+    for (i, &u) in adj.iter().enumerate() {
+        device.charge(CostKind::ThreadWork, 1);
+        if !priority::beats(g, u, v) || state.arc_active[arc0 + i].load() == 0 {
+            continue;
+        }
+        let cu = state.colors[u as usize].load();
+        if cu == UNCOLORED {
+            continue;
+        }
+        state.arc_active[arc0 + i].store(0);
+        if bitmap::has_bit(&state.poss, &state.layout, v, cu) {
+            bitmap::clear_bit(&state.poss, &state.layout, v, cu);
+            if cu == best {
+                if profiling {
+                    counters.best_changed.inc(v as usize);
+                }
+                best = bitmap::lowest_set(&state.poss, &state.layout, v)
+                    .expect("indegree+1 bits cannot all clear");
+            }
+        }
+    }
+
+    // Pass 2: check the remaining active, uncolored higher neighbors.
+    let mut blocked = false;
+    let mut pending_highers = false;
+    for (i, &u) in adj.iter().enumerate() {
+        device.charge(CostKind::ThreadWork, 1);
+        if !priority::beats(g, u, v) || state.arc_active[arc0 + i].load() == 0 {
+            continue;
+        }
+        if state.colors[u as usize].load() != UNCOLORED {
+            // Colored between the passes; it can no longer take best:
+            // pass 1 of the *next* round will absorb it. Conservatively
+            // treat as pending unless shortcut 1 clears it below.
+        }
+        if config.shortcut2 && bitmap::disjoint(&state.poss, &state.layout, v, u) {
+            state.arc_active[arc0 + i].store(0);
+            if profiling {
+                counters.shortcut2_removals.inc();
+            }
+            continue;
+        }
+        pending_highers = true;
+        if config.shortcut1 {
+            if bitmap::has_bit(&state.poss, &state.layout, u, best) {
+                blocked = true;
+                break;
+            }
+        } else {
+            blocked = true;
+            break;
+        }
+    }
+
+    if blocked {
+        if profiling {
+            counters.not_yet_possible.inc(v as usize);
+        }
+        return;
+    }
+
+    // Assign: collapse the bitmap first so concurrent shortcut tests
+    // by neighbors see the single remaining possibility, then publish
+    // the color.
+    bitmap::collapse_to(&state.poss, &state.layout, v, best);
+    state.colors[v as usize].store(best);
+    if profiling && pending_highers {
+        counters.shortcut1_colorings.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::GraphBuilder;
+    use ecl_profiling::ProfileMode;
+
+    #[test]
+    fn single_vertex_colored_zero() {
+        let device = Device::test_small();
+        let g = Csr::empty(1, false);
+        let r = color(&device, &g, &GcConfig::default());
+        assert_eq!(r.colors, vec![0]);
+        assert_eq!(r.rounds, 1);
+    }
+
+    #[test]
+    fn hub_colored_first_with_zero() {
+        let device = Device::test_small();
+        let mut b = GraphBuilder::new_undirected(5);
+        for v in 1..5u32 {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        let r = color(&device, &g, &GcConfig::default());
+        // The hub has the highest LDF priority: zero in-degree, color 0.
+        assert_eq!(r.colors[0], 0);
+        assert!(r.colors[1..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn greedy_dag_coloring_is_mex() {
+        // Triangle + pendant: the coloring must equal the sequential
+        // greedy over the same LDF order (ecl-ref uses that order).
+        let device = Device::test_small();
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let r = color(&device, &g, &GcConfig::default());
+        assert!(ecl_ref::is_proper_coloring(&g, &r.colors));
+        assert_eq!(r.num_colors(), 3);
+    }
+
+    #[test]
+    fn not_yet_possible_counts_stalls() {
+        // Long path: low-priority interior vertices stall at least once
+        // without shortcuts.
+        let device = Device::test_small();
+        let n = 64;
+        let mut b = GraphBuilder::new_undirected(n);
+        for v in 0..(n as u32 - 1) {
+            b.add_edge(v, v + 1);
+        }
+        let g = b.build();
+        let r = color(&device, &g, &GcConfig::no_shortcuts());
+        assert!(r.counters.not_yet_possible.total() > 0);
+        assert!(r.rounds > 1);
+    }
+
+    #[test]
+    fn shortcut2_fires_on_disjoint_menus() {
+        // Clique of 3 plus a far vertex linked to one member: after the
+        // clique colors, menus become disjoint somewhere along the way.
+        // We only require the counter to be exercised on a denser
+        // random graph.
+        let device = Device::test_small();
+        let g = ecl_graphgen::random::erdos_renyi(300, 8.0, 2);
+        let r = color(&device, &g, &GcConfig::default());
+        // Not guaranteed on every graph, but at this density shortcut 2
+        // reliably triggers; keep a weak assertion to catch regressions
+        // where the path is dead code.
+        assert!(
+            r.counters.shortcut2_removals.get() + r.counters.shortcut1_colorings.get() > 0,
+            "neither shortcut ever fired on a dense random graph"
+        );
+    }
+
+    #[test]
+    fn profile_mode_off_records_nothing() {
+        let device = Device::test_small();
+        let g = ecl_graphgen::random::erdos_renyi(100, 4.0, 3);
+        let cfg = GcConfig { mode: ProfileMode::Off, ..GcConfig::default() };
+        let r = color(&device, &g, &cfg);
+        assert_eq!(r.counters.not_yet_possible.total(), 0);
+        assert_eq!(r.counters.shortcut2_removals.get(), 0);
+    }
+}

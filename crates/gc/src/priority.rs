@@ -1,0 +1,91 @@
+//! The LDF priority order and the induced dependency DAG.
+
+use ecl_graph::Csr;
+
+/// Hashed tie-break (MurmurHash3 finalizer), decorrelating equal-degree
+/// ties from raw id order as ECL-GC's randomized priorities do.
+#[inline]
+fn hash_id(v: u32) -> u32 {
+    let mut x = v;
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85EB_CA6B);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xC2B2_AE35);
+    x ^ (x >> 16)
+}
+
+/// True if `u` has higher priority than `v` under Largest-Degree-First
+/// with hashed-id tie-break. The order is total (ids are unique), so
+/// the dependency graph is a DAG.
+#[inline]
+pub fn beats(g: &Csr, u: u32, v: u32) -> bool {
+    (g.degree(u), hash_id(u), u) > (g.degree(v), hash_id(v), v)
+}
+
+/// In-degree of every vertex in the priority DAG: the number of
+/// higher-priority neighbors. Determines the possible-color bitmap
+/// width (`indegree + 1` colors suffice for a greedy coloring).
+pub fn dag_in_degrees(g: &Csr) -> Vec<u32> {
+    (0..g.num_vertices() as u32)
+        .map(|v| g.neighbors(v).iter().filter(|&&u| beats(g, u, v)).count() as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::GraphBuilder;
+
+    fn undirected(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut b = GraphBuilder::new_undirected(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn higher_degree_beats() {
+        // Hub 0 (degree 3) beats every leaf (degree 1).
+        let g = undirected(4, &[(0, 1), (0, 2), (0, 3)]);
+        for leaf in 1..4 {
+            assert!(beats(&g, 0, leaf));
+            assert!(!beats(&g, leaf, 0));
+        }
+    }
+
+    #[test]
+    fn order_is_total_and_antisymmetric() {
+        let g = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        for u in 0..5 {
+            for v in 0..5 {
+                if u != v {
+                    assert_ne!(beats(&g, u, v), beats(&g, v, u), "{u} vs {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_degrees_sum_to_edge_count() {
+        let g = undirected(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let indeg = dag_in_degrees(&g);
+        // Every undirected edge contributes exactly one DAG arc.
+        let total: u32 = indeg.iter().sum();
+        assert_eq!(total as usize, g.num_edges());
+    }
+
+    #[test]
+    fn hub_has_zero_in_degree() {
+        let g = undirected(4, &[(0, 1), (0, 2), (0, 3)]);
+        let indeg = dag_in_degrees(&g);
+        assert_eq!(indeg[0], 0);
+        assert!(indeg[1..].iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn isolated_vertices_zero_in_degree() {
+        let g = Csr::empty(3, false);
+        assert_eq!(dag_in_degrees(&g), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Regular-lattice families: torus grids, Delaunay-like
+//! triangulations, and roadmap networks.
+
+use ecl_graph::{Csr, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2D torus grid: `rows × cols` vertices, each connected to its four
+/// wrap-around neighbors. Every vertex has degree exactly 4 (for
+/// `rows, cols >= 3`), matching the `2d-2e20.sym` row of Table 1
+/// (d-avg = d-max = 4).
+pub fn torus_2d(rows: usize, cols: usize) -> Csr {
+    assert!(rows >= 2 && cols >= 2, "torus needs at least 2x2");
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new_undirected(n).drop_self_loops();
+    b.reserve(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(idx(r, c), idx(r, (c + 1) % cols));
+            b.add_edge(idx(r, c), idx((r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
+/// A Delaunay-triangulation-like planar graph: a `rows × cols` grid
+/// (no wrap) with one diagonal per cell, randomly oriented. Interior
+/// vertices have degree ~6 like `delaunay_n24` (d-avg 6.0); a few
+/// random local chords lift the maximum degree into the paper's ~26
+/// range without breaking planarity badly.
+pub fn delaunay_like(rows: usize, cols: usize, seed: u64) -> Csr {
+    assert!(rows >= 2 && cols >= 2, "triangulation needs at least 2x2");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new_undirected(n).drop_self_loops();
+    b.reserve(3 * n + n / 16);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                // One diagonal per cell, orientation chosen at random
+                // as an incremental Delaunay construction would.
+                if rng.random_bool(0.5) {
+                    b.add_edge(idx(r, c), idx(r + 1, c + 1));
+                } else {
+                    b.add_edge(idx(r, c + 1), idx(r + 1, c));
+                }
+            }
+        }
+    }
+    // Sparse local chords: skip over one grid row/column, emulating the
+    // higher-degree fan-outs around dense point clusters.
+    let chords = n / 16;
+    for _ in 0..chords {
+        let r = rng.random_range(0..rows.saturating_sub(2));
+        let c = rng.random_range(0..cols.saturating_sub(2));
+        b.add_edge(idx(r, c), idx(r + 2, c + 1));
+    }
+    b.build()
+}
+
+/// A road-network-like graph: a 2D grid whose edges are subdivided
+/// into chains of degree-2 vertices (road polylines), with occasional
+/// extra edges at junctions. `subdivisions` controls the average
+/// degree: 0 gives ~4 (pure grid); larger values converge toward 2
+/// from above, matching the roadmap rows of Table 1 (europe_osm 2.1,
+/// USA-road-d.USA 2.4, USA-road-d.NY 2.8). Road networks have high
+/// diameter and low degree — the structural opposite of the power-law
+/// inputs, which is exactly the contrast §6.1.1 exploits.
+///
+/// The returned graph has `rows*cols + ~subdivided` vertices; the
+/// total is data-dependent, so callers size by `rows × cols`.
+pub fn roadmap(rows: usize, cols: usize, subdivisions: usize, seed: u64) -> Csr {
+    assert!(rows >= 2 && cols >= 2, "roadmap needs at least 2x2");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let base = rows * cols;
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+
+    // Collect the base grid edges first, then subdivide.
+    let mut base_edges: Vec<(u32, u32)> = Vec::with_capacity(2 * base);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                base_edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                base_edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    // Each base edge is subdivided into a chain through `k` new
+    // vertices, where k varies around `subdivisions` to avoid a
+    // perfectly regular structure.
+    let mut extra: usize = 0;
+    let ks: Vec<usize> = base_edges
+        .iter()
+        .map(|_| {
+            let k = if subdivisions == 0 {
+                0
+            } else {
+                rng.random_range(0..=2 * subdivisions)
+            };
+            extra += k;
+            k
+        })
+        .collect();
+
+    let n = base + extra;
+    let mut b = GraphBuilder::new_undirected(n).drop_self_loops();
+    b.reserve(base_edges.len() * (subdivisions + 1) + base / 64);
+    let mut next = base as u32;
+    for (&(u, v), &k) in base_edges.iter().zip(&ks) {
+        let mut prev = u;
+        for _ in 0..k {
+            b.add_edge(prev, next);
+            prev = next;
+            next += 1;
+        }
+        b.add_edge(prev, v);
+    }
+    debug_assert_eq!(next as usize, n);
+    // A few multi-way junctions: short diagonal connectors raising
+    // d-max above the grid's 4 (the paper's roadmaps reach 8-13).
+    for _ in 0..base / 64 {
+        let r = rng.random_range(0..rows - 1);
+        let c = rng.random_range(0..cols - 1);
+        b.add_edge(idx(r, c), idx(r + 1, c + 1));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::validate::check_undirected_input;
+    use ecl_graph::DegreeStats;
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus_2d(8, 16);
+        assert_eq!(g.num_vertices(), 128);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.d_max, 4);
+        assert_eq!(s.d_min, 4);
+        assert!((s.d_avg - 4.0).abs() < 1e-12);
+        assert_eq!(check_undirected_input(&g), Ok(()));
+    }
+
+    #[test]
+    fn torus_arc_count_matches_table1_convention() {
+        // 1024x1024 in the paper: 4,190,208 arcs. Scaled 32x32:
+        // 32*32*4 = 4096 arcs.
+        let g = torus_2d(32, 32);
+        assert_eq!(g.num_arcs(), 4096);
+    }
+
+    #[test]
+    fn small_torus_degenerate_degrees() {
+        // 2x2 torus: wrap-around duplicates collapse, but the graph is
+        // still valid and symmetric.
+        let g = torus_2d(2, 2);
+        assert_eq!(check_undirected_input(&g), Ok(()));
+    }
+
+    #[test]
+    fn delaunay_avg_degree_near_six() {
+        let g = delaunay_like(64, 64, 42);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_avg > 5.0 && s.d_avg < 7.0, "avg degree {}", s.d_avg);
+        assert!(s.d_max >= 6);
+        assert_eq!(check_undirected_input(&g), Ok(()));
+    }
+
+    #[test]
+    fn delaunay_deterministic() {
+        let a = delaunay_like(20, 20, 7);
+        let b = delaunay_like(20, 20, 7);
+        assert_eq!(a, b);
+        let c = delaunay_like(20, 20, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn roadmap_low_avg_degree() {
+        let g = roadmap(32, 32, 3, 1);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_avg > 2.0 && s.d_avg < 3.0, "avg degree {}", s.d_avg);
+        assert!(s.d_max >= 4, "junctions should exceed degree 4, got {}", s.d_max);
+        assert_eq!(check_undirected_input(&g), Ok(()));
+    }
+
+    #[test]
+    fn roadmap_no_subdivision_is_grid_like() {
+        let g = roadmap(16, 16, 0, 1);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_avg > 3.0 && s.d_avg < 4.3, "avg degree {}", s.d_avg);
+    }
+
+    #[test]
+    fn roadmap_is_connected() {
+        let g = roadmap(10, 10, 2, 3);
+        assert_eq!(ecl_ref::num_components(&g), 1);
+    }
+
+    #[test]
+    fn roadmap_subdivision_increases_size() {
+        let g0 = roadmap(16, 16, 0, 5);
+        let g3 = roadmap(16, 16, 3, 5);
+        assert!(g3.num_vertices() > g0.num_vertices() * 2);
+    }
+}

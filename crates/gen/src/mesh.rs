@@ -1,0 +1,275 @@
+//! Directed meshes for ECL-SCC.
+//!
+//! The paper evaluates ECL-SCC only on fluid-dynamics meshes ("we only
+//! use mesh graphs for ECL-SCC because it was developed for meshes",
+//! §5.2): sparse directed graphs whose arcs follow a flow field,
+//! producing many small-to-medium cycles (the SCCs) connected by
+//! DAG-like arcs. We model them as lattices whose edges are oriented
+//! by a deterministic hash "flow field", with a fraction of
+//! bidirectional arcs creating 2-cycles, plus a concentric-ring
+//! construction for `star` whose layered masking forces the multi-round
+//! peeling visible in Figure 1 (m ran to 10 on `star`).
+
+use ecl_graph::{Csr, GraphBuilder};
+
+/// splitmix64, the usual statelessly seedable mixer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic edge-orientation decision: true = keep `u -> v`.
+fn orient(u: u32, v: u32, seed: u64) -> bool {
+    mix(seed ^ ((u as u64) << 32) ^ v as u64) & 1 == 0
+}
+
+/// Deterministic bidirectionality decision with probability
+/// `p_bidir_permille / 1000`.
+fn bidir(u: u32, v: u32, seed: u64, p_bidir_permille: u64) -> bool {
+    mix(seed.wrapping_add(0xABCD) ^ ((v as u64) << 32) ^ u as u64) % 1000 < p_bidir_permille
+}
+
+fn add_oriented(b: &mut GraphBuilder, u: u32, v: u32, seed: u64, p_bidir_permille: u64) {
+    if bidir(u, v, seed, p_bidir_permille) {
+        b.add_edge(u, v);
+        b.add_edge(v, u);
+    } else if orient(u, v, seed) {
+        b.add_edge(u, v);
+    } else {
+        b.add_edge(v, u);
+    }
+}
+
+/// `toroid-wedge`-like mesh: a 2D torus whose lattice edges are
+/// hash-oriented, with ~24% bidirectional arcs (arcs/vertex ≈ 2.5,
+/// matching the row's d-avg 2.47, d-max 4).
+pub fn toroid_wedge(rows: usize, cols: usize, seed: u64) -> Csr {
+    assert!(rows >= 3 && cols >= 3, "torus needs at least 3x3");
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new_directed(n).drop_self_loops();
+    b.reserve((n as f64 * 2.5) as usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            add_oriented(&mut b, idx(r, c), idx(r, (c + 1) % cols), seed, 235);
+            add_oriented(&mut b, idx(r, c), idx((r + 1) % rows, c), seed, 235);
+        }
+    }
+    b.build()
+}
+
+/// `toroid-hex`-like mesh: a torus with hexagonal (6-neighbor)
+/// connectivity — each vertex owns right, down, and down-right edges —
+/// hash-oriented (arcs/vertex ≈ 3.0, matching d-avg 2.98, d-max 4).
+pub fn toroid_hex(rows: usize, cols: usize, seed: u64) -> Csr {
+    assert!(rows >= 3 && cols >= 3, "torus needs at least 3x3");
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new_directed(n).drop_self_loops();
+    b.reserve(3 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            add_oriented(&mut b, idx(r, c), idx(r, (c + 1) % cols), seed, 0);
+            add_oriented(&mut b, idx(r, c), idx((r + 1) % rows, c), seed, 0);
+            add_oriented(&mut b, idx(r, c), idx((r + 1) % rows, (c + 1) % cols), seed, 0);
+        }
+    }
+    b.build()
+}
+
+/// `cold-flow`-like mesh: a 3D torus (combustor volume mesh) with
+/// hash-oriented axis edges (arcs/vertex ≈ 3.0, d-max ≤ 6; the paper
+/// row is d-avg 2.98, d-max 5).
+pub fn cold_flow(nx: usize, ny: usize, nz: usize, seed: u64) -> Csr {
+    assert!(nx >= 3 && ny >= 3 && nz >= 3, "3D torus needs at least 3x3x3");
+    let n = nx * ny * nz;
+    let idx = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as u32;
+    let mut b = GraphBuilder::new_directed(n).drop_self_loops();
+    b.reserve(3 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                add_oriented(&mut b, idx(x, y, z), idx((x + 1) % nx, y, z), seed, 0);
+                add_oriented(&mut b, idx(x, y, z), idx(x, (y + 1) % ny, z), seed, 0);
+                add_oriented(&mut b, idx(x, y, z), idx(x, y, (z + 1) % nz), seed, 0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `klein-bottle`-like mesh: a 2D lattice wrapped as a Klein bottle
+/// (column wrap is normal, row wrap flips the column index), edges
+/// hash-oriented with ~12% bidirectional arcs (arcs/vertex ≈ 2.24,
+/// matching the row).
+pub fn klein_bottle(rows: usize, cols: usize, seed: u64) -> Csr {
+    assert!(rows >= 3 && cols >= 3, "klein bottle needs at least 3x3");
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new_directed(n).drop_self_loops();
+    b.reserve((n as f64 * 2.3) as usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            add_oriented(&mut b, idx(r, c), idx(r, (c + 1) % cols), seed, 120);
+            // Row wrap crosses the Klein-bottle glue: flip the column.
+            let (r2, c2) = if r + 1 == rows { (0, cols - 1 - c) } else { (r + 1, c) };
+            add_oriented(&mut b, idx(r, c), idx(r2, c2), seed, 120);
+        }
+    }
+    b.build()
+}
+
+/// `star`-like mesh: concentric directed ring layers around a core,
+/// with inward radial arcs. Ring ℓ (0 = innermost) has
+/// `base * (ℓ + 1)` vertices forming one directed cycle; every vertex
+/// of ring ℓ > 0 also has one arc to a vertex of the next ring inward.
+/// Out-degree ≤ 2 and arcs/vertex ≈ 2, matching the row (d-avg 2.00,
+/// d-max 2).
+///
+/// Vertex-id *magnitudes* are assigned to rings in the alternating
+/// order outermost, innermost, second-outermost, second-innermost, …
+/// (largest ids first). Under ECL-SCC's signature propagation this
+/// makes exactly one ring resolve per outer iteration: the remaining
+/// outermost ring always holds the current maximum (so `v_in` is the
+/// same everywhere), while the remaining innermost ring holds the
+/// next-largest block (so `v_out` is the same on every unresolved
+/// ring) — all unresolved inter-ring arcs keep equal signatures and
+/// survive pruning. ECL-SCC therefore peels `layers` rounds, matching
+/// the paper's m = 10 on `star`.
+pub fn star(layers: usize, base: usize, seed: u64) -> Csr {
+    assert!(layers >= 1, "need at least one layer");
+    assert!(base >= 3, "rings need at least 3 vertices");
+    // Ring sizes, inner (0) to outer (layers - 1).
+    let sizes: Vec<usize> = (0..layers).map(|l| base * (l + 1)).collect();
+    let n: usize = sizes.iter().sum();
+
+    // Resolve order: ring indices in the order ECL-SCC retires them —
+    // outermost, innermost, next-outermost, next-innermost, …
+    let mut resolve_order = Vec::with_capacity(layers);
+    let (mut lo, mut hi) = (0usize, layers - 1);
+    while lo <= hi {
+        resolve_order.push(hi);
+        if lo < hi {
+            resolve_order.push(lo);
+        }
+        if hi == 0 {
+            break;
+        }
+        lo += 1;
+        hi -= 1;
+    }
+    debug_assert_eq!(resolve_order.len(), layers);
+    // Earlier-resolving rings need larger ids: assign ascending id
+    // blocks walking the resolve order backwards.
+    let mut starts = vec![0usize; layers];
+    let mut acc = 0usize;
+    for &ring in resolve_order.iter().rev() {
+        starts[ring] = acc;
+        acc += sizes[ring];
+    }
+    debug_assert_eq!(acc, n);
+
+    let mut b = GraphBuilder::new_directed(n).drop_self_loops();
+    b.reserve(2 * n);
+    for l in 0..layers {
+        let (s0, sz) = (starts[l], sizes[l]);
+        for i in 0..sz {
+            // Ring cycle.
+            b.add_edge((s0 + i) as u32, (s0 + (i + 1) % sz) as u32);
+            // Inward radial arc (the hash varies the attachment point).
+            if l > 0 {
+                let (t0, tsz) = (starts[l - 1], sizes[l - 1]);
+                let t = t0 + (mix(seed ^ (s0 + i) as u64) as usize) % tsz;
+                b.add_edge((s0 + i) as u32, t as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::DegreeStats;
+    use ecl_ref::num_sccs;
+
+    #[test]
+    fn wedge_stats_match_family() {
+        let g = toroid_wedge(32, 32, 42);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_avg > 2.2 && s.d_avg < 2.8, "avg {}", s.d_avg);
+        assert!(s.d_max <= 4, "max {}", s.d_max);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn wedge_has_nontrivial_sccs() {
+        let g = toroid_wedge(24, 24, 7);
+        let k = num_sccs(&g);
+        // Neither fully strongly connected nor fully acyclic.
+        assert!(k > 1, "expected multiple SCCs, got {k}");
+        assert!(k < g.num_vertices(), "expected at least one cycle, got all singletons");
+    }
+
+    #[test]
+    fn hex_avg_degree_near_three() {
+        let g = toroid_hex(24, 24, 11);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_avg > 2.8 && s.d_avg < 3.1, "avg {}", s.d_avg);
+    }
+
+    #[test]
+    fn cold_flow_3d_shape() {
+        let g = cold_flow(8, 8, 8, 5);
+        assert_eq!(g.num_vertices(), 512);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_avg > 2.8 && s.d_avg < 3.1, "avg {}", s.d_avg);
+        assert!(s.d_max <= 6);
+        assert!(num_sccs(&g) > 1);
+    }
+
+    #[test]
+    fn klein_bottle_low_degree() {
+        let g = klein_bottle(24, 24, 3);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_avg > 2.0 && s.d_avg < 2.5, "avg {}", s.d_avg);
+        assert!(num_sccs(&g) > 1);
+    }
+
+    #[test]
+    fn star_rings_are_sccs() {
+        let g = star(6, 8, 9);
+        // 8+16+24+32+40+48 vertices.
+        assert_eq!(g.num_vertices(), 168);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_max <= 2, "out-degree bound violated: {}", s.d_max);
+        assert!((s.d_avg - 2.0).abs() < 0.1, "avg {}", s.d_avg);
+        // Each ring is exactly one SCC (radial arcs point inward only).
+        assert_eq!(num_sccs(&g), 6);
+    }
+
+    #[test]
+    fn star_single_layer_is_cycle() {
+        let g = star(1, 5, 0);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(num_sccs(&g), 1);
+    }
+
+    #[test]
+    fn meshes_deterministic() {
+        assert_eq!(toroid_wedge(10, 10, 1), toroid_wedge(10, 10, 1));
+        assert_eq!(klein_bottle(10, 10, 2), klein_bottle(10, 10, 2));
+        assert_eq!(star(3, 4, 3), star(3, 4, 3));
+        assert_ne!(toroid_wedge(10, 10, 1), toroid_wedge(10, 10, 2));
+    }
+
+    #[test]
+    fn mesh_ids_in_range_and_sorted() {
+        for g in [toroid_wedge(8, 8, 0), toroid_hex(8, 8, 0), klein_bottle(8, 8, 0)] {
+            assert_eq!(ecl_graph::validate::check_adjacency_lists(&g), Ok(()));
+            assert_eq!(ecl_graph::validate::check_no_self_loops(&g), Ok(()));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Power-law families: preferential attachment (internet topology,
+//! social and web graphs), citation networks, and clique-overlay
+//! co-authorship networks.
+
+use ecl_graph::{Csr, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert preferential attachment: each new vertex attaches
+/// to ~`m` existing vertices chosen proportionally to degree.
+/// Fractional `m` is honored in expectation (vertex `v` draws
+/// `floor(m)` or `ceil(m)` links). Produces the power-law degree
+/// distributions of the internet-topology and social-network rows of
+/// Table 1 (as-skitter d-max/d-avg ≈ 2700, soc-LiveJournal1 ≈ 1000).
+pub fn preferential_attachment(n: usize, m: f64, seed: u64) -> Csr {
+    assert!(m >= 1.0, "attachment count must be >= 1");
+    let m0 = (m.ceil() as usize + 1).min(n);
+    assert!(n >= m0, "need at least {} vertices", m0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new_undirected(n).drop_self_loops();
+    // Endpoint pool: each vertex appears once per incident edge, so a
+    // uniform draw from the pool is a degree-proportional draw.
+    let mut pool: Vec<u32> = Vec::with_capacity((n as f64 * m * 2.0) as usize + 2 * m0);
+    // Seed clique.
+    for u in 0..m0 as u32 {
+        for v in (u + 1)..m0 as u32 {
+            b.add_edge(u, v);
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    let frac = m - m.floor();
+    for v in m0 as u32..n as u32 {
+        let links = m.floor() as usize + usize::from(rng.random_bool(frac));
+        let mut chosen: Vec<u32> = Vec::with_capacity(links);
+        let mut guard = 0;
+        while chosen.len() < links && guard < 50 * links.max(1) {
+            guard += 1;
+            let t = pool[rng.random_range(0..pool.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v, t);
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Holme–Kim preferential attachment with triad formation: like
+/// [`preferential_attachment`], but after each degree-proportional
+/// link, with probability `p_triad` the next link closes a triangle
+/// (attaches to a random neighbor of the previous target). High
+/// clustering reproduces co-purchase/community structure
+/// (amazon0601, soc-LiveJournal1): dense local neighborhoods whose
+/// edges become intra-component after the first Borůvka round — the
+/// §6.1.4 collapse of MST's useful-work fraction.
+pub fn preferential_attachment_clustered(n: usize, m: f64, p_triad: f64, seed: u64) -> Csr {
+    assert!(m >= 1.0, "attachment count must be >= 1");
+    assert!((0.0..=1.0).contains(&p_triad), "triad probability out of range");
+    let m0 = (m.ceil() as usize + 1).min(n);
+    assert!(n >= m0, "need at least {} vertices", m0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new_undirected(n).drop_self_loops();
+    let mut pool: Vec<u32> = Vec::with_capacity((n as f64 * m * 2.0) as usize + 2 * m0);
+    // Adjacency so far, for triad closure lookups.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let link = |b: &mut GraphBuilder,
+                    pool: &mut Vec<u32>,
+                    adj: &mut Vec<Vec<u32>>,
+                    u: u32,
+                    v: u32| {
+        b.add_edge(u, v);
+        pool.push(u);
+        pool.push(v);
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+    };
+    for u in 0..m0 as u32 {
+        for v in (u + 1)..m0 as u32 {
+            link(&mut b, &mut pool, &mut adj, u, v);
+        }
+    }
+    let frac = m - m.floor();
+    for v in m0 as u32..n as u32 {
+        let links = m.floor() as usize + usize::from(rng.random_bool(frac));
+        let mut last_target: Option<u32> = None;
+        let mut chosen: Vec<u32> = Vec::with_capacity(links);
+        let mut guard = 0;
+        while chosen.len() < links && guard < 50 * links.max(1) {
+            guard += 1;
+            // Triad step: close a triangle through the previous target.
+            let t = if let Some(prev) = last_target.filter(|_| rng.random_bool(p_triad)) {
+                let nbrs = &adj[prev as usize];
+                nbrs[rng.random_range(0..nbrs.len())]
+            } else {
+                pool[rng.random_range(0..pool.len())]
+            };
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+                last_target = Some(t);
+            }
+        }
+        for &t in &chosen {
+            link(&mut b, &mut pool, &mut adj, v, t);
+        }
+    }
+    b.build()
+}
+
+/// A citation-network-like graph: vertices arrive in id order and each
+/// cites ~`out_mean` earlier vertices, drawn from a mix of uniform and
+/// recency-biased choices. The mix bounds the maximum degree (real
+/// citation graphs such as cit-Patents peak near d-max ≈ 800 at
+/// d-avg 8, far below a pure power law). Returned symmetrized, since
+/// MIS/CC/GC/MST consume undirected inputs.
+pub fn citation(n: usize, out_mean: f64, seed: u64) -> Csr {
+    assert!(n >= 2, "need at least 2 vertices");
+    assert!(out_mean >= 0.0, "citation count must be non-negative");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new_undirected(n).drop_self_loops();
+    b.reserve((n as f64 * out_mean) as usize);
+    for v in 1..n as u32 {
+        // Poisson-ish citation count via geometric accumulation.
+        let mut cites = out_mean.floor() as usize;
+        if rng.random_bool(out_mean - out_mean.floor()) {
+            cites += 1;
+        }
+        for _ in 0..cites {
+            let u = if rng.random_bool(0.3) {
+                // Recency bias: recent work is cited preferentially.
+                let window = (v as usize / 4).max(1) as u32;
+                v - rng.random_range(1..=window.min(v))
+            } else {
+                // Uniform over all earlier work.
+                rng.random_range(0..v)
+            };
+            b.add_edge(v, u);
+        }
+    }
+    b.build()
+}
+
+/// A co-authorship-like graph built as overlapping cliques: `groups`
+/// "papers" each connect a clique of ~`group_mean` "authors", authors
+/// drawn with productivity skew (a few authors appear on many papers).
+/// Produces the very high average degree and clustering of
+/// coPapersDBLP (d-avg 56.4) — the input whose density drives the
+/// largest ECL-GC invalidation counts (§6.1.5).
+pub fn clique_overlay(n: usize, groups: usize, group_mean: usize, seed: u64) -> Csr {
+    assert!(n >= 2, "need at least 2 vertices");
+    assert!(group_mean >= 2, "groups must connect at least 2 vertices");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new_undirected(n).drop_self_loops();
+    for _ in 0..groups {
+        let size = rng.random_range(2..=2 * group_mean).min(n);
+        let mut members: Vec<u32> = Vec::with_capacity(size);
+        let mut guard = 0;
+        while members.len() < size && guard < 20 * size {
+            guard += 1;
+            // Productivity skew: squaring a uniform sample biases
+            // toward low ids, making them prolific "authors".
+            let x: f64 = rng.random();
+            let author = ((x * x) * n as f64) as u32;
+            let author = author.min(n as u32 - 1);
+            if !members.contains(&author) {
+                members.push(author);
+            }
+        }
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                b.add_edge(members[i], members[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::validate::check_undirected_input;
+    use ecl_graph::DegreeStats;
+
+    #[test]
+    fn pa_power_law_skew() {
+        let g = preferential_attachment(5000, 6.0, 42);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_avg > 10.0 && s.d_avg < 13.0, "avg degree {}", s.d_avg);
+        assert!(s.skew > 5.0, "skew {}", s.skew);
+        assert_eq!(check_undirected_input(&g), Ok(()));
+    }
+
+    #[test]
+    fn pa_fractional_m() {
+        let g = preferential_attachment(4000, 1.5, 7);
+        let s = DegreeStats::of(&g);
+        // ~1.5 links per vertex -> avg degree ~3.
+        assert!(s.d_avg > 2.5 && s.d_avg < 3.6, "avg degree {}", s.d_avg);
+    }
+
+    #[test]
+    fn pa_connected() {
+        let g = preferential_attachment(2000, 2.0, 3);
+        assert_eq!(ecl_ref::num_components(&g), 1);
+    }
+
+    #[test]
+    fn pa_deterministic() {
+        assert_eq!(
+            preferential_attachment(300, 3.0, 5),
+            preferential_attachment(300, 3.0, 5)
+        );
+    }
+
+    #[test]
+    fn clustered_pa_has_higher_clustering() {
+        let n = 2000;
+        let plain = preferential_attachment(n, 5.0, 11);
+        let clustered = preferential_attachment_clustered(n, 5.0, 0.8, 11);
+        // Count triangles via a sampled wedge check.
+        let triangle_rate = |g: &Csr| {
+            let mut wedges = 0u64;
+            let mut closed = 0u64;
+            for v in 0..g.num_vertices() as u32 {
+                let adj = g.neighbors(v);
+                for (i, &a) in adj.iter().enumerate().take(8) {
+                    for &b in adj.iter().skip(i + 1).take(8) {
+                        wedges += 1;
+                        if g.has_arc(a, b) {
+                            closed += 1;
+                        }
+                    }
+                }
+            }
+            closed as f64 / wedges.max(1) as f64
+        };
+        let rp = triangle_rate(&plain);
+        let rc = triangle_rate(&clustered);
+        assert!(
+            rc > 2.0 * rp,
+            "triad closure should raise clustering: plain {rp:.4}, clustered {rc:.4}"
+        );
+    }
+
+    #[test]
+    fn clustered_pa_keeps_degree_profile() {
+        let g = preferential_attachment_clustered(3000, 6.0, 0.6, 3);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_avg > 9.0 && s.d_avg < 13.0, "avg degree {}", s.d_avg);
+        assert!(s.skew > 4.0, "skew {}", s.skew);
+        assert_eq!(check_undirected_input(&g), Ok(()));
+    }
+
+    #[test]
+    fn clustered_pa_deterministic() {
+        assert_eq!(
+            preferential_attachment_clustered(400, 3.0, 0.5, 9),
+            preferential_attachment_clustered(400, 3.0, 0.5, 9)
+        );
+    }
+
+    #[test]
+    fn citation_moderate_max_degree() {
+        let g = citation(20_000, 8.0, 42);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_avg > 14.0 && s.d_avg < 17.0, "avg degree {}", s.d_avg);
+        // Bounded skew: well below a PA graph of the same size.
+        assert!(s.d_max < 500, "max degree {}", s.d_max);
+        assert_eq!(check_undirected_input(&g), Ok(()));
+    }
+
+    #[test]
+    fn citation_deterministic() {
+        assert_eq!(citation(500, 4.0, 1), citation(500, 4.0, 1));
+    }
+
+    #[test]
+    fn clique_overlay_dense() {
+        let g = clique_overlay(2000, 1500, 8, 42);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_avg > 20.0, "avg degree {}", s.d_avg);
+        assert!(s.d_max > 100, "max degree {}", s.d_max);
+        assert_eq!(check_undirected_input(&g), Ok(()));
+    }
+
+    #[test]
+    fn clique_overlay_has_triangles() {
+        let g = clique_overlay(100, 30, 5, 9);
+        // Count triangles incident to vertex 0's neighborhood: clique
+        // overlays must produce adjacent neighbor pairs somewhere.
+        let mut found = false;
+        'outer: for v in 0..g.num_vertices() as u32 {
+            let adj = g.neighbors(v);
+            for (i, &a) in adj.iter().enumerate() {
+                for &b in &adj[i + 1..] {
+                    if g.has_arc(a, b) {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found, "expected at least one triangle");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn pa_rejects_tiny_m() {
+        preferential_attachment(10, 0.5, 0);
+    }
+}

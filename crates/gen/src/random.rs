@@ -1,0 +1,96 @@
+//! Uniform random graphs.
+
+use ecl_graph::{Csr, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An Erdős–Rényi-style G(n, m) graph: `n * avg_degree / 2` uniformly
+/// random undirected edges (self-loops rejected, duplicates removed by
+/// the builder). The degree distribution is Poisson(avg_degree),
+/// matching `r4-2e23.sym` (d-avg 8.0, d-max 26 — a Poisson tail).
+pub fn erdos_renyi(n: usize, avg_degree: f64, seed: u64) -> Csr {
+    assert!(n >= 2, "need at least 2 vertices");
+    assert!(avg_degree >= 0.0, "average degree must be non-negative");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = ((n as f64) * avg_degree / 2.0).round() as usize;
+    let mut b = GraphBuilder::new_undirected(n).drop_self_loops();
+    b.reserve(m);
+    let mut added = 0usize;
+    while added < m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// A random graph with (nearly) regular degree `d`: a union of `d/2`
+/// random permutation cycles (plus one extra half-cycle for odd `d`).
+/// Used for stress tests that want uniform load with random structure.
+pub fn random_near_regular(n: usize, d: usize, seed: u64) -> Csr {
+    assert!(n >= 3, "need at least 3 vertices");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new_undirected(n).drop_self_loops();
+    let cycles = d.div_ceil(2);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..cycles {
+        // Fisher-Yates shuffle, then connect consecutive elements.
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        for i in 0..n {
+            b.add_edge(perm[i], perm[(i + 1) % n]);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::validate::check_undirected_input;
+    use ecl_graph::DegreeStats;
+
+    #[test]
+    fn er_degree_distribution() {
+        let g = erdos_renyi(10_000, 8.0, 42);
+        let s = DegreeStats::of(&g);
+        // Duplicates get removed, so slightly below 8.
+        assert!(s.d_avg > 7.0 && s.d_avg < 8.2, "avg degree {}", s.d_avg);
+        // Poisson(8) tail at n=10k stays well below 30.
+        assert!(s.d_max < 35, "max degree {}", s.d_max);
+        assert_eq!(check_undirected_input(&g), Ok(()));
+    }
+
+    #[test]
+    fn er_deterministic() {
+        assert_eq!(erdos_renyi(500, 4.0, 9), erdos_renyi(500, 4.0, 9));
+        assert_ne!(erdos_renyi(500, 4.0, 9), erdos_renyi(500, 4.0, 10));
+    }
+
+    #[test]
+    fn er_zero_degree() {
+        let g = erdos_renyi(10, 0.0, 1);
+        assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn near_regular_degrees_cluster() {
+        let g = random_near_regular(1000, 6, 3);
+        let s = DegreeStats::of(&g);
+        assert!(s.d_avg > 5.0 && s.d_avg <= 6.0, "avg degree {}", s.d_avg);
+        assert!(s.d_max <= 6);
+        assert_eq!(check_undirected_input(&g), Ok(()));
+    }
+
+    #[test]
+    fn near_regular_connected_enough() {
+        // Union of 3 random Hamiltonian cycles is connected w.h.p.
+        let g = random_near_regular(500, 6, 11);
+        assert_eq!(ecl_ref::num_components(&g), 1);
+    }
+}

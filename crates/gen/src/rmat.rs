@@ -1,0 +1,121 @@
+//! RMAT / Kronecker recursive graph generator.
+
+use ecl_graph::{Csr, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// RMAT partition probabilities `(a, b, c)`; `d = 1 - a - b - c`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// Typical RMAT parameters used for the `rmat*.sym` inputs.
+    pub fn rmat() -> Self {
+        Self { a: 0.45, b: 0.22, c: 0.22 }
+    }
+
+    /// Graph500 Kronecker parameters (`kron_g500-logn21`): heavier
+    /// skew, producing the extreme maximum degrees of Table 1
+    /// (d-max 213,904 at d-avg 86.8).
+    pub fn graph500() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19 }
+    }
+
+    fn validate(&self) {
+        assert!(self.a > 0.0 && self.b >= 0.0 && self.c >= 0.0, "probabilities must be non-negative");
+        assert!(self.a + self.b + self.c < 1.0 + 1e-12, "a + b + c must be < 1");
+    }
+}
+
+/// Generates a symmetrized RMAT graph with `2^scale` vertices and
+/// about `edges_per_vertex * 2^scale` undirected edges (before
+/// dedup). Self-loops are dropped; adjacency lists are sorted.
+pub fn rmat(scale: u32, edges_per_vertex: f64, params: RmatParams, seed: u64) -> Csr {
+    params.validate();
+    assert!((1..=31).contains(&scale), "scale out of range");
+    let n = 1usize << scale;
+    let m = ((n as f64) * edges_per_vertex / 2.0).round() as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new_undirected(n).drop_self_loops();
+    b.reserve(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.random();
+            if r < params.a {
+                // top-left: no bits set
+            } else if r < params.a + params.b {
+                v |= 1;
+            } else if r < params.a + params.b + params.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            b.add_edge(u as u32, v as u32);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::validate::check_undirected_input;
+    use ecl_graph::DegreeStats;
+
+    #[test]
+    fn rmat_basic_shape() {
+        let g = rmat(12, 8.0, RmatParams::rmat(), 42);
+        assert_eq!(g.num_vertices(), 4096);
+        let s = DegreeStats::of(&g);
+        // Dedup removes many multi-edges in the hot quadrant.
+        assert!(s.d_avg > 4.0 && s.d_avg < 8.5, "avg degree {}", s.d_avg);
+        // Skewed: max degree far above average.
+        assert!(s.skew > 5.0, "skew {}", s.skew);
+        assert_eq!(check_undirected_input(&g), Ok(()));
+    }
+
+    #[test]
+    fn graph500_is_more_skewed_than_rmat() {
+        let a = rmat(12, 16.0, RmatParams::rmat(), 7);
+        let b = rmat(12, 16.0, RmatParams::graph500(), 7);
+        let sa = DegreeStats::of(&a);
+        let sb = DegreeStats::of(&b);
+        assert!(
+            sb.skew > sa.skew,
+            "graph500 skew {} should exceed rmat skew {}",
+            sb.skew,
+            sa.skew
+        );
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        assert_eq!(rmat(8, 4.0, RmatParams::rmat(), 3), rmat(8, 4.0, RmatParams::rmat(), 3));
+        assert_ne!(rmat(8, 4.0, RmatParams::rmat(), 3), rmat(8, 4.0, RmatParams::rmat(), 4));
+    }
+
+    #[test]
+    fn rmat_no_self_loops() {
+        let g = rmat(8, 8.0, RmatParams::graph500(), 1);
+        assert_eq!(ecl_graph::validate::check_no_self_loops(&g), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "a + b + c must be < 1")]
+    fn invalid_params_rejected() {
+        rmat(4, 1.0, RmatParams { a: 0.6, b: 0.3, c: 0.3 }, 0);
+    }
+}

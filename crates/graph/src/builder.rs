@@ -1,0 +1,198 @@
+//! Edge-list accumulator producing sorted, deduplicated CSR graphs.
+
+use crate::csr::{Csr, VertexId};
+use crate::weighted::WeightedCsr;
+
+/// Accumulates edges and builds a [`Csr`] (or [`WeightedCsr`]).
+///
+/// - Undirected builders symmetrize: `add_edge(u, v)` stores both arcs.
+/// - Duplicate arcs are removed; adjacency lists come out sorted.
+/// - Self-loops are kept unless [`GraphBuilder::drop_self_loops`] is set
+///   (the ECL inputs contain none, so generators usually drop them).
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    directed: bool,
+    drop_self_loops: bool,
+    // (source, destination, weight); weight ignored for unweighted builds.
+    edges: Vec<(VertexId, VertexId, u32)>,
+}
+
+impl GraphBuilder {
+    /// A builder for an undirected graph on `n` vertices.
+    pub fn new_undirected(n: usize) -> Self {
+        Self { n, directed: false, drop_self_loops: false, edges: Vec::new() }
+    }
+
+    /// A builder for a directed graph on `n` vertices.
+    pub fn new_directed(n: usize) -> Self {
+        Self { n, directed: true, drop_self_loops: false, edges: Vec::new() }
+    }
+
+    /// Discard self-loops at build time.
+    pub fn drop_self_loops(mut self) -> Self {
+        self.drop_self_loops = true;
+        self
+    }
+
+    /// Number of vertices this builder was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of raw (pre-dedup) edge insertions so far.
+    pub fn num_pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Reserve capacity for `additional` more edges.
+    pub fn reserve(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
+    /// Adds an unweighted edge (weight recorded as 0).
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.add_weighted_edge(u, v, 0);
+    }
+
+    /// Adds a weighted edge. For undirected builders both arcs carry the
+    /// same weight, as in the ECL-MST inputs.
+    pub fn add_weighted_edge(&mut self, u: VertexId, v: VertexId, w: u32) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.n
+        );
+        self.edges.push((u, v, w));
+    }
+
+    fn finish(mut self) -> (Vec<usize>, Vec<VertexId>, Vec<u32>, bool) {
+        if self.drop_self_loops {
+            self.edges.retain(|&(u, v, _)| u != v);
+        }
+        let mut arcs = Vec::with_capacity(self.edges.len() * if self.directed { 1 } else { 2 });
+        for &(u, v, w) in &self.edges {
+            arcs.push((u, v, w));
+            if !self.directed && u != v {
+                arcs.push((v, u, w));
+            }
+        }
+        // Sort by (source, destination); on duplicates keep the lightest
+        // weight, which is what deduplicating a weighted multigraph for
+        // MST purposes must do.
+        arcs.sort_unstable();
+        arcs.dedup_by(|next, prev| prev.0 == next.0 && prev.1 == next.1);
+
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(u, _, _) in &arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors: Vec<VertexId> = arcs.iter().map(|&(_, v, _)| v).collect();
+        let weights: Vec<u32> = arcs.iter().map(|&(_, _, w)| w).collect();
+        (offsets, neighbors, weights, self.directed)
+    }
+
+    /// Builds the unweighted CSR graph.
+    pub fn build(self) -> Csr {
+        let (offsets, neighbors, _weights, directed) = self.finish();
+        Csr::from_parts(offsets, neighbors, directed)
+    }
+
+    /// Builds the weighted CSR graph.
+    pub fn build_weighted(self) -> WeightedCsr {
+        let (offsets, neighbors, weights, directed) = self.finish();
+        WeightedCsr::from_parts(Csr::from_parts(offsets, neighbors, directed), weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_sorts() {
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1); // duplicate
+        b.add_edge(1, 0); // duplicate after symmetrization
+        b.add_edge(2, 0);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn directed_does_not_symmetrize() {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert!(g.has_arc(0, 1));
+        assert!(!g.has_arc(1, 0));
+    }
+
+    #[test]
+    fn drop_self_loops() {
+        let mut b = GraphBuilder::new_undirected(2).drop_self_loops();
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_arcs(), 2);
+        assert!(!g.has_arc(0, 0));
+    }
+
+    #[test]
+    fn keeps_self_loops_by_default() {
+        let mut b = GraphBuilder::new_undirected(2);
+        b.add_edge(1, 1);
+        let g = b.build();
+        assert!(g.has_arc(1, 1));
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn weighted_dedup_keeps_lightest() {
+        let mut b = GraphBuilder::new_undirected(2);
+        b.add_weighted_edge(0, 1, 9);
+        b.add_weighted_edge(0, 1, 3);
+        b.add_weighted_edge(1, 0, 5);
+        let g = b.build_weighted();
+        assert_eq!(g.csr().num_edges(), 1);
+        assert_eq!(g.arc_weights(0), &[3]);
+        assert_eq!(g.arc_weights(1), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        let mut b = GraphBuilder::new_undirected(2);
+        b.add_edge(0, 5);
+    }
+
+    #[test]
+    fn empty_build() {
+        let g = GraphBuilder::new_undirected(3).build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn undirected_weight_symmetry() {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.add_weighted_edge(0, 2, 7);
+        b.add_weighted_edge(1, 2, 4);
+        let g = b.build_weighted();
+        assert_eq!(g.weight_between(0, 2), Some(7));
+        assert_eq!(g.weight_between(2, 0), Some(7));
+        assert_eq!(g.weight_between(2, 1), Some(4));
+        assert_eq!(g.weight_between(0, 1), None);
+    }
+}

@@ -1,0 +1,284 @@
+//! Immutable compressed-sparse-row adjacency structure.
+
+/// Vertex identifier. The ECL suite uses C `int`; `u32` matches its
+/// value range while keeping adjacency arrays compact.
+pub type VertexId = u32;
+
+/// A graph in compressed-sparse-row format.
+///
+/// `offsets` has `n + 1` entries; the neighbors of vertex `v` are
+/// `neighbors[offsets[v] .. offsets[v + 1]]`, sorted ascending.
+///
+/// For undirected graphs every edge `{u, v}` is stored as the two arcs
+/// `u -> v` and `v -> u`, which is how the ECL inputs count "Edges" in
+/// Table 1 (e.g. `2d-2e20.sym` lists 4,190,208 arcs for a degree-4
+/// torus of 1,048,576 vertices).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+    directed: bool,
+}
+
+impl Csr {
+    /// Builds a CSR graph from raw parts.
+    ///
+    /// # Panics
+    /// Panics (in debug and release) if the parts are structurally
+    /// invalid: wrong offset length, non-monotonic offsets, trailing
+    /// offset not matching the arc count, or out-of-range neighbor ids.
+    /// Sortedness of adjacency lists is only checked in debug builds.
+    pub fn from_parts(offsets: Vec<usize>, neighbors: Vec<VertexId>, directed: bool) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have n + 1 entries");
+        let n = offsets.len() - 1;
+        assert_eq!(offsets[0], 0, "offsets[0] must be 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            neighbors.len(),
+            "offsets[n] must equal the arc count"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        assert!(
+            neighbors.iter().all(|&v| (v as usize) < n),
+            "neighbor ids must be < n"
+        );
+        debug_assert!(
+            (0..n).all(|v| neighbors[offsets[v]..offsets[v + 1]].windows(2).all(|w| w[0] <= w[1])),
+            "adjacency lists must be sorted ascending"
+        );
+        Self { offsets, neighbors, directed }
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize, directed: bool) -> Self {
+        Self { offsets: vec![0; n + 1], neighbors: Vec::new(), directed }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs (directed edges). For undirected graphs
+    /// this is twice the number of edges, matching Table 1's "Edges"
+    /// column convention.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of undirected edges for symmetric graphs (arcs / 2,
+    /// counting self-loops once), or the arc count for directed graphs.
+    pub fn num_edges(&self) -> usize {
+        if self.directed {
+            self.num_arcs()
+        } else {
+            let self_loops = (0..self.num_vertices() as VertexId)
+                .map(|v| self.neighbors(v).iter().filter(|&&u| u == v).count())
+                .sum::<usize>();
+            (self.num_arcs() - self_loops) / 2 + self_loops
+        }
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// The sorted adjacency list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Out-degree of `v` (degree for undirected graphs).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Start of `v`'s adjacency range in the flat neighbor array.
+    /// Exposed because the ECL kernels index arcs globally (e.g. the
+    /// SCC propagation kernel is edge-centric).
+    #[inline]
+    pub fn arc_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// The raw offset array (`n + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat neighbor array.
+    #[inline]
+    pub fn neighbor_array(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// Iterates over all arcs as `(source, destination)` pairs.
+    pub fn arcs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Whether `u` has an arc to `v` (binary search over the sorted list).
+    pub fn has_arc(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The transposed graph (all arcs reversed). Adjacency lists of the
+    /// result are sorted. For symmetric graphs this is an (expensive)
+    /// identity.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut in_deg = vec![0usize; n];
+        for &v in &self.neighbors {
+            in_deg[v as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + in_deg[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as VertexId; self.neighbors.len()];
+        // Iterating sources in ascending order keeps each transposed
+        // adjacency list sorted without a per-list sort pass.
+        for u in 0..n as VertexId {
+            for &v in self.neighbors(u) {
+                neighbors[cursor[v as usize]] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        Csr { offsets, neighbors, directed: self.directed }
+    }
+
+    /// Checks that for every arc `u -> v` the reverse arc `v -> u`
+    /// exists (the structural meaning of "undirected" here).
+    pub fn is_symmetric(&self) -> bool {
+        self.arcs().all(|(u, v)| self.has_arc(v, u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> Csr {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.build()
+    }
+
+    #[test]
+    fn triangle_structure() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5, false);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_arcs(), 0);
+        assert_eq!(g.num_edges(), 0);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 0);
+            assert!(g.neighbors(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Csr::empty(0, true);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.arcs().count(), 0);
+    }
+
+    #[test]
+    fn has_arc_queries() {
+        let g = triangle();
+        assert!(g.has_arc(0, 1));
+        assert!(g.has_arc(2, 0));
+        assert!(!g.has_arc(0, 0));
+    }
+
+    #[test]
+    fn directed_path_transpose() {
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.is_symmetric());
+        let t = g.transpose();
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(3), &[2]);
+        assert!(t.neighbors(0).is_empty());
+        // Transposing twice is the identity.
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn transpose_preserves_sortedness() {
+        let mut b = GraphBuilder::new_directed(5);
+        for (u, v) in [(4, 0), (3, 0), (2, 0), (1, 0), (4, 1), (0, 1)] {
+            b.add_edge(u, v);
+        }
+        let t = b.build().transpose();
+        assert_eq!(t.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(t.neighbors(1), &[0, 4]);
+    }
+
+    #[test]
+    fn arc_range_indexes_flat_array() {
+        let g = triangle();
+        let r = g.arc_range(1);
+        assert_eq!(&g.neighbor_array()[r], g.neighbors(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must be non-decreasing")]
+    fn rejects_non_monotonic_offsets() {
+        Csr::from_parts(vec![0, 2, 1, 3], vec![0, 1, 2], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbor ids must be < n")]
+    fn rejects_out_of_range_neighbor() {
+        Csr::from_parts(vec![0, 1], vec![7], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets[n] must equal the arc count")]
+    fn rejects_bad_trailing_offset() {
+        Csr::from_parts(vec![0, 2], vec![0], true);
+    }
+
+    #[test]
+    fn self_loop_edge_count() {
+        let mut b = GraphBuilder::new_undirected(2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        // Self-loop stored once, edge {0,1} stored as 2 arcs.
+        assert_eq!(g.num_arcs(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+}

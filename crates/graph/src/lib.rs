@@ -1,0 +1,33 @@
+//! CSR graph substrate for the ECL-suite reproduction.
+//!
+//! All five ECL algorithms consume graphs in compressed-sparse-row (CSR)
+//! format, matching the input representation of the paper (§5.2, \[19\]).
+//! This crate provides:
+//!
+//! - [`Csr`]: an immutable CSR adjacency structure for directed or
+//!   undirected (symmetric) graphs,
+//! - [`WeightedCsr`]: a CSR graph with per-arc `u32` weights (ECL-MST),
+//! - [`GraphBuilder`]: an edge-list accumulator that deduplicates, sorts
+//!   adjacency lists, and optionally symmetrizes,
+//! - [`io`]: a small binary serialization format ("ECLgraph"-like) plus a
+//!   text edge-list reader,
+//! - [`stats`]: degree statistics matching the columns of Table 1,
+//! - [`validate`]: structural invariant checks used by tests and
+//!   debug assertions throughout the workspace.
+//!
+//! Vertex ids are `u32` (the ECL suite uses `int`); arc counts use
+//! `usize`. Adjacency lists are always sorted ascending, which ECL-CC's
+//! initialization heuristic relies on (§6.1.3: "the adjacency lists are
+//! sorted, placing the smallest neighbor first").
+
+pub mod builder;
+pub mod csr;
+pub mod io;
+pub mod stats;
+pub mod validate;
+pub mod weighted;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csr, VertexId};
+pub use stats::DegreeStats;
+pub use weighted::{EdgeId, WeightedCsr};

@@ -1,0 +1,142 @@
+//! Structural invariant checks for CSR graphs.
+//!
+//! [`Csr::from_parts`](crate::Csr::from_parts) already enforces the
+//! cheap invariants at construction. The functions here perform the
+//! exhaustive checks used by tests, property tests, and the generators'
+//! debug assertions.
+
+use crate::csr::{Csr, VertexId};
+use crate::weighted::WeightedCsr;
+
+/// A violated graph invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Adjacency list of the vertex is not sorted ascending.
+    UnsortedAdjacency(VertexId),
+    /// Adjacency list of the vertex contains a duplicate neighbor.
+    DuplicateNeighbor(VertexId, VertexId),
+    /// The arc `u -> v` exists but `v -> u` does not, in a graph
+    /// claimed undirected.
+    MissingReverseArc(VertexId, VertexId),
+    /// A self-loop, when checking loop-free graphs.
+    SelfLoop(VertexId),
+    /// Arc weights of the two directions of an undirected edge differ.
+    AsymmetricWeight(VertexId, VertexId),
+}
+
+/// Checks sortedness and duplicate-freedom of every adjacency list.
+pub fn check_adjacency_lists(g: &Csr) -> Result<(), Violation> {
+    for v in 0..g.num_vertices() as VertexId {
+        let adj = g.neighbors(v);
+        for w in adj.windows(2) {
+            if w[0] > w[1] {
+                return Err(Violation::UnsortedAdjacency(v));
+            }
+            if w[0] == w[1] {
+                return Err(Violation::DuplicateNeighbor(v, w[0]));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that the graph is structurally symmetric (each arc has its
+/// reverse). Only meaningful for graphs built as undirected.
+pub fn check_symmetry(g: &Csr) -> Result<(), Violation> {
+    for (u, v) in g.arcs() {
+        if !g.has_arc(v, u) {
+            return Err(Violation::MissingReverseArc(u, v));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that the graph has no self-loops.
+pub fn check_no_self_loops(g: &Csr) -> Result<(), Violation> {
+    for v in 0..g.num_vertices() as VertexId {
+        if g.has_arc(v, v) {
+            return Err(Violation::SelfLoop(v));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that both arcs of every undirected edge carry equal weight.
+pub fn check_weight_symmetry(g: &WeightedCsr) -> Result<(), Violation> {
+    for u in 0..g.num_vertices() as VertexId {
+        for (&v, &w) in g.csr().neighbors(u).iter().zip(g.arc_weights(u)) {
+            match g.weight_between(v, u) {
+                Some(rw) if rw == w => {}
+                _ => return Err(Violation::AsymmetricWeight(u, v)),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs all checks appropriate for an undirected, loop-free input graph
+/// (the contract of the MIS/CC/GC/MST inputs).
+pub fn check_undirected_input(g: &Csr) -> Result<(), Violation> {
+    check_adjacency_lists(g)?;
+    check_no_self_loops(g)?;
+    check_symmetry(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn clean_graph_passes() {
+        let mut b = GraphBuilder::new_undirected(4).drop_self_loops();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build();
+        assert_eq!(check_undirected_input(&g), Ok(()));
+    }
+
+    #[test]
+    fn detects_missing_reverse_arc() {
+        let g = Csr::from_parts(vec![0, 1, 1], vec![1], false);
+        assert_eq!(check_symmetry(&g), Err(Violation::MissingReverseArc(0, 1)));
+    }
+
+    #[test]
+    fn detects_self_loop() {
+        let mut b = GraphBuilder::new_undirected(2);
+        b.add_edge(1, 1);
+        let g = b.build();
+        assert_eq!(check_no_self_loops(&g), Err(Violation::SelfLoop(1)));
+    }
+
+    #[test]
+    fn detects_duplicate_neighbor() {
+        let g = Csr::from_parts(vec![0, 2], vec![0, 0], true);
+        assert_eq!(
+            check_adjacency_lists(&g),
+            Err(Violation::DuplicateNeighbor(0, 0))
+        );
+    }
+
+    #[test]
+    fn detects_asymmetric_weight() {
+        // Hand-build: arc 0->1 weight 3, arc 1->0 weight 4.
+        let csr = Csr::from_parts(vec![0, 1, 2], vec![1, 0], false);
+        let g = WeightedCsr::from_parts(csr, vec![3, 4]);
+        assert_eq!(
+            check_weight_symmetry(&g),
+            Err(Violation::AsymmetricWeight(0, 1))
+        );
+    }
+
+    #[test]
+    fn weight_symmetry_passes_for_builder_output() {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.add_weighted_edge(0, 1, 5);
+        b.add_weighted_edge(1, 2, 6);
+        let g = b.build_weighted();
+        assert_eq!(check_weight_symmetry(&g), Ok(()));
+    }
+}

@@ -1,0 +1,74 @@
+//! Sequential connected components.
+
+use ecl_graph::Csr;
+
+use crate::union_find::UnionFind;
+
+/// Connected-component labels of an undirected graph: each vertex is
+/// mapped to the minimum vertex id of its component, the same normal
+/// form ECL-CC's output is reduced to for comparison.
+pub fn connected_components(g: &Csr) -> Vec<u32> {
+    let mut uf = UnionFind::new(g.num_vertices());
+    for (u, v) in g.arcs() {
+        uf.union(u, v);
+    }
+    uf.canonical_labels()
+}
+
+/// Number of connected components.
+pub fn num_components(g: &Csr) -> usize {
+    let mut uf = UnionFind::new(g.num_vertices());
+    for (u, v) in g.arcs() {
+        uf.union(u, v);
+    }
+    uf.num_sets()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::GraphBuilder;
+
+    #[test]
+    fn two_components() {
+        let mut b = GraphBuilder::new_undirected(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        let g = b.build();
+        assert_eq!(connected_components(&g), vec![0, 0, 0, 3, 3]);
+        assert_eq!(num_components(&g), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_each_own_component() {
+        let g = Csr::empty(3, false);
+        assert_eq!(connected_components(&g), vec![0, 1, 2]);
+        assert_eq!(num_components(&g), 3);
+    }
+
+    #[test]
+    fn fully_connected() {
+        let mut b = GraphBuilder::new_undirected(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        assert_eq!(connected_components(&g), vec![0; 4]);
+        assert_eq!(num_components(&g), 1);
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let mut b = GraphBuilder::new_undirected(6);
+        b.add_edge(5, 3);
+        b.add_edge(3, 4);
+        let g = b.build();
+        let labels = connected_components(&g);
+        assert_eq!(labels[3], 3);
+        assert_eq!(labels[4], 3);
+        assert_eq!(labels[5], 3);
+    }
+}

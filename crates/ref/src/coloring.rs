@@ -1,0 +1,133 @@
+//! Sequential greedy coloring and properness checking.
+
+use ecl_graph::Csr;
+
+/// Greedy coloring in largest-degree-first order (the same LDF
+/// priority heuristic ECL-GC uses for its DAG ordering, §2.2). Returns
+/// one color per vertex, colors starting at 0.
+pub fn greedy_coloring(g: &Csr) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    // LDF: higher degree first; ties by smaller id (the ECL-GC
+    // priority total order).
+    order.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    let mut colors = vec![u32::MAX; n];
+    let mut forbidden: Vec<u32> = Vec::new();
+    for &v in &order {
+        forbidden.clear();
+        for &u in g.neighbors(v) {
+            if colors[u as usize] != u32::MAX {
+                forbidden.push(colors[u as usize]);
+            }
+        }
+        forbidden.sort_unstable();
+        forbidden.dedup();
+        let mut c = 0u32;
+        for &f in &forbidden {
+            if f == c {
+                c += 1;
+            } else if f > c {
+                break;
+            }
+        }
+        colors[v as usize] = c;
+    }
+    colors
+}
+
+/// Checks that no two adjacent vertices share a color and every vertex
+/// is colored.
+pub fn is_proper_coloring(g: &Csr, colors: &[u32]) -> bool {
+    if colors.len() != g.num_vertices() {
+        return false;
+    }
+    if colors.contains(&u32::MAX) {
+        return false;
+    }
+    g.arcs().all(|(u, v)| u == v || colors[u as usize] != colors[v as usize])
+}
+
+/// Number of distinct colors used.
+pub fn num_colors(colors: &[u32]) -> usize {
+    let mut cs: Vec<u32> = colors.to_vec();
+    cs.sort_unstable();
+    cs.dedup();
+    cs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::GraphBuilder;
+
+    fn undirected(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut b = GraphBuilder::new_undirected(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn triangle_needs_three_colors() {
+        let g = undirected(3, &[(0, 1), (1, 2), (0, 2)]);
+        let c = greedy_coloring(&g);
+        assert!(is_proper_coloring(&g, &c));
+        assert_eq!(num_colors(&c), 3);
+    }
+
+    #[test]
+    fn bipartite_path_two_colors() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = greedy_coloring(&g);
+        assert!(is_proper_coloring(&g, &c));
+        assert_eq!(num_colors(&c), 2);
+    }
+
+    #[test]
+    fn star_two_colors() {
+        let g = undirected(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let c = greedy_coloring(&g);
+        assert!(is_proper_coloring(&g, &c));
+        assert_eq!(num_colors(&c), 2);
+        // LDF colors the hub first with color 0.
+        assert_eq!(c[0], 0);
+    }
+
+    #[test]
+    fn empty_graph_one_color() {
+        let g = Csr::empty(4, false);
+        let c = greedy_coloring(&g);
+        assert!(is_proper_coloring(&g, &c));
+        assert_eq!(num_colors(&c), 1);
+    }
+
+    #[test]
+    fn checker_rejects_conflicts() {
+        let g = undirected(2, &[(0, 1)]);
+        assert!(!is_proper_coloring(&g, &[0, 0]));
+        assert!(is_proper_coloring(&g, &[0, 1]));
+    }
+
+    #[test]
+    fn checker_rejects_uncolored_or_short() {
+        let g = undirected(2, &[(0, 1)]);
+        assert!(!is_proper_coloring(&g, &[0]));
+        assert!(!is_proper_coloring(&g, &[0, u32::MAX]));
+    }
+
+    #[test]
+    fn greedy_uses_at_most_maxdeg_plus_one() {
+        // 5-clique: exactly 5 colors.
+        let mut b = GraphBuilder::new_undirected(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let c = greedy_coloring(&g);
+        assert!(is_proper_coloring(&g, &c));
+        assert_eq!(num_colors(&c), 5);
+    }
+}

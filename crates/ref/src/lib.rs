@@ -1,0 +1,31 @@
+//! Sequential CPU reference algorithms.
+//!
+//! Every GPU-model implementation in this workspace is validated
+//! against a straightforward sequential algorithm from this crate:
+//!
+//! | GPU-model crate | Reference here |
+//! |---|---|
+//! | `ecl-cc`  | BFS / union-find connected components |
+//! | `ecl-scc` | iterative Tarjan strongly connected components |
+//! | `ecl-mst` | Kruskal minimum spanning forest |
+//! | `ecl-gc`  | greedy coloring + properness checker |
+//! | `ecl-mis` | greedy MIS + independence/maximality checkers |
+//!
+//! The checkers (properness, independence, maximality, forest weight)
+//! are also used directly by property-based tests, since ECL-GC/MIS are
+//! only required to produce *a* valid answer, not the same one as the
+//! sequential algorithm.
+
+pub mod cc;
+pub mod coloring;
+pub mod mis;
+pub mod mst;
+pub mod scc;
+pub mod union_find;
+
+pub use cc::{connected_components, num_components};
+pub use coloring::{greedy_coloring, is_proper_coloring, num_colors};
+pub use mis::{greedy_mis, is_independent_set, is_maximal_independent_set};
+pub use mst::{kruskal, MstResult};
+pub use scc::{num_sccs, strongly_connected_components};
+pub use union_find::UnionFind;

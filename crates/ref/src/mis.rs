@@ -1,0 +1,135 @@
+//! Sequential greedy maximal independent set and checkers.
+
+use ecl_graph::Csr;
+
+/// Greedy MIS favoring low-degree vertices (the same priority bias as
+/// ECL-MIS's initialization, §2.3: "a function that favors low-degree
+/// vertices and uses vertex IDs to break ties"). Returns a membership
+/// bitmap.
+pub fn greedy_mis(g: &Csr) -> Vec<bool> {
+    let n = g.num_vertices();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&v| (g.degree(v), v));
+    let mut in_set = vec![false; n];
+    let mut excluded = vec![false; n];
+    for &v in &order {
+        if excluded[v as usize] || g.has_arc(v, v) {
+            continue;
+        }
+        in_set[v as usize] = true;
+        excluded[v as usize] = true;
+        for &u in g.neighbors(v) {
+            excluded[u as usize] = true;
+        }
+    }
+    in_set
+}
+
+/// Checks that no two set members are adjacent.
+pub fn is_independent_set(g: &Csr, in_set: &[bool]) -> bool {
+    if in_set.len() != g.num_vertices() {
+        return false;
+    }
+    g.arcs().all(|(u, v)| u == v || !(in_set[u as usize] && in_set[v as usize]))
+}
+
+/// Checks that the set is independent *and* no vertex can be added —
+/// i.e. every non-member has a member neighbor (loop-free vertices
+/// only; a self-looped vertex can never join).
+pub fn is_maximal_independent_set(g: &Csr, in_set: &[bool]) -> bool {
+    if !is_independent_set(g, in_set) {
+        return false;
+    }
+    (0..g.num_vertices() as u32).all(|v| {
+        in_set[v as usize]
+            || g.has_arc(v, v)
+            || g.neighbors(v).iter().any(|&u| in_set[u as usize])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::GraphBuilder;
+
+    fn undirected(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut b = GraphBuilder::new_undirected(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_mis() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = greedy_mis(&g);
+        assert!(is_maximal_independent_set(&g, &s));
+        assert!(s.iter().filter(|&&b| b).count() >= 2);
+    }
+
+    #[test]
+    fn star_prefers_leaves() {
+        // Low-degree-first greedy picks all leaves, never the hub.
+        let g = undirected(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = greedy_mis(&g);
+        assert!(is_maximal_independent_set(&g, &s));
+        assert!(!s[0]);
+        assert_eq!(s.iter().filter(|&&b| b).count(), 4);
+    }
+
+    #[test]
+    fn empty_graph_all_in() {
+        let g = Csr::empty(3, false);
+        let s = greedy_mis(&g);
+        assert!(s.iter().all(|&b| b));
+        assert!(is_maximal_independent_set(&g, &s));
+    }
+
+    #[test]
+    fn clique_exactly_one() {
+        let mut b = GraphBuilder::new_undirected(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let s = greedy_mis(&g);
+        assert!(is_maximal_independent_set(&g, &s));
+        assert_eq!(s.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn checker_rejects_dependent_set() {
+        let g = undirected(2, &[(0, 1)]);
+        assert!(!is_independent_set(&g, &[true, true]));
+        assert!(is_independent_set(&g, &[true, false]));
+    }
+
+    #[test]
+    fn checker_rejects_non_maximal() {
+        let g = undirected(3, &[(0, 1)]);
+        // {0} independent but vertex 2 could be added.
+        assert!(is_independent_set(&g, &[true, false, false]));
+        assert!(!is_maximal_independent_set(&g, &[true, false, false]));
+        assert!(is_maximal_independent_set(&g, &[true, false, true]));
+    }
+
+    #[test]
+    fn self_loop_vertex_excluded_but_maximal() {
+        let mut b = GraphBuilder::new_undirected(2);
+        b.add_edge(0, 0);
+        let g = b.build();
+        let s = greedy_mis(&g);
+        assert!(!s[0]);
+        assert!(s[1]);
+        assert!(is_maximal_independent_set(&g, &s));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let g = undirected(2, &[(0, 1)]);
+        assert!(!is_independent_set(&g, &[true]));
+    }
+}

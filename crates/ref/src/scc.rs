@@ -1,0 +1,173 @@
+//! Sequential strongly connected components (iterative Tarjan).
+
+use ecl_graph::Csr;
+
+/// SCC labels of a directed graph: each vertex mapped to the minimum
+/// vertex id of its SCC — the normal form ECL-SCC's signature output is
+/// reduced to for comparison.
+pub fn strongly_connected_components(g: &Csr) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut index = vec![u32::MAX; n]; // discovery index, MAX = unvisited
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut labels = vec![u32::MAX; n];
+    let mut next_index = 0u32;
+
+    // Explicit DFS state: (vertex, next-neighbor-position).
+    let mut call_stack: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != u32::MAX {
+            continue;
+        }
+        call_stack.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+            let adj = g.neighbors(v);
+            if *pos < adj.len() {
+                let w = adj[*pos];
+                *pos += 1;
+                if index[w as usize] == u32::MAX {
+                    // Tree edge: descend.
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                // All neighbors processed: close v.
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is an SCC root: pop its component and label with
+                    // the minimum member id.
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC stack underflow");
+                        on_stack[w as usize] = false;
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let min = *members.iter().min().expect("non-empty SCC");
+                    for w in members {
+                        labels[w as usize] = min;
+                    }
+                }
+            }
+        }
+    }
+    labels
+}
+
+/// Number of strongly connected components.
+pub fn num_sccs(g: &Csr) -> usize {
+    let labels = strongly_connected_components(g);
+    let mut roots: Vec<u32> = labels
+        .iter()
+        .enumerate()
+        .filter(|&(v, &l)| v as u32 == l)
+        .map(|(_, &l)| l)
+        .collect();
+    roots.dedup();
+    roots.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::GraphBuilder;
+
+    fn directed(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut b = GraphBuilder::new_directed(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_cycle_is_one_scc() {
+        let g = directed(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(strongly_connected_components(&g), vec![0; 4]);
+        assert_eq!(num_sccs(&g), 1);
+    }
+
+    #[test]
+    fn dag_every_vertex_own_scc() {
+        let g = directed(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(strongly_connected_components(&g), vec![0, 1, 2, 3]);
+        assert_eq!(num_sccs(&g), 4);
+    }
+
+    #[test]
+    fn two_cycles_connected_by_bridge() {
+        // Cycle {0,1,2} -> bridge -> cycle {3,4}.
+        let g = directed(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]);
+        let labels = strongly_connected_components(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3]);
+        assert_eq!(num_sccs(&g), 2);
+    }
+
+    #[test]
+    fn self_loop_single_vertex() {
+        let g = directed(2, &[(0, 0), (0, 1)]);
+        assert_eq!(num_sccs(&g), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(3, true);
+        assert_eq!(strongly_connected_components(&g), vec![0, 1, 2]);
+        assert_eq!(num_sccs(&g), 3);
+    }
+
+    #[test]
+    fn nested_structure() {
+        // 0 <-> 1 (SCC), 2 -> 0, 2 -> 3, 3 -> 2 (SCC {2,3}).
+        let g = directed(4, &[(0, 1), (1, 0), (2, 0), (2, 3), (3, 2)]);
+        let labels = strongly_connected_components(&g);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 0);
+        assert_eq!(labels[2], 2);
+        assert_eq!(labels[3], 2);
+    }
+
+    #[test]
+    fn deep_path_no_stack_overflow() {
+        // 100k-vertex path exercises the iterative DFS.
+        let n = 100_000;
+        let mut b = GraphBuilder::new_directed(n);
+        for v in 0..(n as u32 - 1) {
+            b.add_edge(v, v + 1);
+        }
+        let g = b.build();
+        assert_eq!(num_sccs(&g), n);
+    }
+
+    #[test]
+    fn deep_cycle_no_stack_overflow() {
+        let n = 100_000;
+        let mut b = GraphBuilder::new_directed(n);
+        for v in 0..n as u32 {
+            b.add_edge(v, (v + 1) % n as u32);
+        }
+        let g = b.build();
+        assert_eq!(num_sccs(&g), 1);
+        assert!(strongly_connected_components(&g).iter().all(|&l| l == 0));
+    }
+}

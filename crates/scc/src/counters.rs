@@ -1,0 +1,70 @@
+//! ECL-SCC's application-specific counters (§6.1.2, Figure 1).
+
+use ecl_profiling::{AtomicTally, BlockSeries, ConvergenceTrace, GlobalCounter, ProfileMode};
+
+/// Counters embedded in the propagation and pruning kernels.
+#[derive(Debug)]
+pub struct SccCounters {
+    mode: ProfileMode,
+    /// Per-(m, n, block) signature-update counts — the data behind
+    /// Figure 1 ("we track the number of updates performed by each
+    /// thread block during every signature-propagation iteration").
+    pub series: BlockSeries,
+    /// Outcomes of the signature `atomicMax` operations.
+    pub max_tally: AtomicTally,
+    /// Edges pruned across all outer iterations.
+    pub edges_removed: GlobalCounter,
+    /// Grid-level propagation relaunches (outer flag trips).
+    pub grid_relaunches: GlobalCounter,
+    /// Edges surviving after each outer iteration's pruning.
+    pub edges_per_outer: ConvergenceTrace,
+}
+
+impl SccCounters {
+    /// Fresh counters for a grid of `num_blocks` blocks.
+    pub fn new(num_blocks: usize, mode: ProfileMode) -> Self {
+        Self {
+            mode,
+            series: BlockSeries::new(num_blocks),
+            max_tally: AtomicTally::new(),
+            edges_removed: GlobalCounter::new(),
+            grid_relaunches: GlobalCounter::new(),
+            edges_per_outer: ConvergenceTrace::new(),
+        }
+    }
+
+    /// Whether counters record.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.mode.enabled()
+    }
+
+    /// The atomicMax tally when profiling is on.
+    #[inline]
+    pub fn tally(&self) -> Option<&AtomicTally> {
+        if self.enabled() {
+            Some(&self.max_tally)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_gates_tally() {
+        let on = SccCounters::new(4, ProfileMode::On);
+        assert!(on.tally().is_some());
+        let off = SccCounters::new(4, ProfileMode::Off);
+        assert!(off.tally().is_none());
+    }
+
+    #[test]
+    fn series_sized_to_grid() {
+        let c = SccCounters::new(16, ProfileMode::On);
+        assert_eq!(c.series.num_blocks(), 16);
+    }
+}

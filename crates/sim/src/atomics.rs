@@ -1,0 +1,246 @@
+//! Counted atomic wrappers (§3.1.5).
+//!
+//! CUDA distinguishes specialized atomics (`atomicMin`, `atomicMax`),
+//! which always complete but may leave the target unchanged, from the
+//! generic `atomicCAS`, which fails when the target does not hold the
+//! expected value. The paper counts both kinds of outcomes; these
+//! wrappers do the same, recording into an optional
+//! [`AtomicTally`] so instrumentation can be compiled in but switched
+//! off (pass `None`).
+//!
+//! Orderings are `Relaxed`: the ECL algorithms are monotonic
+//! (labels only shrink, signatures only grow, statuses only become more
+//! decided), so the usual release/acquire pairing is unnecessary for
+//! correctness of the converged result — the host-side join at the end
+//! of every launch provides the final synchronization. This mirrors the
+//! CUDA originals, which use plain `atomicCAS`/`atomicMin` with device
+//! memory semantics.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+use ecl_profiling::{AtomicOutcome, AtomicTally};
+
+macro_rules! counted_atomic {
+    ($name:ident, $atomic:ty, $prim:ty, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $atomic,
+        }
+
+        impl $name {
+            /// A new cell holding `v`.
+            pub fn new(v: $prim) -> Self {
+                Self { inner: <$atomic>::new(v) }
+            }
+
+            /// Relaxed load.
+            #[inline]
+            pub fn load(&self) -> $prim {
+                self.inner.load(Ordering::Relaxed)
+            }
+
+            /// Relaxed store.
+            #[inline]
+            pub fn store(&self, v: $prim) {
+                self.inner.store(v, Ordering::Relaxed)
+            }
+
+            /// CUDA `atomicCAS`: installs `new` iff the cell holds
+            /// `expected`; returns the value held before the operation
+            /// (CUDA semantics). Records Updated / CasFailed.
+            #[inline]
+            pub fn cas(&self, expected: $prim, new: $prim, tally: Option<&AtomicTally>) -> $prim {
+                match self.inner.compare_exchange(
+                    expected,
+                    new,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(old) => {
+                        if let Some(t) = tally {
+                            t.record(AtomicOutcome::Updated);
+                        }
+                        old
+                    }
+                    Err(old) => {
+                        if let Some(t) = tally {
+                            t.record(AtomicOutcome::CasFailed);
+                        }
+                        old
+                    }
+                }
+            }
+
+            /// CUDA `atomicMin`: lowers the cell to `v` if smaller;
+            /// returns the previous value and records Updated /
+            /// NoEffect.
+            #[inline]
+            pub fn fetch_min(&self, v: $prim, tally: Option<&AtomicTally>) -> $prim {
+                let old = self.inner.fetch_min(v, Ordering::Relaxed);
+                if let Some(t) = tally {
+                    t.record(if v < old { AtomicOutcome::Updated } else { AtomicOutcome::NoEffect });
+                }
+                old
+            }
+
+            /// CUDA `atomicMax`: raises the cell to `v` if larger;
+            /// returns the previous value and records Updated /
+            /// NoEffect.
+            #[inline]
+            pub fn fetch_max(&self, v: $prim, tally: Option<&AtomicTally>) -> $prim {
+                let old = self.inner.fetch_max(v, Ordering::Relaxed);
+                if let Some(t) = tally {
+                    t.record(if v > old { AtomicOutcome::Updated } else { AtomicOutcome::NoEffect });
+                }
+                old
+            }
+
+            /// Exclusive-access read (no atomics).
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+        }
+
+        impl Clone for $name {
+            fn clone(&self) -> Self {
+                Self::new(self.load())
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(v: $prim) -> Self {
+                Self::new(v)
+            }
+        }
+    };
+}
+
+counted_atomic!(CountedU32, AtomicU32, u32, "A counted 32-bit atomic (vertex labels, colors, signatures).");
+counted_atomic!(CountedU64, AtomicU64, u64, "A counted 64-bit atomic (packed weight/edge-id pairs in ECL-MST).");
+counted_atomic!(CountedU8, AtomicU8, u8, "A counted 8-bit atomic (ECL-MIS one-byte status/priority).");
+
+/// Builds a `Vec<CountedU32>` initialized by `f(i)`. Convenience for
+/// label/signature arrays.
+pub fn atomic_u32_array(n: usize, f: impl Fn(usize) -> u32) -> Vec<CountedU32> {
+    (0..n).map(|i| CountedU32::new(f(i))).collect()
+}
+
+/// Builds a `Vec<CountedU64>` initialized by `f(i)`.
+pub fn atomic_u64_array(n: usize, f: impl Fn(usize) -> u64) -> Vec<CountedU64> {
+    (0..n).map(|i| CountedU64::new(f(i))).collect()
+}
+
+/// Builds a `Vec<CountedU8>` initialized by `f(i)`.
+pub fn atomic_u8_array(n: usize, f: impl Fn(usize) -> u8) -> Vec<CountedU8> {
+    (0..n).map(|i| CountedU8::new(f(i))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_success_and_failure_counted() {
+        let t = AtomicTally::new();
+        let a = CountedU32::new(5);
+        // Success: returns the old value.
+        assert_eq!(a.cas(5, 9, Some(&t)), 5);
+        assert_eq!(a.load(), 9);
+        // Failure: returns the current (unexpected) value.
+        assert_eq!(a.cas(5, 7, Some(&t)), 9);
+        assert_eq!(a.load(), 9);
+        assert_eq!(t.attempted(), 2);
+        assert_eq!(t.updated(), 1);
+        assert_eq!(t.cas_failed(), 1);
+    }
+
+    #[test]
+    fn fetch_min_effectiveness() {
+        let t = AtomicTally::new();
+        let a = CountedU32::new(10);
+        assert_eq!(a.fetch_min(3, Some(&t)), 10);
+        assert_eq!(a.load(), 3);
+        assert_eq!(a.fetch_min(8, Some(&t)), 3);
+        assert_eq!(a.load(), 3);
+        assert_eq!(t.updated(), 1);
+        assert_eq!(t.no_effect(), 1);
+    }
+
+    #[test]
+    fn fetch_max_effectiveness() {
+        let t = AtomicTally::new();
+        let a = CountedU64::new(10);
+        a.fetch_max(20, Some(&t));
+        a.fetch_max(15, Some(&t));
+        assert_eq!(a.load(), 20);
+        assert_eq!(t.updated(), 1);
+        assert_eq!(t.no_effect(), 1);
+    }
+
+    #[test]
+    fn equal_value_minmax_is_no_effect() {
+        let t = AtomicTally::new();
+        let a = CountedU32::new(7);
+        a.fetch_min(7, Some(&t));
+        a.fetch_max(7, Some(&t));
+        assert_eq!(t.no_effect(), 2);
+        assert_eq!(t.updated(), 0);
+    }
+
+    #[test]
+    fn none_tally_skips_recording() {
+        let a = CountedU8::new(1);
+        a.cas(1, 2, None);
+        a.fetch_max(9, None);
+        assert_eq!(a.load(), 9);
+    }
+
+    #[test]
+    fn array_constructors() {
+        let xs = atomic_u32_array(4, |i| i as u32 * 2);
+        assert_eq!(xs[3].load(), 6);
+        let ys = atomic_u64_array(2, |_| u64::MAX);
+        assert_eq!(ys[0].load(), u64::MAX);
+        let zs = atomic_u8_array(3, |i| i as u8);
+        assert_eq!(zs[2].load(), 2);
+    }
+
+    #[test]
+    fn concurrent_cas_only_one_wins() {
+        let a = CountedU32::new(0);
+        let t = AtomicTally::new();
+        std::thread::scope(|s| {
+            for i in 1..=8u32 {
+                let (a, t) = (&a, &t);
+                s.spawn(move || {
+                    a.cas(0, i, Some(t));
+                });
+            }
+        });
+        assert_ne!(a.load(), 0);
+        assert_eq!(t.updated(), 1);
+        assert_eq!(t.cas_failed(), 7);
+    }
+
+    #[test]
+    fn concurrent_fetch_min_converges() {
+        let a = CountedU32::new(u32::MAX);
+        std::thread::scope(|s| {
+            for i in 0..16u32 {
+                let a = &a;
+                s.spawn(move || {
+                    a.fetch_min(1000 - i, None);
+                });
+            }
+        });
+        assert_eq!(a.load(), 985);
+    }
+
+    #[test]
+    fn get_mut_exclusive() {
+        let mut a = CountedU32::new(1);
+        *a.get_mut() = 42;
+        assert_eq!(a.load(), 42);
+    }
+}

@@ -1,0 +1,251 @@
+//! Deterministic work-based cost model.
+//!
+//! Measuring wall time of a simulator says little about GPU behavior;
+//! the paper's performance arguments are about *work*: idle threads
+//! spinning in block-wide loops (ECL-SCC, §6.2.1), unnecessary
+//! adjacency traversals (ECL-CC, §6.2.2), and the trade-off between
+//! launching excess threads and recomputing launch configurations on
+//! the host (ECL-MST, §6.2.3). The cost model charges exactly those
+//! categories so speedup tables are deterministic and reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+/// Categories of charged work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum CostKind {
+    /// A unit of useful per-thread work (e.g. one edge relaxed, one
+    /// neighbor examined).
+    ThreadWork,
+    /// A launched thread that only discovered it had nothing to do
+    /// (out-of-range id or failed work condition).
+    IdleCheck,
+    /// One atomic operation.
+    Atomic,
+    /// One thread participating in one block-wide synchronization
+    /// round (charged per thread per round — the ECL-SCC §6.2.1 cost of
+    /// "forcing many idle threads to participate in block-wide
+    /// synchronizations").
+    BlockSync,
+    /// One kernel launch (fixed host+driver overhead).
+    KernelLaunch,
+    /// One host-side launch reconfiguration (device-to-host readback of
+    /// a worklist size before a launch, the ECL-MST §6.2.3 overhead).
+    HostReconfig,
+}
+
+const NUM_KINDS: usize = 6;
+
+impl CostKind {
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            CostKind::ThreadWork => 0,
+            CostKind::IdleCheck => 1,
+            CostKind::Atomic => 2,
+            CostKind::BlockSync => 3,
+            CostKind::KernelLaunch => 4,
+            CostKind::HostReconfig => 5,
+        }
+    }
+
+    /// All kinds, index-ordered.
+    pub const ALL: [CostKind; NUM_KINDS] = [
+        CostKind::ThreadWork,
+        CostKind::IdleCheck,
+        CostKind::Atomic,
+        CostKind::BlockSync,
+        CostKind::KernelLaunch,
+        CostKind::HostReconfig,
+    ];
+}
+
+/// Weights translating unit counts into abstract time. The defaults
+/// are order-of-magnitude ratios for a discrete GPU: a kernel launch
+/// costs a few microseconds (~thousands of memory-ish operations), an
+/// atomic a handful of units, a host round-trip more than a launch.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct CostParams {
+    /// Weight of one unit of useful thread work.
+    pub thread_work: f64,
+    /// Weight of one idle-thread check. Idle threads are cheap on a
+    /// GPU (they exit immediately, retiring with the warp) but not
+    /// free: they still occupy scheduler slots.
+    pub idle_check: f64,
+    /// Weight of one atomic operation.
+    pub atomic: f64,
+    /// Weight of one thread crossing one block-wide barrier.
+    pub block_sync: f64,
+    /// Weight of one kernel launch.
+    pub kernel_launch: f64,
+    /// Weight of one host-side reconfiguration round-trip.
+    pub host_reconfig: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self {
+            thread_work: 1.0,
+            idle_check: 0.25,
+            atomic: 4.0,
+            block_sync: 0.5,
+            kernel_launch: 4000.0,
+            host_reconfig: 6000.0,
+        }
+    }
+}
+
+impl CostParams {
+    /// Weight of `kind`.
+    pub fn weight(&self, kind: CostKind) -> f64 {
+        match kind {
+            CostKind::ThreadWork => self.thread_work,
+            CostKind::IdleCheck => self.idle_check,
+            CostKind::Atomic => self.atomic,
+            CostKind::BlockSync => self.block_sync,
+            CostKind::KernelLaunch => self.kernel_launch,
+            CostKind::HostReconfig => self.host_reconfig,
+        }
+    }
+}
+
+/// Thread-safe per-category unit tallies.
+#[derive(Debug, Default)]
+pub struct CostTally {
+    units: [AtomicU64; NUM_KINDS],
+}
+
+impl CostTally {
+    /// A zeroed tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `units` of `kind`.
+    #[inline]
+    pub fn charge(&self, kind: CostKind, units: u64) {
+        self.units[kind.index()].fetch_add(units, Ordering::Relaxed);
+    }
+
+    /// Units charged of `kind`.
+    pub fn units(&self, kind: CostKind) -> u64 {
+        self.units[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total units across all categories (unweighted).
+    pub fn total_units(&self) -> u64 {
+        self.units.iter().map(|u| u.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Weighted abstract time under `params`.
+    pub fn modeled_time(&self, params: &CostParams) -> f64 {
+        CostKind::ALL
+            .iter()
+            .map(|&k| self.units(k) as f64 * params.weight(k))
+            .sum()
+    }
+
+    /// Copies the tally out as `(kind, units)` pairs.
+    pub fn breakdown(&self) -> Vec<(CostKind, u64)> {
+        CostKind::ALL.iter().map(|&k| (k, self.units(k))).collect()
+    }
+
+    /// Resets all categories (requires exclusive access).
+    pub fn reset(&mut self) {
+        for u in &mut self.units {
+            *u.get_mut() = 0;
+        }
+    }
+}
+
+impl Clone for CostTally {
+    fn clone(&self) -> Self {
+        let t = CostTally::new();
+        for &k in &CostKind::ALL {
+            t.charge(k, self.units(k));
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_query() {
+        let t = CostTally::new();
+        t.charge(CostKind::ThreadWork, 100);
+        t.charge(CostKind::Atomic, 5);
+        t.charge(CostKind::Atomic, 5);
+        assert_eq!(t.units(CostKind::ThreadWork), 100);
+        assert_eq!(t.units(CostKind::Atomic), 10);
+        assert_eq!(t.units(CostKind::KernelLaunch), 0);
+        assert_eq!(t.total_units(), 110);
+    }
+
+    #[test]
+    fn modeled_time_weights() {
+        let t = CostTally::new();
+        t.charge(CostKind::ThreadWork, 10);
+        t.charge(CostKind::KernelLaunch, 1);
+        let p = CostParams::default();
+        let expect = 10.0 * p.thread_work + p.kernel_launch;
+        assert!((t.modeled_time(&p) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_params() {
+        let t = CostTally::new();
+        t.charge(CostKind::IdleCheck, 8);
+        let p = CostParams { idle_check: 2.0, ..CostParams::default() };
+        assert!((t.modeled_time(&p) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_covers_all_kinds() {
+        let t = CostTally::new();
+        t.charge(CostKind::HostReconfig, 3);
+        let b = t.breakdown();
+        assert_eq!(b.len(), 6);
+        assert!(b.contains(&(CostKind::HostReconfig, 3)));
+        assert!(b.contains(&(CostKind::BlockSync, 0)));
+    }
+
+    #[test]
+    fn reset_and_clone() {
+        let mut t = CostTally::new();
+        t.charge(CostKind::Atomic, 7);
+        let c = t.clone();
+        t.reset();
+        assert_eq!(t.units(CostKind::Atomic), 0);
+        assert_eq!(c.units(CostKind::Atomic), 7);
+    }
+
+    #[test]
+    fn concurrent_charging() {
+        let t = CostTally::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        t.charge(CostKind::ThreadWork, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.units(CostKind::ThreadWork), 8000);
+    }
+
+    #[test]
+    fn default_weights_order() {
+        // The relative ordering the model relies on: reconfig > launch
+        // >> atomic > work > sync-step > idle.
+        let p = CostParams::default();
+        assert!(p.host_reconfig > p.kernel_launch);
+        assert!(p.kernel_launch > 100.0 * p.atomic);
+        assert!(p.atomic > p.thread_work);
+        assert!(p.thread_work > p.idle_check);
+    }
+}

@@ -1,0 +1,342 @@
+//! Kernel launch primitives.
+//!
+//! Three launch shapes cover all profiled ECL kernels:
+//!
+//! - [`launch_flat`]: a grid of blocks, one closure call per thread —
+//!   the ordinary data-parallel kernel (`<<<blocks, tpb>>>`). All
+//!   launched threads are enumerated, including the out-of-range tail
+//!   of the last block, so kernels perform their own bounds check and
+//!   can count idle threads exactly as the instrumented CUDA does.
+//! - [`launch_persistent`]: one thread per resident hardware slot
+//!   (196,608 on the RTX 4090 preset) — ECL-MIS's persistent-thread
+//!   round-robin kernel.
+//! - [`launch_blocks`]: block-granular execution handing the closure a
+//!   [`BlockCtx`], which exposes the block's threads and a charged
+//!   block-wide synchronization — ECL-SCC's propagate-until-quiescent
+//!   kernels.
+//!
+//! Blocks run as parallel rayon tasks. Threads inside a block run
+//! in-order within one closure invocation; kernels needing block-wide
+//! phases call the closure once per block and loop internally.
+
+use rayon::prelude::*;
+
+use crate::cost::CostKind;
+use crate::device::Device;
+
+/// Grid dimensions of one launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks.
+    pub blocks: usize,
+    /// Threads per block.
+    pub block_size: usize,
+}
+
+impl LaunchConfig {
+    /// A grid of exactly `blocks` blocks of `block_size` threads.
+    pub fn new(blocks: usize, block_size: usize) -> Self {
+        assert!(block_size > 0, "block_size must be positive");
+        Self { blocks, block_size }
+    }
+
+    /// The smallest grid covering `n` elements with one thread each
+    /// (the usual `(n + tpb - 1) / tpb` computation).
+    pub fn cover(n: usize, block_size: usize) -> Self {
+        assert!(block_size > 0, "block_size must be positive");
+        Self { blocks: n.div_ceil(block_size), block_size }
+    }
+
+    /// Total threads launched (including the idle tail of the last
+    /// block).
+    pub fn total_threads(&self) -> usize {
+        self.blocks * self.block_size
+    }
+}
+
+/// Identity of one simulated thread inside a launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadCtx {
+    /// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    pub global: usize,
+    /// Block id.
+    pub block: usize,
+    /// Thread index within the block.
+    pub lane: usize,
+}
+
+/// Launches `cfg.blocks × cfg.block_size` threads; `f` runs once per
+/// thread. Charges one kernel launch to the device. Blocks execute in
+/// parallel; threads of a block execute in lane order.
+pub fn launch_flat<F>(device: &Device, cfg: LaunchConfig, f: F)
+where
+    F: Fn(ThreadCtx) + Sync,
+{
+    device.charge(CostKind::KernelLaunch, 1);
+    (0..cfg.blocks).into_par_iter().for_each(|block| {
+        for lane in 0..cfg.block_size {
+            f(ThreadCtx { global: block * cfg.block_size + lane, block, lane });
+        }
+    });
+}
+
+/// Launches one thread per resident hardware slot using the device's
+/// default block size — the persistent-thread model of ECL-MIS.
+/// Returns the number of threads launched.
+pub fn launch_persistent<F>(device: &Device, f: F) -> usize
+where
+    F: Fn(ThreadCtx) + Sync,
+{
+    let n = device.resident_threads();
+    let cfg = LaunchConfig::cover(n, device.config().default_block_size);
+    launch_flat(device, cfg, f);
+    n
+}
+
+/// Block-granular execution context handed to [`launch_blocks`]
+/// closures.
+pub struct BlockCtx<'a> {
+    /// Block id.
+    pub block: usize,
+    /// Threads in this block.
+    pub block_size: usize,
+    device: &'a Device,
+}
+
+impl BlockCtx<'_> {
+    /// The threads of this block, in lane order.
+    pub fn threads(&self) -> impl Iterator<Item = ThreadCtx> + '_ {
+        let (block, bs) = (self.block, self.block_size);
+        (0..bs).map(move |lane| ThreadCtx { global: block * bs + lane, block, lane })
+    }
+
+    /// One block-wide synchronization round: every thread of the block
+    /// participates, so the device is charged `block_size` sync units.
+    /// This is the cost §6.2.1 attributes to oversized blocks ("even a
+    /// single active thread keeps the entire block alive, forcing many
+    /// idle threads to participate in block-wide synchronizations").
+    pub fn sync(&self) {
+        self.device.charge(CostKind::BlockSync, self.block_size as u64);
+    }
+
+    /// The device this block runs on (for cost charges from kernel
+    /// code).
+    pub fn device(&self) -> &Device {
+        self.device
+    }
+}
+
+/// Launches `cfg.blocks` blocks; `f` runs once per block with a
+/// [`BlockCtx`]. Charges one kernel launch. Blocks run as parallel
+/// rayon tasks.
+pub fn launch_blocks<F>(device: &Device, cfg: LaunchConfig, f: F)
+where
+    F: Fn(BlockCtx<'_>) + Sync,
+{
+    device.charge(CostKind::KernelLaunch, 1);
+    (0..cfg.blocks).into_par_iter().for_each(|block| {
+        f(BlockCtx { block, block_size: cfg.block_size, device });
+    });
+}
+
+/// One warp of a warp-synchronous launch.
+#[derive(Clone, Copy, Debug)]
+pub struct WarpCtx {
+    /// Global warp index.
+    pub warp: usize,
+    /// Block this warp belongs to.
+    pub block: usize,
+    /// Global thread id of lane 0.
+    pub base: usize,
+    /// Number of live lanes (the device's warp size, except possibly
+    /// in the last warp of a block).
+    pub lanes: usize,
+}
+
+impl WarpCtx {
+    /// The thread context of `lane`.
+    pub fn thread(&self, lane: usize) -> ThreadCtx {
+        debug_assert!(lane < self.lanes);
+        ThreadCtx {
+            global: self.base + lane,
+            block: self.block,
+            lane: (self.base + lane) % self.lanes.max(1),
+        }
+    }
+}
+
+/// Warp-synchronous launch: `f` runs once per warp and typically
+/// iterates its lanes in *phases* — all lanes complete phase 1 before
+/// any lane runs phase 2, which is the SIMT lockstep CUDA guarantees
+/// within a warp. Kernels whose profiled behavior depends on the
+/// check-to-atomic race window (ECL-MST's election, §6.1.4) need this
+/// launch shape; fully independent threads should prefer
+/// [`launch_flat`].
+pub fn launch_warps<F>(device: &Device, cfg: LaunchConfig, f: F)
+where
+    F: Fn(WarpCtx) + Sync,
+{
+    device.charge(CostKind::KernelLaunch, 1);
+    let warp_size = device.config().warp_size.max(1);
+    (0..cfg.blocks).into_par_iter().for_each(|block| {
+        let block_base = block * cfg.block_size;
+        let mut offset = 0usize;
+        let mut warp_in_block = 0usize;
+        while offset < cfg.block_size {
+            let lanes = warp_size.min(cfg.block_size - offset);
+            f(WarpCtx {
+                warp: block * cfg.block_size.div_ceil(warp_size) + warp_in_block,
+                block,
+                base: block_base + offset,
+                lanes,
+            });
+            offset += lanes;
+            warp_in_block += 1;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn cover_rounds_up() {
+        let cfg = LaunchConfig::cover(100, 32);
+        assert_eq!(cfg.blocks, 4);
+        assert_eq!(cfg.total_threads(), 128);
+        assert_eq!(LaunchConfig::cover(0, 32).blocks, 0);
+        assert_eq!(LaunchConfig::cover(32, 32).blocks, 1);
+        assert_eq!(LaunchConfig::cover(33, 32).blocks, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_size must be positive")]
+    fn zero_block_size_rejected() {
+        LaunchConfig::cover(10, 0);
+    }
+
+    #[test]
+    fn flat_launch_runs_every_thread_once() {
+        let d = Device::test_small();
+        let cfg = LaunchConfig::new(7, 13);
+        let count = AtomicUsize::new(0);
+        let sum = AtomicU64::new(0);
+        launch_flat(&d, cfg, |t| {
+            count.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(t.global as u64, Ordering::Relaxed);
+        });
+        let n = cfg.total_threads();
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), (n as u64 - 1) * n as u64 / 2);
+        assert_eq!(d.cost().units(CostKind::KernelLaunch), 1);
+    }
+
+    #[test]
+    fn thread_ctx_identity() {
+        let d = Device::test_small();
+        launch_flat(&d, LaunchConfig::new(3, 4), |t| {
+            assert_eq!(t.global, t.block * 4 + t.lane);
+            assert!(t.lane < 4);
+            assert!(t.block < 3);
+        });
+    }
+
+    #[test]
+    fn persistent_launch_covers_resident_threads() {
+        let d = Device::test_small();
+        let seen = AtomicUsize::new(0);
+        let n = launch_persistent(&d, |_| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n, d.resident_threads());
+        // cover() may round launched threads up to a full last block.
+        assert!(seen.load(Ordering::Relaxed) >= n);
+    }
+
+    #[test]
+    fn block_launch_hands_each_block_once() {
+        let d = Device::test_small();
+        let blocks_seen = AtomicUsize::new(0);
+        let threads_seen = AtomicUsize::new(0);
+        launch_blocks(&d, LaunchConfig::new(5, 8), |b| {
+            blocks_seen.fetch_add(1, Ordering::Relaxed);
+            threads_seen.fetch_add(b.threads().count(), Ordering::Relaxed);
+            b.sync();
+        });
+        assert_eq!(blocks_seen.load(Ordering::Relaxed), 5);
+        assert_eq!(threads_seen.load(Ordering::Relaxed), 40);
+        // 5 blocks × 8 threads each crossed one barrier.
+        assert_eq!(d.cost().units(CostKind::BlockSync), 40);
+    }
+
+    #[test]
+    fn block_ctx_thread_ids_are_global() {
+        let d = Device::test_small();
+        launch_blocks(&d, LaunchConfig::new(2, 4), |b| {
+            for t in b.threads() {
+                assert_eq!(t.global, b.block * 4 + t.lane);
+                assert_eq!(t.block, b.block);
+            }
+        });
+    }
+
+    #[test]
+    fn empty_grid_is_a_noop_launch() {
+        let d = Device::test_small();
+        launch_flat(&d, LaunchConfig::new(0, 32), |_| panic!("no threads expected"));
+        assert_eq!(d.cost().units(CostKind::KernelLaunch), 1);
+    }
+
+    #[test]
+    fn warp_launch_covers_all_threads_in_warp_chunks() {
+        let d = Device::test_small(); // warp size 32
+        let cfg = LaunchConfig::new(3, 80); // 80 = 32 + 32 + 16
+        let covered = AtomicUsize::new(0);
+        let warps_seen = AtomicUsize::new(0);
+        launch_warps(&d, cfg, |w| {
+            warps_seen.fetch_add(1, Ordering::Relaxed);
+            assert!(w.lanes == 32 || w.lanes == 16, "lanes {}", w.lanes);
+            covered.fetch_add(w.lanes, Ordering::Relaxed);
+            for lane in 0..w.lanes {
+                let t = w.thread(lane);
+                assert_eq!(t.global, w.base + lane);
+                assert_eq!(t.block, w.block);
+            }
+        });
+        assert_eq!(covered.load(Ordering::Relaxed), 240);
+        assert_eq!(warps_seen.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn warp_launch_phases_are_lockstep_within_warp() {
+        // A warp-synchronous counter: each warp's lanes all read the
+        // same snapshot in phase 1, then all add in phase 2 — the sum
+        // must reflect per-warp (not per-lane) increments of the
+        // shared cell.
+        let d = Device::test_small();
+        let cell = AtomicU64::new(0);
+        launch_warps(&d, LaunchConfig::new(1, 64), |w| {
+            let snapshot = cell.load(Ordering::Relaxed);
+            let mut pending = 0u64;
+            for _lane in 0..w.lanes {
+                if snapshot < 100 {
+                    pending += 1;
+                }
+            }
+            cell.fetch_add(pending, Ordering::Relaxed);
+        });
+        // Both 32-lane warps saw snapshot < 100: 64 total.
+        assert_eq!(cell.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn device_charge_from_kernel_code() {
+        let d = Device::test_small();
+        launch_blocks(&d, LaunchConfig::new(2, 2), |b| {
+            b.device().charge(CostKind::ThreadWork, 3);
+        });
+        assert_eq!(d.cost().units(CostKind::ThreadWork), 6);
+    }
+}

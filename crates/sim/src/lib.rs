@@ -1,0 +1,41 @@
+//! A CPU-hosted GPU *execution-model* simulator.
+//!
+//! The paper runs five CUDA codes on an NVIDIA RTX 4090. This crate
+//! substitutes the GPU with a simulator that reproduces the execution
+//! *semantics* the paper's profiling results depend on, not the silicon:
+//!
+//! - a **grid / block / thread** hierarchy with configurable block size
+//!   and an RTX 4090-like device preset (128 SMs × 1536 resident threads
+//!   = 196,608 persistent threads, the thread count of Table 2),
+//! - **counted atomics** wrapping `AtomicU32`/`AtomicU64` CAS,
+//!   fetch-min and fetch-max, classifying every call as updated /
+//!   no-effect / CAS-failed — the §3.1.5 metric general-purpose
+//!   profilers do not expose,
+//! - **block-synchronous execution** for ECL-SCC-style kernels in which
+//!   a block keeps iterating while any of its threads performed an
+//!   update,
+//! - a deterministic **cost model** that charges useful thread work,
+//!   idle-thread checks, atomics, block-wide synchronization, kernel
+//!   launches, and host-side launch reconfiguration. Speedup tables are
+//!   computed from modeled cost so the reproduction is hardware- and
+//!   load-independent; wall time is reported alongside.
+//!
+//! Blocks execute as parallel rayon tasks; threads within a block run
+//! as an in-order loop per kernel invocation. This is exact for the
+//! profiled ECL kernels, which are either fully asynchronous
+//! (per-thread monotonic updates) or block-synchronous (or-reduction
+//! loops); none rely on intra-warp communication.
+
+pub mod atomics;
+pub mod cost;
+pub mod device;
+pub mod launch;
+pub mod profile;
+pub mod timing;
+
+pub use atomics::{CountedU32, CountedU64, CountedU8};
+pub use cost::{CostKind, CostParams, CostTally};
+pub use device::{Device, DeviceConfig};
+pub use launch::{launch_blocks, launch_flat, launch_persistent, launch_warps, BlockCtx, LaunchConfig, ThreadCtx, WarpCtx};
+pub use profile::{KernelProfile, KernelRecord};
+pub use timing::run_timed;

@@ -1,0 +1,193 @@
+//! Per-kernel cost attribution.
+//!
+//! The paper anchors several arguments on how runtime distributes over
+//! kernels (e.g. "the init kernel ... accounts for 10-20% of the total
+//! runtime" of ECL-CC, §6.1.3). [`KernelProfile`] scopes the device's
+//! cost tally around each host-side kernel phase so the harness can
+//! report a per-kernel breakdown like a profiler's kernel table —
+//! except in deterministic modeled time.
+
+use parking_lot::Mutex;
+
+use crate::cost::{CostKind, CostTally};
+use crate::device::Device;
+
+/// One profiled kernel phase.
+#[derive(Clone, Debug)]
+pub struct KernelRecord {
+    /// Phase name (e.g. "init", "compute-low").
+    pub name: String,
+    /// Cost units attributed to the phase, by kind.
+    pub cost: Vec<(CostKind, u64)>,
+    /// Modeled time of the phase under the device's weights.
+    pub modeled_time: f64,
+    /// Wall time of the phase in seconds.
+    pub wall_seconds: f64,
+    /// Invocations folded into this record.
+    pub calls: u64,
+}
+
+/// Accumulates per-phase cost deltas. Phases must not overlap (kernel
+/// launches are serialized by the host loop, so scoping around each
+/// call site is safe).
+#[derive(Debug, Default)]
+pub struct KernelProfile {
+    records: Mutex<Vec<KernelRecord>>,
+}
+
+impl KernelProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, attributing the device-cost delta and wall time to
+    /// `name`. Repeated calls under the same name are folded together.
+    pub fn measure<T>(&self, device: &Device, name: &str, f: impl FnOnce() -> T) -> T {
+        let before: CostTally = device.cost().clone();
+        let start = std::time::Instant::now();
+        let out = f();
+        let wall = start.elapsed().as_secs_f64();
+        let after = device.cost();
+        let delta: Vec<(CostKind, u64)> = CostKind::ALL
+            .iter()
+            .map(|&k| (k, after.units(k) - before.units(k)))
+            .collect();
+        let dt = CostTally::new();
+        for &(k, u) in &delta {
+            dt.charge(k, u);
+        }
+        let modeled = dt.modeled_time(device.params());
+        let mut records = self.records.lock();
+        match records.iter_mut().find(|r| r.name == name) {
+            Some(r) => {
+                for (acc, &(_, u)) in r.cost.iter_mut().zip(&delta) {
+                    acc.1 += u;
+                }
+                r.modeled_time += modeled;
+                r.wall_seconds += wall;
+                r.calls += 1;
+            }
+            None => records.push(KernelRecord {
+                name: name.to_string(),
+                cost: delta,
+                modeled_time: modeled,
+                wall_seconds: wall,
+                calls: 1,
+            }),
+        }
+        out
+    }
+
+    /// All records in first-seen order.
+    pub fn records(&self) -> Vec<KernelRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Total modeled time across phases.
+    pub fn total_modeled(&self) -> f64 {
+        self.records.lock().iter().map(|r| r.modeled_time).sum()
+    }
+
+    /// Fraction of the total modeled time spent in `name` (0 when the
+    /// phase is unknown or nothing was measured).
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total_modeled();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.records
+            .lock()
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.modeled_time / total)
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the profile as a kernel table (modeled-time ordered).
+    pub fn render(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut records = self.records();
+        records.sort_by(|a, b| b.modeled_time.total_cmp(&a.modeled_time));
+        let total = self.total_modeled().max(1e-12);
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>6} {:>14} {:>7} {:>10}",
+            "kernel", "calls", "modeled", "share", "wall (s)"
+        );
+        for r in records {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>6} {:>14.0} {:>6.1}% {:>10.4}",
+                r.name,
+                r.calls,
+                r.modeled_time,
+                100.0 * r.modeled_time / total,
+                r.wall_seconds
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_costs_to_phases() {
+        let d = Device::test_small();
+        let p = KernelProfile::new();
+        p.measure(&d, "a", || d.charge(CostKind::ThreadWork, 10));
+        p.measure(&d, "b", || d.charge(CostKind::Atomic, 5));
+        p.measure(&d, "a", || d.charge(CostKind::ThreadWork, 30));
+        let records = p.records();
+        assert_eq!(records.len(), 2);
+        let a = records.iter().find(|r| r.name == "a").unwrap();
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.cost.iter().find(|(k, _)| *k == CostKind::ThreadWork).unwrap().1, 40);
+        let b = records.iter().find(|r| r.name == "b").unwrap();
+        assert_eq!(b.cost.iter().find(|(k, _)| *k == CostKind::Atomic).unwrap().1, 5);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let d = Device::test_small();
+        let p = KernelProfile::new();
+        p.measure(&d, "x", || d.charge(CostKind::ThreadWork, 100));
+        p.measure(&d, "y", || d.charge(CostKind::ThreadWork, 300));
+        assert!((p.fraction("x") - 0.25).abs() < 1e-9);
+        assert!((p.fraction("y") - 0.75).abs() < 1e-9);
+        assert_eq!(p.fraction("zzz"), 0.0);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = KernelProfile::new();
+        assert_eq!(p.total_modeled(), 0.0);
+        assert_eq!(p.fraction("anything"), 0.0);
+        assert!(p.records().is_empty());
+    }
+
+    #[test]
+    fn returns_closure_output() {
+        let d = Device::test_small();
+        let p = KernelProfile::new();
+        let v = p.measure(&d, "calc", || 21 * 2);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn render_contains_phases_and_shares() {
+        let d = Device::test_small();
+        let p = KernelProfile::new();
+        p.measure(&d, "init", || d.charge(CostKind::ThreadWork, 10));
+        p.measure(&d, "compute", || d.charge(CostKind::ThreadWork, 90));
+        let s = p.render("kernel table");
+        assert!(s.contains("init"));
+        assert!(s.contains("compute"));
+        assert!(s.contains("90.0%"));
+    }
+}

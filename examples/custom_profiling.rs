@@ -1,0 +1,90 @@
+//! Instrumenting your *own* kernel: the paper's actual recommendation
+//! is not the five codes themselves but the practice — "manually
+//! adding counters to source code ... to complement existing
+//! profilers". This example writes a small user kernel (label
+//! propagation) against the simulator and instruments it with every
+//! counter kind the framework offers.
+//!
+//! ```text
+//! cargo run --release --example custom_profiling
+//! ```
+
+use ecl_suite::{gen, profiling, sim};
+use sim::{launch_flat, CostKind, LaunchConfig};
+
+fn main() {
+    let g = gen::random::erdos_renyi(20_000, 6.0, 3);
+    let device = sim::Device::new(sim::DeviceConfig { num_sms: 4, ..sim::DeviceConfig::rtx4090() });
+    let n = g.num_vertices();
+    let block_size = 256;
+
+    // Register one counter of each granularity (§3: thread-local or
+    // global "depending on the granularity we need").
+    let mut reg = profiling::Registry::new();
+    let launches = reg.global("kernel-launches");
+    let relaxations = reg.per_thread("label-relaxations", n); // per *vertex* here
+    let min_outcomes = reg.tally("atomicMin-outcomes");
+    let activity = reg.activity("thread-activity");
+
+    // Min-label propagation until fixed point: each vertex repeatedly
+    // takes the minimum label of its neighborhood (a naive CC).
+    let labels = sim::atomics::atomic_u32_array(n, |i| i as u32);
+    let mut rounds = 0u32;
+    loop {
+        rounds += 1;
+        reg.get_global(launches).inc();
+        let changed = std::sync::atomic::AtomicBool::new(false);
+        launch_flat(&device, LaunchConfig::cover(n, block_size), |t| {
+            if t.global >= n {
+                device.charge(CostKind::IdleCheck, 1);
+                reg.get_activity(activity).record_idle_unassigned();
+                return;
+            }
+            let v = t.global as u32;
+            let my = labels[t.global].load();
+            let best = g
+                .neighbors(v)
+                .iter()
+                .map(|&u| labels[u as usize].load())
+                .min()
+                .unwrap_or(my);
+            device.charge(CostKind::ThreadWork, g.degree(v) as u64 + 1);
+            if best < my {
+                reg.get_activity(activity).record_active();
+                // A counted atomicMin: the wrapper classifies the
+                // outcome (updated / no effect) into the tally.
+                let tally = reg.get_tally(min_outcomes);
+                labels[t.global].fetch_min(best, Some(tally));
+                reg.get_per_thread(relaxations).inc(t.global);
+                changed.store(true, std::sync::atomic::Ordering::Relaxed);
+            } else {
+                reg.get_activity(activity).record_idle_no_work();
+            }
+        });
+        if !changed.load(std::sync::atomic::Ordering::Relaxed) {
+            break;
+        }
+    }
+
+    // The converged labels are a valid CC labeling.
+    let expect = ecl_suite::reference::connected_components(&g);
+    let got: Vec<u32> = labels.iter().map(|l| l.load()).collect();
+    assert_eq!(got, expect, "min-label propagation must converge to component minima");
+
+    println!("naive min-label CC converged in {rounds} rounds\n");
+    print!("{}", reg.snapshot().to_table("custom kernel counters").render());
+
+    // What the counters reveal: per-vertex relaxation counts expose
+    // the straggler structure (high-diameter components relax often).
+    let s = reg.get_per_thread(relaxations).summary();
+    println!(
+        "\nrelaxations per vertex: avg {:.2}, max {:.0} — compare with ECL-CC's\n\
+         pointer-jumping design, which avoids exactly this repeated relaxation.",
+        s.avg, s.max
+    );
+    println!(
+        "modeled cost: {:.0} units over {} launches",
+        device.modeled_time(),
+        reg.get_global(launches).get()
+    );
+}

@@ -1,0 +1,64 @@
+//! Road-network analysis: the europe_osm-style scenario the paper's
+//! CC/MST experiments run on.
+//!
+//! A maintenance planner wants (1) the connected sub-networks of a
+//! road graph, (2) a minimum-weight spanning backbone per sub-network,
+//! and (3) to know whether the CC initialization wastes work on this
+//! input class — the exact question the paper's Table 4 counters
+//! answer, leading to the §6.2.2 optimization.
+//!
+//! ```text
+//! cargo run --release --example road_network_analysis
+//! ```
+
+use ecl_suite::{cc, gen, mst, sim};
+
+fn main() {
+    // A roadmap-family input: grid skeleton, polyline subdivisions,
+    // junction chords (see ecl-graphgen), with hash-derived edge
+    // weights standing in for road lengths.
+    let spec = gen::registry::find("europe_osm").expect("registered input");
+    let scale = 0.001;
+    let roads = spec.generate(scale, 7);
+    let weighted = spec.generate_weighted(scale, 7, 10_000);
+    println!(
+        "road network: {} junctions/waypoints, {} road segments",
+        roads.num_vertices(),
+        roads.num_edges()
+    );
+
+    let device = sim::Device::new(sim::DeviceConfig { num_sms: 4, ..sim::DeviceConfig::rtx4090() });
+
+    // 1. Connected sub-networks, with the init kernel profiled.
+    let baseline = cc::run(&device, &roads, &cc::CcConfig::baseline());
+    println!("\nconnected sub-networks: {}", baseline.num_components());
+    let init = baseline.counters.vertices_initialized.get();
+    let trav = baseline.counters.vertices_traversed.get();
+    println!("CC init profile: {init} initialized, {trav} traversed (gap {:.2}x)", trav as f64 / init as f64);
+
+    // 2. Is the §6.2.2 optimization worth it here? Compare modeled
+    //    cost of both variants.
+    let d_base = sim::Device::new(sim::DeviceConfig { num_sms: 4, ..sim::DeviceConfig::rtx4090() });
+    let d_opt = sim::Device::new(sim::DeviceConfig { num_sms: 4, ..sim::DeviceConfig::rtx4090() });
+    let a = cc::run(&d_base, &roads, &cc::CcConfig::baseline());
+    let b = cc::run(&d_opt, &roads, &cc::CcConfig::optimized());
+    assert_eq!(a.labels, b.labels, "the optimization must not change the result");
+    println!(
+        "first-neighbor-only init: modeled speedup {:.3}x",
+        d_base.modeled_time() / d_opt.modeled_time()
+    );
+
+    // 3. Minimum spanning backbone (forest if disconnected).
+    let forest = mst::run(&device, &weighted, &mst::MstConfig::baseline());
+    println!(
+        "\nmaintenance backbone: {} segments, total length {}, {} trees",
+        forest.edges.len(),
+        forest.total_weight,
+        forest.num_trees
+    );
+    // Validate against the sequential reference.
+    let kruskal = ecl_suite::reference::kruskal(&weighted);
+    assert_eq!(forest.total_weight, kruskal.total_weight);
+    assert_eq!(forest.num_trees, kruskal.num_trees);
+    println!("verified against Kruskal: weight {}", kruskal.total_weight);
+}

@@ -1,0 +1,205 @@
+//! Cross-crate validation: every GPU-model algorithm agrees with its
+//! sequential reference on every registered paper input (at reduced
+//! scale) and on assorted corner-case graphs.
+
+use ecl_suite::{cc, gc, gen, mis, mst, reference, scc, sim};
+
+const SCALE: f64 = 0.001;
+const SEED: u64 = 2024;
+
+fn device() -> sim::Device {
+    sim::Device::test_small()
+}
+
+#[test]
+fn cc_matches_union_find_on_all_general_inputs() {
+    for spec in gen::general_inputs() {
+        let g = spec.generate(SCALE, SEED);
+        let r = cc::run(&device(), &g, &cc::CcConfig::baseline());
+        assert_eq!(
+            r.labels,
+            reference::connected_components(&g),
+            "{} labels",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn cc_optimized_matches_baseline_on_all_general_inputs() {
+    for spec in gen::general_inputs() {
+        let g = spec.generate(SCALE, SEED);
+        let a = cc::run(&device(), &g, &cc::CcConfig::baseline());
+        let b = cc::run(&device(), &g, &cc::CcConfig::optimized());
+        assert_eq!(a.labels, b.labels, "{}", spec.name);
+    }
+}
+
+#[test]
+fn mis_valid_on_all_general_inputs() {
+    for spec in gen::general_inputs() {
+        let g = spec.generate(SCALE, SEED);
+        let r = mis::run(&device(), &g, &mis::MisConfig::default());
+        assert!(
+            reference::is_maximal_independent_set(&g, &r.in_set),
+            "{} produced an invalid MIS",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn gc_proper_on_all_general_inputs() {
+    for spec in gen::general_inputs() {
+        let g = spec.generate(SCALE, SEED);
+        let r = gc::run(&device(), &g, &gc::GcConfig::default());
+        assert!(
+            reference::is_proper_coloring(&g, &r.colors),
+            "{} produced an improper coloring",
+            spec.name
+        );
+        let max_deg = (0..g.num_vertices() as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+        assert!(r.num_colors() <= max_deg + 1, "{} used too many colors", spec.name);
+    }
+}
+
+#[test]
+fn mst_matches_kruskal_on_all_general_inputs() {
+    for spec in gen::general_inputs() {
+        let g = spec.generate_weighted(SCALE, SEED, 1 << 20);
+        let r = mst::run(&device(), &g, &mst::MstConfig::baseline());
+        let k = reference::kruskal(&g);
+        assert_eq!(r.total_weight, k.total_weight, "{} weight", spec.name);
+        assert_eq!(r.num_trees, k.num_trees, "{} trees", spec.name);
+        let mut got = r.edges.clone();
+        got.sort_unstable();
+        let mut want = k.edges.clone();
+        want.sort_unstable();
+        assert_eq!(got, want, "{} edge set", spec.name);
+    }
+}
+
+#[test]
+fn scc_matches_tarjan_on_all_mesh_inputs() {
+    for spec in gen::scc_inputs() {
+        let g = spec.generate(SCALE, SEED);
+        let r = scc::run(&device(), &g, &scc::SccConfig::original());
+        assert_eq!(
+            r.min_labels(),
+            reference::strongly_connected_components(&g),
+            "{} labels",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn scc_block_sizes_agree_on_meshes() {
+    for spec in gen::scc_inputs().iter().take(2) {
+        let g = spec.generate(SCALE, SEED);
+        let base = scc::run(&device(), &g, &scc::SccConfig::original());
+        for bs in [64, 1024] {
+            let r = scc::run(&device(), &g, &scc::SccConfig::with_block_size(bs));
+            assert_eq!(base.labels, r.labels, "{} bs={bs}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn cc_degree_bin_ablation_same_labels() {
+    // Any binning produces the same components: the bins only change
+    // work partitioning, never the hooking semantics.
+    use cc::DegreeBins;
+    let g = gen::registry::find("as-skitter").unwrap().generate(0.002, 8);
+    let base = cc::run(&device(), &g, &cc::CcConfig::baseline());
+    for bins in [
+        DegreeBins { low_below: 0, medium_below: 0 },          // everything "high"
+        DegreeBins { low_below: usize::MAX, medium_below: usize::MAX }, // everything "low"
+        DegreeBins { low_below: 4, medium_below: 64 },
+    ] {
+        let cfg = cc::CcConfig { bins, ..cc::CcConfig::baseline() };
+        let r = cc::run(&device(), &g, &cfg);
+        assert_eq!(base.labels, r.labels, "bins {bins:?}");
+    }
+}
+
+#[test]
+fn scc_trimming_agrees_on_all_meshes() {
+    for spec in gen::scc_inputs() {
+        let g = spec.generate(SCALE, SEED);
+        let base = scc::run(&device(), &g, &scc::SccConfig::original());
+        let trimmed = scc::run(&device(), &g, &scc::SccConfig::trimmed());
+        assert_eq!(base.labels, trimmed.labels, "{}", spec.name);
+    }
+}
+
+#[test]
+fn mis_priority_policies_all_valid_on_inputs() {
+    use ecl_suite::mis::status::PriorityPolicy;
+    for spec in gen::general_inputs().iter().take(6) {
+        let g = spec.generate(SCALE, SEED);
+        for policy in [PriorityPolicy::RandomPermutation, PriorityPolicy::IdOrder] {
+            let r = mis::run(&device(), &g, &mis::MisConfig::with_priority(policy));
+            assert!(
+                ecl_suite::reference::is_maximal_independent_set(&g, &r.in_set),
+                "{} under {policy:?}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn graph_io_roundtrips_generated_inputs() {
+    for name in ["internet", "star", "rmat16.sym"] {
+        let spec = gen::registry::find(name).unwrap();
+        let g = spec.generate(SCALE, SEED);
+        let mut buf = Vec::new();
+        ecl_suite::graph::io::write_csr(&mut buf, &g).unwrap();
+        let g2 = ecl_suite::graph::io::read_csr(&mut buf.as_slice()).unwrap();
+        assert_eq!(g, g2, "{name}");
+    }
+}
+
+#[test]
+fn concurrent_runs_share_one_device_safely() {
+    // Algorithms take &Device; several may run at once (e.g. a harness
+    // sweeping configs). Cost charges must merge without loss and
+    // results stay correct.
+    let device = sim::Device::test_small();
+    let graphs: Vec<_> = (0..4)
+        .map(|s| gen::random::erdos_renyi(400, 4.0, s))
+        .collect();
+    let labels: Vec<Vec<u32>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = graphs
+            .iter()
+            .map(|g| {
+                let device = &device;
+                scope.spawn(move || cc::run(device, g, &cc::CcConfig::baseline()).labels)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    });
+    for (g, l) in graphs.iter().zip(&labels) {
+        assert_eq!(l, &reference::connected_components(g));
+    }
+    // 4 runs × (init + 3 compute + finalize) launches each.
+    assert_eq!(device.cost().units(sim::CostKind::KernelLaunch), 20);
+}
+
+#[test]
+fn all_algorithms_tolerate_trivial_graphs() {
+    use ecl_suite::graph::Csr;
+    for n in [0usize, 1, 2] {
+        let g = Csr::empty(n, false);
+        let d = device();
+        assert_eq!(cc::run(&d, &g, &cc::CcConfig::baseline()).num_components(), n);
+        assert_eq!(mis::run(&d, &g, &mis::MisConfig::default()).set_size(), n);
+        let colors = gc::run(&d, &g, &gc::GcConfig::default()).colors;
+        assert_eq!(colors.len(), n);
+        let w = ecl_suite::graph::WeightedCsr::from_parts(g.clone(), vec![]);
+        assert_eq!(mst::run(&d, &w, &mst::MstConfig::baseline()).num_trees, n);
+        let dg = Csr::empty(n, true);
+        assert_eq!(scc::run(&d, &dg, &scc::SccConfig::original()).num_sccs(), n);
+    }
+}
