@@ -40,11 +40,7 @@ fn bench_mis_priorities(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new(label, "soc-LiveJournal1"), &g, |b, g| {
             b.iter(|| {
                 let device = ecl_bench::scaled_device(SCALE);
-                std::hint::black_box(ecl_mis::run(
-                    &device,
-                    g,
-                    &MisConfig::with_priority(policy),
-                ))
+                std::hint::black_box(ecl_mis::run(&device, g, &MisConfig::with_priority(policy)))
             })
         });
     }

@@ -1,11 +1,21 @@
-//! Criterion bench: counter overhead — the same instrumented kernels
-//! with profiling on vs. off (the §3 observation that "our approach
-//! introduces overhead and, hence, affects the execution time").
+//! Criterion bench: instrumentation overhead — the same instrumented
+//! kernels with profiling on vs. off (the §3 observation that "our
+//! approach introduces overhead and, hence, affects the execution
+//! time"), and event tracing disabled vs. enabled vs. counters-only.
+//!
+//! `tracing-disabled` is the case `ecl-trace` optimizes for: every
+//! emission site reduces to one relaxed `AtomicBool` load, so it must
+//! sit within noise of `counters-off`. The regular test
+//! `crates/bench/tests/trace_overhead.rs` asserts that; this bench
+//! quantifies it.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecl_cc::CcConfig;
 use ecl_mis::MisConfig;
 use ecl_profiling::ProfileMode;
+use ecl_trace::{sink, ClockMode, Tracer};
 
 const SCALE: f64 = 0.002;
 const SEED: u64 = 42;
@@ -32,6 +42,37 @@ fn bench_overhead(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // Event tracing: the counters-only baseline above compared against
+    // the sink's disabled path (one relaxed load per emission site)
+    // and against full recording into the ring buffers.
+    let mut group = c.benchmark_group("tracing-overhead");
+    group.sample_size(10);
+    let run_cc = |g: &ecl_graph::Csr| {
+        let device = ecl_bench::scaled_device(SCALE);
+        let cfg = CcConfig { mode: ProfileMode::Off, ..CcConfig::baseline() };
+        std::hint::black_box(ecl_cc::run(&device, g, &cfg));
+    };
+    group.bench_with_input(BenchmarkId::new("cc", "tracing-disabled"), &g, |b, g| {
+        sink::uninstall();
+        b.iter(|| run_cc(g))
+    });
+    group.bench_with_input(BenchmarkId::new("cc", "tracing-enabled"), &g, |b, g| {
+        b.iter(|| {
+            sink::install(Arc::new(Tracer::with_clock(ClockMode::Wall)));
+            run_cc(g);
+            sink::uninstall();
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("cc", "counters-only"), &g, |b, g| {
+        sink::uninstall();
+        let cfg = CcConfig { mode: ProfileMode::On, ..CcConfig::baseline() };
+        b.iter(|| {
+            let device = ecl_bench::scaled_device(SCALE);
+            std::hint::black_box(ecl_cc::run(&device, g, &cfg))
+        })
+    });
     group.finish();
 }
 

@@ -14,21 +14,12 @@ fn bench_scc(c: &mut Criterion) {
         let spec = ecl_graphgen::registry::find(name).expect("registered input");
         let g = spec.generate(SCALE, SEED);
         for bs in [64usize, 128, 256, 512, 1024] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("block-{bs}"), name),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        let device =
-                            ecl_bench::scaled_device_min(SCALE, ecl_bench::SCC_MIN_SMS);
-                        std::hint::black_box(ecl_scc::run(
-                            &device,
-                            g,
-                            &SccConfig::with_block_size(bs),
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("block-{bs}"), name), &g, |b, g| {
+                b.iter(|| {
+                    let device = ecl_bench::scaled_device_min(SCALE, ecl_bench::SCC_MIN_SMS);
+                    std::hint::black_box(ecl_scc::run(&device, g, &SccConfig::with_block_size(bs)))
+                })
+            });
         }
     }
     group.finish();

@@ -8,8 +8,15 @@ fn main() {
     let g = spec.generate(scale, 3);
     println!("{} n={} e={}", name, g.num_vertices(), g.num_arcs());
     let device = ecl_bench::scaled_device_min(scale, 8);
-    let (r, secs) = ecl_gpusim::run_timed(|| ecl_scc::run(&device, &g, &ecl_scc::SccConfig::with_block_size(bs)));
-    println!("m={} relaunches={} sccs={} ptime={:.0} work={} wall={secs:.2}s",
-        r.outer_iterations, r.counters.grid_relaunches.get(), r.num_sccs(), r.modeled_parallel_time,
-        device.cost().units(ecl_gpusim::CostKind::ThreadWork));
+    let (r, secs) = ecl_gpusim::run_timed(|| {
+        ecl_scc::run(&device, &g, &ecl_scc::SccConfig::with_block_size(bs))
+    });
+    println!(
+        "m={} relaunches={} sccs={} ptime={:.0} work={} wall={secs:.2}s",
+        r.outer_iterations,
+        r.counters.grid_relaunches.get(),
+        r.num_sccs(),
+        r.modeled_parallel_time,
+        device.cost().units(ecl_gpusim::CostKind::ThreadWork)
+    );
 }

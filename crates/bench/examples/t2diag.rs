@@ -4,8 +4,16 @@ fn main() {
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.005);
     let rs = ecl_bench::experiments::table2::rows(scale, 7);
     for r in &rs {
-        println!("{:20} it_avg={:6.2} it_max={:5.0} vtx={:8.2} fin={:6.2} skew={:8.1} n={}",
-            r.name, r.iterations.avg, r.iterations.max, r.assigned.avg, r.finalized.avg, r.stats.skew, r.stats.num_vertices);
+        println!(
+            "{:20} it_avg={:6.2} it_max={:5.0} vtx={:8.2} fin={:6.2} skew={:8.1} n={}",
+            r.name,
+            r.iterations.avg,
+            r.iterations.max,
+            r.assigned.avg,
+            r.finalized.avg,
+            r.stats.skew,
+            r.stats.num_vertices
+        );
     }
     let (a, b, c) = ecl_bench::experiments::table2::correlations(&rs);
     println!("corr: iter_avg~skew={a:.2} iter_max~|V|={b:.2} fin_avg~|V|={c:.2}");

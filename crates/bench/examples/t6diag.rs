@@ -4,7 +4,11 @@ fn main() {
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.002);
     println!("scale {scale}");
     for r in ecl_bench::experiments::table6::rows(scale, 3) {
-        println!("  {:20} base={:.0} speedups={:?}", r.name, r.baseline_cost,
-            r.speedups.iter().map(|s| (s*100.0).round()/100.0).collect::<Vec<_>>());
+        println!(
+            "  {:20} base={:.0} speedups={:?}",
+            r.name,
+            r.baseline_cost,
+            r.speedups.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>()
+        );
     }
 }

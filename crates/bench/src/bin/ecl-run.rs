@@ -8,8 +8,14 @@
 //! ecl-run --algo scc --input star --block-size 256 [--trim]
 //! ecl-run --algo mst --input amazon0601 [--fixed-launch]
 //! ecl-run --algo gc  --input coPapersDBLP [--no-shortcuts]
+//! ecl-run --algo cc  --input coPapersDBLP --trace out.etr
 //! ecl-run --list
 //! ```
+//!
+//! `--trace <path>` records kernel launches, block lifetimes, atomic
+//! outcomes, and per-round phases into a `.etr` capture; inspect it
+//! with the `ecl-trace` binary (`ecl-trace export --chrome out.etr`
+//! loads in Perfetto).
 
 use ecl_profiling::{chart, Histogram};
 
@@ -25,6 +31,42 @@ struct Args {
     block_size: Option<usize>,
     histogram: bool,
     kernels: bool,
+    trace: Option<String>,
+}
+
+/// Writes the `.etr` capture when the run finishes — on drop, so the
+/// early-return paths (e.g. `--kernels`) still produce the file.
+struct TraceGuard {
+    path: Option<String>,
+}
+
+impl TraceGuard {
+    fn start(path: Option<String>) -> TraceGuard {
+        if path.is_some() {
+            ecl_trace::sink::install(std::sync::Arc::new(ecl_trace::Tracer::with_clock(
+                ecl_trace::ClockMode::Wall,
+            )));
+        }
+        TraceGuard { path }
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else { return };
+        let Some(tracer) = ecl_trace::sink::uninstall() else { return };
+        let snap = tracer.snapshot();
+        let result =
+            std::fs::File::create(&path).and_then(|mut f| ecl_trace::write_snapshot(&mut f, &snap));
+        match result {
+            Ok(()) => eprintln!(
+                "trace: {} events ({} dropped) -> {path}",
+                snap.events.len(),
+                snap.dropped_total()
+            ),
+            Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+        }
+    }
 }
 
 fn usage() -> ! {
@@ -32,6 +74,7 @@ fn usage() -> ! {
         "usage: ecl-run --algo <cc|gc|mis|mst|scc> --input <name> \
          [--scale f] [--seed n] [--block-size n]\n\
          \x20      [--optimized] [--fixed-launch] [--no-shortcuts] [--trim] [--histogram] [--kernels]\n\
+         \x20      [--trace <path>]  (record a .etr event capture; see the ecl-trace binary)\n\
          \x20      ecl-run --list    (show registered inputs)"
     );
     std::process::exit(2);
@@ -50,6 +93,7 @@ fn parse() -> Args {
         block_size: None,
         histogram: false,
         kernels: false,
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -87,6 +131,10 @@ fn parse() -> Args {
                 a.block_size = argv[i + 1].parse().ok();
                 i += 1;
             }
+            "--trace" if i + 1 < argv.len() => {
+                a.trace = Some(argv[i + 1].clone());
+                i += 1;
+            }
             "--optimized" => a.optimized = true,
             "--fixed-launch" => a.fixed_launch = true,
             "--no-shortcuts" => a.no_shortcuts = true,
@@ -119,6 +167,7 @@ fn main() {
         std::process::exit(2);
     });
     let device = ecl_bench::scaled_device(a.scale);
+    let _trace = TraceGuard::start(a.trace.clone());
     println!(
         "input {} at scale {} (seed {}), device: {} SMs / {} threads",
         spec.name,
@@ -179,7 +228,11 @@ fn main() {
                 let s = counter.summary();
                 println!("  {name}: avg {:.2}, max {:.0}", s.avg, s.max);
                 if a.histogram {
-                    print!("{}", Histogram::of(&counter.values()).render(&format!("  {name} distribution"), 40));
+                    print!(
+                        "{}",
+                        Histogram::of(&counter.values())
+                            .render(&format!("  {name} distribution"), 40)
+                    );
                 }
             }
             print_cost(&device);

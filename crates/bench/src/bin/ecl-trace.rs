@@ -1,0 +1,131 @@
+//! `ecl-trace` — inspect and convert `.etr` event captures recorded
+//! with `ecl-run --trace`.
+//!
+//! ```text
+//! ecl-trace stats    out.etr             per-kind counts + drop accounting
+//! ecl-trace dump     out.etr [--limit n] one text line per event
+//! ecl-trace timeline out.etr             terminal charts (kind bars + density)
+//! ecl-trace export --chrome out.etr [-o trace.json]
+//!                                        Chrome trace_event JSON; load the
+//!                                        file at ui.perfetto.dev
+//! ```
+
+use std::io::Write as _;
+
+use ecl_trace::{ClockMode, EventKind, Snapshot};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ecl-trace stats <capture.etr>\n\
+         \x20      ecl-trace dump <capture.etr> [--limit n]\n\
+         \x20      ecl-trace timeline <capture.etr>\n\
+         \x20      ecl-trace export --chrome <capture.etr> [-o out.json]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Snapshot {
+    let mut file = match std::fs::File::open(path) {
+        Ok(f) => std::io::BufReader::new(f),
+        Err(e) => {
+            eprintln!("ecl-trace: cannot open {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match ecl_trace::read_snapshot(&mut file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ecl-trace: {path} is not a valid .etr capture: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn stats(snap: &Snapshot) {
+    let unit = match snap.clock {
+        ClockMode::Wall => "ns",
+        ClockMode::Logical => "ticks",
+    };
+    println!("events:  {}", snap.events.len());
+    println!("threads: {}", snap.threads);
+    println!("span:    {} {unit}", snap.span());
+    println!(
+        "dropped: {} (ring overwrites {}, unslotted threads {})",
+        snap.dropped_total(),
+        snap.dropped_overwritten,
+        snap.dropped_unslotted
+    );
+    println!("strings: {}", snap.strings.len());
+    println!("by kind:");
+    for (kind, n) in snap.kind_counts() {
+        let name = EventKind::from_raw(kind)
+            .map(|k| k.name().to_string())
+            .unwrap_or_else(|| format!("kind-{kind}"));
+        println!("  {name:<18} {n}");
+    }
+}
+
+fn dump(snap: &Snapshot, limit: usize) {
+    for e in snap.events.iter().take(limit) {
+        let name = EventKind::from_raw(e.kind)
+            .map(|k| k.name().to_string())
+            .unwrap_or_else(|| format!("kind-{}", e.kind));
+        let detail = match e.kind() {
+            Some(EventKind::PhaseStart | EventKind::PhaseEnd) => {
+                format!("name={}", snap.string(e.payload).unwrap_or("?"))
+            }
+            Some(EventKind::Round) => format!("round={}", e.payload),
+            Some(EventKind::KernelLaunch) => format!("blocks={}", e.payload),
+            _ => format!("block={} lane={} payload={}", e.block, e.lane, e.payload),
+        };
+        println!("{:>14} t{:<3} {name:<18} {detail}", e.ts, e.thread);
+    }
+    if snap.events.len() > limit {
+        println!("... {} more (raise --limit)", snap.events.len() - limit);
+    }
+}
+
+fn export_chrome(snap: &Snapshot, out: Option<&str>) {
+    let json = ecl_trace::to_chrome_json(snap);
+    let result = match out {
+        Some(path) => {
+            std::fs::write(path, &json).map(|()| eprintln!("wrote {} bytes to {path}", json.len()))
+        }
+        None => std::io::stdout().write_all(json.as_bytes()),
+    };
+    if let Err(e) = result {
+        eprintln!("ecl-trace: export failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.len() < 3 {
+        usage();
+    }
+    match argv[1].as_str() {
+        "stats" => stats(&load(&argv[2])),
+        "timeline" => print!("{}", ecl_trace::render(&load(&argv[2]), 60)),
+        "dump" => {
+            let mut limit = 200usize;
+            if let Some(pos) = argv.iter().position(|s| s == "--limit") {
+                limit = argv.get(pos + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            dump(&load(&argv[2]), limit);
+        }
+        "export" => {
+            // export --chrome <file> [-o out.json]
+            let rest = &argv[2..];
+            if rest.first().map(String::as_str) != Some("--chrome") || rest.len() < 2 {
+                usage();
+            }
+            let out = rest
+                .iter()
+                .position(|s| s == "-o")
+                .map(|pos| rest.get(pos + 1).map(String::as_str).unwrap_or_else(|| usage()));
+            export_chrome(&load(&rest[1]), out);
+        }
+        _ => usage(),
+    }
+}

@@ -16,8 +16,5 @@ fn main() {
         entries.push((format!("{kind}{} useless%", b.index), b.useless_atomics_pct));
     }
     println!();
-    print!(
-        "{}",
-        ecl_profiling::chart::bar_chart("per-iteration metrics (percent)", &entries, 50)
-    );
+    print!("{}", ecl_profiling::chart::bar_chart("per-iteration metrics (percent)", &entries, 50));
 }

@@ -8,7 +8,9 @@
 
 use std::fmt::Write as _;
 
-use ecl_bench::experiments::{fig1, fig2, table1, table2, table3, table4, table5, table6, table7, table8};
+use ecl_bench::experiments::{
+    fig1, fig2, table1, table2, table3, table4, table5, table6, table7, table8,
+};
 
 fn fenced(out: &mut String, text: &str) {
     let _ = writeln!(out, "```text\n{}```\n", text);

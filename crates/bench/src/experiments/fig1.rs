@@ -89,11 +89,7 @@ mod tests {
     fn star_progresses_over_many_outer_iterations() {
         let r = run_star(0.002, 3);
         // The registry's star has 10 layers -> ~10 outer iterations.
-        assert!(
-            r.outer_iterations >= 8,
-            "expected deep peeling, got m = {}",
-            r.outer_iterations
-        );
+        assert!(r.outer_iterations >= 8, "expected deep peeling, got m = {}", r.outer_iterations);
         assert_eq!(r.num_sccs(), 10);
     }
 

@@ -22,8 +22,8 @@ pub fn rows(scale: f64, seed: u64) -> Vec<Row> {
     all_inputs()
         .iter()
         .map(|spec| {
-            let spec: &'static InputSpec = ecl_graphgen::registry::find(spec.name)
-                .expect("registry lookup of its own entry");
+            let spec: &'static InputSpec =
+                ecl_graphgen::registry::find(spec.name).expect("registry lookup of its own entry");
             let g = spec.generate(scale, seed);
             Row { spec, stats: DegreeStats::of(&g) }
         })

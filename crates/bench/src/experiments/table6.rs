@@ -48,10 +48,8 @@ pub fn rows(scale: f64, seed: u64) -> Vec<Row> {
         .map(|spec| {
             let g = spec.generate(scale, seed);
             let baseline = modeled_cost(&g, scale, ORIGINAL);
-            let speedups = BLOCK_SIZES
-                .iter()
-                .map(|&bs| baseline / modeled_cost(&g, scale, bs))
-                .collect();
+            let speedups =
+                BLOCK_SIZES.iter().map(|&bs| baseline / modeled_cost(&g, scale, bs)).collect();
             Row { name: spec.name, baseline_cost: baseline, speedups }
         })
         .collect()

@@ -30,9 +30,11 @@ pub fn connected_components_profiled(
 ) -> Vec<u32> {
     let n = g.num_vertices();
     let nstat = atomic_u32_array(n, |i| i as u32);
-    let scoped = |name: &str, f: &mut dyn FnMut()| match profile {
-        Some(p) => p.measure(device, name, f),
-        None => f(),
+    let scoped = |name: &str, f: &mut dyn FnMut()| {
+        ecl_trace::sink::phase_span(name, || match profile {
+            Some(p) => p.measure(device, name, f),
+            None => f(),
+        })
     };
 
     scoped("init", &mut || init(device, g, config, counters, &nstat));
@@ -42,9 +44,7 @@ pub fn connected_components_profiled(
     // low-degree vertices get one thread, medium a warp-sized group,
     // high a block-sized group cooperating on the adjacency list.
     scoped("compute-low", &mut || compute(device, g, config, counters, &nstat, &low, 1));
-    scoped("compute-medium", &mut || {
-        compute(device, g, config, counters, &nstat, &medium, 32)
-    });
+    scoped("compute-medium", &mut || compute(device, g, config, counters, &nstat, &medium, 32));
     scoped("compute-high", &mut || compute(device, g, config, counters, &nstat, &high, 256));
 
     scoped("finalize", &mut || finalize(device, g, config, &nstat));
@@ -56,13 +56,7 @@ pub fn connected_components_profiled(
 /// appears — a full fruitless scan when none exists, since sorted
 /// adjacency lists place the minimum first. The optimized variant
 /// checks only the first neighbor (§6.2.2).
-fn init(
-    device: &Device,
-    g: &Csr,
-    config: &CcConfig,
-    counters: &CcCounters,
-    nstat: &[CountedU32],
-) {
+fn init(device: &Device, g: &Csr, config: &CcConfig, counters: &CcCounters, nstat: &[CountedU32]) {
     let n = g.num_vertices();
     let cfg = LaunchConfig::cover(n, config.block_size);
     launch_flat(device, cfg, |t| {
@@ -108,12 +102,7 @@ fn init(
 /// shortening the path with intermediate pointer jumping as it goes.
 /// Chains strictly decrease, so the walk terminates even under
 /// concurrent hooking.
-fn representative(
-    v: u32,
-    nstat: &[CountedU32],
-    device: &Device,
-    counters: &CcCounters,
-) -> u32 {
+fn representative(v: u32, nstat: &[CountedU32], device: &Device, counters: &CcCounters) -> u32 {
     let initial = nstat[v as usize].load();
     let mut curr = initial;
     if curr != v {

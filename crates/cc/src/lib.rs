@@ -97,11 +97,7 @@ pub struct CcResult {
 impl CcResult {
     /// Number of connected components.
     pub fn num_components(&self) -> usize {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|&(v, &l)| v as u32 == l)
-            .count()
+        self.labels.iter().enumerate().filter(|&(v, &l)| v as u32 == l).count()
     }
 }
 
@@ -292,10 +288,7 @@ mod tests {
         assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to {share_sum}");
         // The §6.1.3 ballpark: init is a real but minority share.
         let init = profile.fraction("init");
-        assert!(
-            (0.01..0.7).contains(&init),
-            "init share {init} outside the plausible band"
-        );
+        assert!((0.01..0.7).contains(&init), "init share {init} outside the plausible band");
     }
 
     #[test]

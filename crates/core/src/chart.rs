@@ -20,11 +20,7 @@ pub fn bar_chart(title: &str, entries: &[(String, f64)], width: usize) -> String
     }
     for (label, v) in entries {
         let bar_len = ((v / max) * width as f64).round() as usize;
-        let _ = writeln!(
-            out,
-            "  {label:<label_w$}  {v:>10.1} |{}",
-            "█".repeat(bar_len),
-        );
+        let _ = writeln!(out, "  {label:<label_w$}  {v:>10.1} |{}", "█".repeat(bar_len),);
     }
     out
 }
@@ -76,15 +72,10 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let s = bar_chart(
-            "test",
-            &[("a".into(), 10.0), ("bb".into(), 5.0)],
-            10,
-        );
+        let s = bar_chart("test", &[("a".into(), 10.0), ("bb".into(), 5.0)], 10);
         assert!(s.contains("test"));
         let lines: Vec<&str> = s.lines().collect();
-        let bars: Vec<usize> =
-            lines[1..].iter().map(|l| l.matches('█').count()).collect();
+        let bars: Vec<usize> = lines[1..].iter().map(|l| l.matches('█').count()).collect();
         assert_eq!(bars[0], 10);
         assert_eq!(bars[1], 5);
     }

@@ -118,10 +118,8 @@ impl Registry {
             entries.push((name.clone(), Entry::Global { total: c.get() }));
         }
         for (name, c) in &self.per_thread {
-            entries.push((
-                name.clone(),
-                Entry::PerThread { total: c.total(), summary: c.summary() },
-            ));
+            entries
+                .push((name.clone(), Entry::PerThread { total: c.total(), summary: c.summary() }));
         }
         for (name, t) in &self.tallies {
             entries.push((

@@ -99,10 +99,8 @@ impl BlockSeries {
     /// zero-update blocks when `skip_zero` (the tail of Figure 1's
     /// plots is dominated by inactive blocks).
     pub fn to_table(&self, m: u32, n: u32, skip_zero: bool) -> Table {
-        let mut t = Table::new(
-            &format!("ECL-SCC block updates, m={m}, n={n}"),
-            &["Block", "Updates"],
-        );
+        let mut t =
+            Table::new(&format!("ECL-SCC block updates, m={m}, n={n}"), &["Block", "Updates"]);
         if let Some(row) = self.row(m, n) {
             for (b, &u) in row.iter().enumerate() {
                 if !skip_zero || u > 0 {
@@ -226,11 +224,7 @@ mod tests {
         let keys = s.steps();
         assert_eq!(
             keys,
-            vec![
-                StepKey { m: 1, n: 1 },
-                StepKey { m: 1, n: 3 },
-                StepKey { m: 2, n: 1 },
-            ]
+            vec![StepKey { m: 1, n: 1 }, StepKey { m: 1, n: 3 }, StepKey { m: 2, n: 1 },]
         );
     }
 

@@ -45,11 +45,7 @@ impl GcCounters {
 
     /// Table 5's two summaries restricted to `runLarge` vertices
     /// (degree > `large_threshold`): (best-changed, not-yet-possible).
-    pub fn large_vertex_summaries(
-        &self,
-        g: &Csr,
-        large_threshold: usize,
-    ) -> (Summary, Summary) {
+    pub fn large_vertex_summaries(&self, g: &Csr, large_threshold: usize) -> (Summary, Summary) {
         let bc = self.best_changed.values();
         let nyp = self.not_yet_possible.values();
         let mut bc_large = Vec::new();

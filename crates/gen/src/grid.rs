@@ -102,11 +102,7 @@ pub fn roadmap(rows: usize, cols: usize, subdivisions: usize, seed: u64) -> Csr 
     let ks: Vec<usize> = base_edges
         .iter()
         .map(|_| {
-            let k = if subdivisions == 0 {
-                0
-            } else {
-                rng.random_range(0..=2 * subdivisions)
-            };
+            let k = if subdivisions == 0 { 0 } else { rng.random_range(0..=2 * subdivisions) };
             extra += k;
             k
         })

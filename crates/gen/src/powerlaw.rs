@@ -68,17 +68,14 @@ pub fn preferential_attachment_clustered(n: usize, m: f64, p_triad: f64, seed: u
     let mut pool: Vec<u32> = Vec::with_capacity((n as f64 * m * 2.0) as usize + 2 * m0);
     // Adjacency so far, for triad closure lookups.
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let link = |b: &mut GraphBuilder,
-                    pool: &mut Vec<u32>,
-                    adj: &mut Vec<Vec<u32>>,
-                    u: u32,
-                    v: u32| {
-        b.add_edge(u, v);
-        pool.push(u);
-        pool.push(v);
-        adj[u as usize].push(v);
-        adj[v as usize].push(u);
-    };
+    let link =
+        |b: &mut GraphBuilder, pool: &mut Vec<u32>, adj: &mut Vec<Vec<u32>>, u: u32, v: u32| {
+            b.add_edge(u, v);
+            pool.push(u);
+            pool.push(v);
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        };
     for u in 0..m0 as u32 {
         for v in (u + 1)..m0 as u32 {
             link(&mut b, &mut pool, &mut adj, u, v);
@@ -210,10 +207,7 @@ mod tests {
 
     #[test]
     fn pa_deterministic() {
-        assert_eq!(
-            preferential_attachment(300, 3.0, 5),
-            preferential_attachment(300, 3.0, 5)
-        );
+        assert_eq!(preferential_attachment(300, 3.0, 5), preferential_attachment(300, 3.0, 5));
     }
 
     #[test]

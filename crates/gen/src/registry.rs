@@ -238,22 +238,150 @@ pub fn general_inputs() -> &'static [InputSpec] {
     const G500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19 };
     const INPUTS: &[InputSpec] = &[
         undirected("2d-2e20.sym", "grid", InputFamily::Torus, 1_048_576, 4_190_208, 4.0, 4),
-        undirected("amazon0601", "co-purchases", InputFamily::PrefAttachClustered { m: 6.05, p_triad: 0.7 }, 403_394, 4_886_816, 12.1, 2_752),
-        undirected("as-skitter", "InTopo", InputFamily::PrefAttach { m: 6.55 }, 1_696_415, 22_190_596, 13.1, 35_455),
-        undirected("citationCiteseer", "PubCit", InputFamily::Citation { out_mean: 4.3 }, 268_495, 2_313_294, 8.6, 1_318),
-        undirected("cit-Patents", "PatCit", InputFamily::Citation { out_mean: 4.0 }, 3_774_768, 33_037_894, 8.0, 793),
-        undirected("coPapersDBLP", "PubCit", InputFamily::CliqueOverlay { groups_per_vertex: 1.3, group_mean: 8 }, 540_486, 30_491_458, 56.4, 3_299),
-        undirected("delaunay_n24", "triangulation", InputFamily::Triangulation, 16_777_216, 100_663_202, 6.0, 26),
-        undirected("europe_osm", "roadmap", InputFamily::Roadmap { subdivisions: 8 }, 50_912_018, 108_109_320, 2.1, 13),
-        undirected("in-2004", "weblinks", InputFamily::Rmat { epv: 24.0, params: RMAT }, 1_382_908, 27_182_946, 19.7, 21_869),
-        undirected("internet", "InTopo", InputFamily::PrefAttach { m: 1.55 }, 124_651, 387_240, 3.1, 151),
-        undirected("kron_g500-logn21", "Kronecker", InputFamily::Rmat { epv: 100.0, params: G500 }, 2_097_152, 182_081_864, 86.8, 213_904),
-        undirected("r4-2e23.sym", "random", InputFamily::Random { avg_degree: 8.0 }, 8_388_608, 67_108_846, 8.0, 26),
-        undirected("rmat16.sym", "RMAT", InputFamily::Rmat { epv: 18.0, params: RMAT }, 65_536, 967_866, 14.8, 569),
-        undirected("rmat22.sym", "RMAT", InputFamily::Rmat { epv: 19.0, params: RMAT }, 4_194_304, 65_660_814, 15.7, 3_687),
-        undirected("soc-LiveJournal1", "community", InputFamily::PrefAttachClustered { m: 10.15, p_triad: 0.5 }, 4_847_571, 85_702_474, 20.3, 20_333),
-        undirected("USA-road-d.NY", "roadmap", InputFamily::Roadmap { subdivisions: 1 }, 264_346, 730_100, 2.8, 8),
-        undirected("USA-road-d.USA", "roadmap", InputFamily::Roadmap { subdivisions: 2 }, 23_947_347, 57_708_624, 2.4, 9),
+        undirected(
+            "amazon0601",
+            "co-purchases",
+            InputFamily::PrefAttachClustered { m: 6.05, p_triad: 0.7 },
+            403_394,
+            4_886_816,
+            12.1,
+            2_752,
+        ),
+        undirected(
+            "as-skitter",
+            "InTopo",
+            InputFamily::PrefAttach { m: 6.55 },
+            1_696_415,
+            22_190_596,
+            13.1,
+            35_455,
+        ),
+        undirected(
+            "citationCiteseer",
+            "PubCit",
+            InputFamily::Citation { out_mean: 4.3 },
+            268_495,
+            2_313_294,
+            8.6,
+            1_318,
+        ),
+        undirected(
+            "cit-Patents",
+            "PatCit",
+            InputFamily::Citation { out_mean: 4.0 },
+            3_774_768,
+            33_037_894,
+            8.0,
+            793,
+        ),
+        undirected(
+            "coPapersDBLP",
+            "PubCit",
+            InputFamily::CliqueOverlay { groups_per_vertex: 1.3, group_mean: 8 },
+            540_486,
+            30_491_458,
+            56.4,
+            3_299,
+        ),
+        undirected(
+            "delaunay_n24",
+            "triangulation",
+            InputFamily::Triangulation,
+            16_777_216,
+            100_663_202,
+            6.0,
+            26,
+        ),
+        undirected(
+            "europe_osm",
+            "roadmap",
+            InputFamily::Roadmap { subdivisions: 8 },
+            50_912_018,
+            108_109_320,
+            2.1,
+            13,
+        ),
+        undirected(
+            "in-2004",
+            "weblinks",
+            InputFamily::Rmat { epv: 24.0, params: RMAT },
+            1_382_908,
+            27_182_946,
+            19.7,
+            21_869,
+        ),
+        undirected(
+            "internet",
+            "InTopo",
+            InputFamily::PrefAttach { m: 1.55 },
+            124_651,
+            387_240,
+            3.1,
+            151,
+        ),
+        undirected(
+            "kron_g500-logn21",
+            "Kronecker",
+            InputFamily::Rmat { epv: 100.0, params: G500 },
+            2_097_152,
+            182_081_864,
+            86.8,
+            213_904,
+        ),
+        undirected(
+            "r4-2e23.sym",
+            "random",
+            InputFamily::Random { avg_degree: 8.0 },
+            8_388_608,
+            67_108_846,
+            8.0,
+            26,
+        ),
+        undirected(
+            "rmat16.sym",
+            "RMAT",
+            InputFamily::Rmat { epv: 18.0, params: RMAT },
+            65_536,
+            967_866,
+            14.8,
+            569,
+        ),
+        undirected(
+            "rmat22.sym",
+            "RMAT",
+            InputFamily::Rmat { epv: 19.0, params: RMAT },
+            4_194_304,
+            65_660_814,
+            15.7,
+            3_687,
+        ),
+        undirected(
+            "soc-LiveJournal1",
+            "community",
+            InputFamily::PrefAttachClustered { m: 10.15, p_triad: 0.5 },
+            4_847_571,
+            85_702_474,
+            20.3,
+            20_333,
+        ),
+        undirected(
+            "USA-road-d.NY",
+            "roadmap",
+            InputFamily::Roadmap { subdivisions: 1 },
+            264_346,
+            730_100,
+            2.8,
+            8,
+        ),
+        undirected(
+            "USA-road-d.USA",
+            "roadmap",
+            InputFamily::Roadmap { subdivisions: 2 },
+            23_947_347,
+            57_708_624,
+            2.4,
+            9,
+        ),
     ];
     INPUTS
 }
@@ -279,10 +407,7 @@ pub fn all_inputs() -> Vec<InputSpec> {
 
 /// Looks up an input by its paper name.
 pub fn find(name: &str) -> Option<&'static InputSpec> {
-    general_inputs()
-        .iter()
-        .chain(scc_inputs())
-        .find(|s| s.name == name)
+    general_inputs().iter().chain(scc_inputs()).find(|s| s.name == name)
 }
 
 #[cfg(test)]
@@ -359,12 +484,7 @@ mod tests {
         let flat = find("europe_osm").unwrap().generate(0.01, 3);
         let ss = DegreeStats::of(&skewed);
         let sf = DegreeStats::of(&flat);
-        assert!(
-            ss.skew > 5.0 * sf.skew,
-            "skew contrast lost: {} vs {}",
-            ss.skew,
-            sf.skew
-        );
+        assert!(ss.skew > 5.0 * sf.skew, "skew contrast lost: {} vs {}", ss.skew, sf.skew);
     }
 
     #[test]

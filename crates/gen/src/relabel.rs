@@ -90,17 +90,12 @@ mod tests {
         // minima.
         let g = crate::grid::torus_2d(32, 32);
         let count_minima = |g: &Csr| {
-            (0..g.num_vertices() as u32)
-                .filter(|&v| g.neighbors(v).iter().all(|&u| u > v))
-                .count()
+            (0..g.num_vertices() as u32).filter(|&v| g.neighbors(v).iter().all(|&u| u > v)).count()
         };
         assert!(count_minima(&g) <= 1);
         let r = relabel_random(&g, 5);
         let frac = count_minima(&r) as f64 / 1024.0;
-        assert!(
-            (0.1..0.35).contains(&frac),
-            "expected ~20% local minima, got {frac}"
-        );
+        assert!((0.1..0.35).contains(&frac), "expected ~20% local minima, got {frac}");
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl RmatParams {
     }
 
     fn validate(&self) {
-        assert!(self.a > 0.0 && self.b >= 0.0 && self.c >= 0.0, "probabilities must be non-negative");
+        assert!(
+            self.a > 0.0 && self.b >= 0.0 && self.c >= 0.0,
+            "probabilities must be non-negative"
+        );
         assert!(self.a + self.b + self.c < 1.0 + 1e-12, "a + b + c must be < 1");
     }
 }
@@ -93,12 +96,7 @@ mod tests {
         let b = rmat(12, 16.0, RmatParams::graph500(), 7);
         let sa = DegreeStats::of(&a);
         let sb = DegreeStats::of(&b);
-        assert!(
-            sb.skew > sa.skew,
-            "graph500 skew {} should exceed rmat skew {}",
-            sb.skew,
-            sa.skew
-        );
+        assert!(sb.skew > sa.skew, "graph500 skew {} should exceed rmat skew {}", sb.skew, sa.skew);
     }
 
     #[test]

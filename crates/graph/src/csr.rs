@@ -37,14 +37,8 @@ impl Csr {
             neighbors.len(),
             "offsets[n] must equal the arc count"
         );
-        assert!(
-            offsets.windows(2).all(|w| w[0] <= w[1]),
-            "offsets must be non-decreasing"
-        );
-        assert!(
-            neighbors.iter().all(|&v| (v as usize) < n),
-            "neighbor ids must be < n"
-        );
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be non-decreasing");
+        assert!(neighbors.iter().all(|&v| (v as usize) < n), "neighbor ids must be < n");
         debug_assert!(
             (0..n).all(|v| neighbors[offsets[v]..offsets[v + 1]].windows(2).all(|w| w[0] <= w[1])),
             "adjacency lists must be sorted ascending"

@@ -83,12 +83,7 @@ fn read_header<R: Read>(r: &mut R) -> io::Result<Header> {
     let flags = read_u32(r)?;
     let n = read_u64(r)? as usize;
     let m = read_u64(r)? as usize;
-    Ok(Header {
-        directed: flags & FLAG_DIRECTED != 0,
-        weighted: flags & FLAG_WEIGHTED != 0,
-        n,
-        m,
-    })
+    Ok(Header { directed: flags & FLAG_DIRECTED != 0, weighted: flags & FLAG_WEIGHTED != 0, n, m })
 }
 
 fn read_body<R: Read>(r: &mut R, h: &Header) -> io::Result<(Csr, Option<Vec<u32>>)> {
@@ -156,11 +151,8 @@ pub fn read_weighted<R: Read>(r: &mut R) -> io::Result<WeightedCsr> {
 pub fn read_edge_list<R: BufRead>(r: R, directed: bool) -> io::Result<Csr> {
     let edges = parse_edges(r)?;
     let n = edges.iter().map(|&(u, v, _)| u.max(v) as usize + 1).max().unwrap_or(0);
-    let mut b = if directed {
-        GraphBuilder::new_directed(n)
-    } else {
-        GraphBuilder::new_undirected(n)
-    };
+    let mut b =
+        if directed { GraphBuilder::new_directed(n) } else { GraphBuilder::new_undirected(n) };
     for (u, v, _) in edges {
         b.add_edge(u, v);
     }
@@ -172,11 +164,8 @@ pub fn read_edge_list<R: BufRead>(r: R, directed: bool) -> io::Result<Csr> {
 pub fn read_weighted_edge_list<R: BufRead>(r: R, directed: bool) -> io::Result<WeightedCsr> {
     let edges = parse_edges(r)?;
     let n = edges.iter().map(|&(u, v, _)| u.max(v) as usize + 1).max().unwrap_or(0);
-    let mut b = if directed {
-        GraphBuilder::new_directed(n)
-    } else {
-        GraphBuilder::new_undirected(n)
-    };
+    let mut b =
+        if directed { GraphBuilder::new_directed(n) } else { GraphBuilder::new_undirected(n) };
     for (u, v, w) in edges {
         b.add_weighted_edge(u, v, w);
     }

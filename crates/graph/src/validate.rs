@@ -114,10 +114,7 @@ mod tests {
     #[test]
     fn detects_duplicate_neighbor() {
         let g = Csr::from_parts(vec![0, 2], vec![0, 0], true);
-        assert_eq!(
-            check_adjacency_lists(&g),
-            Err(Violation::DuplicateNeighbor(0, 0))
-        );
+        assert_eq!(check_adjacency_lists(&g), Err(Violation::DuplicateNeighbor(0, 0)));
     }
 
     #[test]
@@ -125,10 +122,7 @@ mod tests {
         // Hand-build: arc 0->1 weight 3, arc 1->0 weight 4.
         let csr = Csr::from_parts(vec![0, 1, 2], vec![1, 0], false);
         let g = WeightedCsr::from_parts(csr, vec![3, 4]);
-        assert_eq!(
-            check_weight_symmetry(&g),
-            Err(Violation::AsymmetricWeight(0, 1))
-        );
+        assert_eq!(check_weight_symmetry(&g), Err(Violation::AsymmetricWeight(0, 1)));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub fn maximal_independent_set(device: &Device, g: &Csr, config: &MisConfig) -> 
     // Initialization: one byte per vertex encoding status + priority
     // (§2.3). The init kernel also tallies the round-robin assignment.
     let stat = atomic_u8_array(n, |_| 0);
+    ecl_trace::sink::phase_start("init");
     launch_persistent(device, |t| {
         if t.global >= num_threads {
             device.charge(CostKind::IdleCheck, 1);
@@ -40,6 +41,7 @@ pub fn maximal_independent_set(device: &Device, g: &Csr, config: &MisConfig) -> 
             counters.assigned.add(t.global, assigned);
         }
     });
+    ecl_trace::sink::phase_end("init");
 
     // Selection: each round every persistent thread makes one pass
     // over its still-undecided vertices; the asynchronous CUDA kernel
@@ -59,6 +61,8 @@ pub fn maximal_independent_set(device: &Device, g: &Csr, config: &MisConfig) -> 
     let mut rounds = 0u32;
     loop {
         rounds += 1;
+        ecl_trace::sink::round(rounds);
+        ecl_trace::sink::phase_start("selection-round");
         let any_undecided = AtomicBool::new(false);
         launch_persistent(device, |t| {
             if t.global >= num_threads {
@@ -89,11 +93,8 @@ pub fn maximal_independent_set(device: &Device, g: &Csr, config: &MisConfig) -> 
                 v += num_threads;
             }
             if profiling {
-                let encoded = if had_work {
-                    (pass_cost.max(1) << 1) | u64::from(still_pending)
-                } else {
-                    0
-                };
+                let encoded =
+                    if had_work { (pass_cost.max(1) << 1) | u64::from(still_pending) } else { 0 };
                 pass_state[t.global].store(encoded, Ordering::Relaxed);
             }
             if still_pending {
@@ -104,22 +105,15 @@ pub fn maximal_independent_set(device: &Device, g: &Csr, config: &MisConfig) -> 
             // Spin accounting: the round lasts as long as its slowest
             // pass; threads still waiting at round end re-scan once
             // per own-pass during that span.
-            let quantum = pass_state
-                .iter()
-                .map(|s| s.load(Ordering::Relaxed) >> 1)
-                .max()
-                .unwrap_or(0);
+            let quantum =
+                pass_state.iter().map(|s| s.load(Ordering::Relaxed) >> 1).max().unwrap_or(0);
             for (tid, s) in pass_state.iter().enumerate() {
                 let encoded = s.swap(0, Ordering::Relaxed);
                 let cost = encoded >> 1;
                 if cost == 0 {
                     continue;
                 }
-                let spins = if encoded & 1 == 1 {
-                    (quantum / cost).clamp(1, 100_000)
-                } else {
-                    1
-                };
+                let spins = if encoded & 1 == 1 { (quantum / cost).clamp(1, 100_000) } else { 1 };
                 counters.iterations.add(tid, spins);
             }
         }
@@ -127,6 +121,7 @@ pub fn maximal_independent_set(device: &Device, g: &Csr, config: &MisConfig) -> 
             let undecided = stat.iter().filter(|s| status::undecided(s.load())).count();
             counters.undecided_per_round.push(undecided as u64);
         }
+        ecl_trace::sink::phase_end("selection-round");
         if !any_undecided.load(Ordering::Relaxed) {
             break;
         }
@@ -195,7 +190,11 @@ mod tests {
         b.add_edge(0, 1);
         b.add_edge(2, 3);
         let g = b.build();
-        let r = maximal_independent_set(&device, &g, &MisConfig { mode: ProfileMode::On, ..MisConfig::default() });
+        let r = maximal_independent_set(
+            &device,
+            &g,
+            &MisConfig { mode: ProfileMode::On, ..MisConfig::default() },
+        );
         assert!(r.rounds <= 4, "rounds {}", r.rounds);
         assert!(ecl_ref::is_maximal_independent_set(&g, &r.in_set));
     }
@@ -214,7 +213,11 @@ mod tests {
         }
         let g = b.build();
         let device = Device::test_small();
-        let r = maximal_independent_set(&device, &g, &MisConfig { mode: ProfileMode::On, ..MisConfig::default() });
+        let r = maximal_independent_set(
+            &device,
+            &g,
+            &MisConfig { mode: ProfileMode::On, ..MisConfig::default() },
+        );
         assert!(ecl_ref::is_maximal_independent_set(&g, &r.in_set));
         assert!(r.rounds >= 2);
     }
@@ -223,7 +226,11 @@ mod tests {
     fn iteration_counts_respect_spin_cap() {
         let device = Device::test_small();
         let g = ecl_graphgen::random::erdos_renyi(600, 4.0, 5);
-        let r = maximal_independent_set(&device, &g, &MisConfig { mode: ProfileMode::On, ..MisConfig::default() });
+        let r = maximal_independent_set(
+            &device,
+            &g,
+            &MisConfig { mode: ProfileMode::On, ..MisConfig::default() },
+        );
         // Spins are bounded by the per-round cap times the round count.
         let vals = r.counters.iterations.values();
         assert!(vals.iter().all(|&i| i <= 100_000 * r.rounds as u64));

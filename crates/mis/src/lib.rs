@@ -111,7 +111,7 @@ pub fn run(device: &Device, g: &Csr, config: &MisConfig) -> MisResult {
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;
-    use ecl_ref::{is_independent_set, is_maximal_independent_set};
+    use ecl_ref::is_maximal_independent_set;
 
     fn device() -> Device {
         Device::test_small()
@@ -275,12 +275,9 @@ mod tests {
         for seed in 0..5 {
             let g = ecl_graphgen::powerlaw::preferential_attachment(800, 4.0, seed);
             degree_total += run(&device(), &g, &MisConfig::default()).set_size();
-            random_total += run(
-                &device(),
-                &g,
-                &MisConfig::with_priority(PriorityPolicy::RandomPermutation),
-            )
-            .set_size();
+            random_total +=
+                run(&device(), &g, &MisConfig::with_priority(PriorityPolicy::RandomPermutation))
+                    .set_size();
         }
         assert!(
             degree_total > random_total,

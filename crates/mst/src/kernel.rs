@@ -45,11 +45,7 @@ struct State<'a> {
 }
 
 /// Runs the full ECL-MST pipeline.
-pub fn minimum_spanning_forest(
-    device: &Device,
-    g: &WeightedCsr,
-    config: &MstConfig,
-) -> MstResult {
+pub fn minimum_spanning_forest(device: &Device, g: &WeightedCsr, config: &MstConfig) -> MstResult {
     let n = g.num_vertices();
     let counters = MstCounters::new();
     let profiling = config.mode.enabled();
@@ -88,6 +84,8 @@ pub fn minimum_spanning_forest(
     let mut reg_index = 0u32;
     while !light.is_empty() {
         reg_index += 1;
+        ecl_trace::sink::round(reg_index);
+        ecl_trace::sink::phase_start("regular");
         let merged = iteration(
             &mut state,
             config,
@@ -98,6 +96,7 @@ pub fn minimum_spanning_forest(
             stale_light,
             profiling,
         );
+        ecl_trace::sink::phase_end("regular");
         if merged == 0 {
             break;
         }
@@ -106,6 +105,8 @@ pub fn minimum_spanning_forest(
     let mut fil_index = 0u32;
     while !heavy.is_empty() {
         fil_index += 1;
+        ecl_trace::sink::round(reg_index + fil_index);
+        ecl_trace::sink::phase_start("filter");
         let merged = iteration(
             &mut state,
             config,
@@ -116,6 +117,7 @@ pub fn minimum_spanning_forest(
             stale_heavy,
             profiling,
         );
+        ecl_trace::sink::phase_end("filter");
         if merged == 0 {
             break;
         }

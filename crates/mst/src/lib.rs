@@ -246,10 +246,7 @@ mod tests {
         assert!(regs.len() >= 2);
         let first = regs[0].threads_with_work_pct;
         let later = regs.last().unwrap().threads_with_work_pct;
-        assert!(
-            later < first,
-            "work fraction should decay: first {first}%, later {later}%"
-        );
+        assert!(later < first, "work fraction should decay: first {first}%, later {later}%");
     }
 
     #[test]
@@ -266,11 +263,8 @@ mod tests {
         let base = ecl_graphgen::grid::torus_2d(12, 12);
         let g = ecl_graphgen::with_hashed_weights(&base, 100, 4);
         let on = run(&device(), &g, &MstConfig::baseline());
-        let off = run(
-            &device(),
-            &g,
-            &MstConfig { mode: ProfileMode::Off, ..MstConfig::baseline() },
-        );
+        let off =
+            run(&device(), &g, &MstConfig { mode: ProfileMode::Off, ..MstConfig::baseline() });
         assert_eq!(on.total_weight, off.total_weight);
         assert!(off.counters.bars.bars().is_empty());
         assert_eq!(off.counters.atomics.attempted(), 0);

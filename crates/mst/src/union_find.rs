@@ -82,9 +82,7 @@ impl GpuUnionFind {
 
     /// Number of distinct sets (host-side, quiescent).
     pub fn num_sets(&self, device: &Device) -> usize {
-        (0..self.parent.len() as u32)
-            .filter(|&x| self.find(x, device) == x)
-            .count()
+        (0..self.parent.len() as u32).filter(|&x| self.find(x, device) == x).count()
     }
 }
 
@@ -153,10 +151,8 @@ mod tests {
         let d = Device::test_small();
         let n = 4096u32;
         let uf = GpuUnionFind::new(n as usize);
-        let merges: u32 = (0..n - 1)
-            .into_par_iter()
-            .map(|i| u32::from(uf.union(i, i + 1, &d, None)))
-            .sum();
+        let merges: u32 =
+            (0..n - 1).into_par_iter().map(|i| u32::from(uf.union(i, i + 1, &d, None))).sum();
         // Exactly n-1 successful merges regardless of interleaving.
         assert_eq!(merges, n - 1);
     }

@@ -41,9 +41,7 @@ pub fn is_maximal_independent_set(g: &Csr, in_set: &[bool]) -> bool {
         return false;
     }
     (0..g.num_vertices() as u32).all(|v| {
-        in_set[v as usize]
-            || g.has_arc(v, v)
-            || g.neighbors(v).iter().any(|&u| in_set[u as usize])
+        in_set[v as usize] || g.has_arc(v, v) || g.neighbors(v).iter().any(|&u| in_set[u as usize])
     })
 }
 

@@ -48,8 +48,7 @@ pub fn strongly_connected_components(g: &Csr) -> Vec<u32> {
                 // All neighbors processed: close v.
                 call_stack.pop();
                 if let Some(&mut (parent, _)) = call_stack.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v is an SCC root: pop its component and label with
@@ -77,12 +76,8 @@ pub fn strongly_connected_components(g: &Csr) -> Vec<u32> {
 /// Number of strongly connected components.
 pub fn num_sccs(g: &Csr) -> usize {
     let labels = strongly_connected_components(g);
-    let mut roots: Vec<u32> = labels
-        .iter()
-        .enumerate()
-        .filter(|&(v, &l)| v as u32 == l)
-        .map(|(_, &l)| l)
-        .collect();
+    let mut roots: Vec<u32> =
+        labels.iter().enumerate().filter(|&(v, &l)| v as u32 == l).map(|(_, &l)| l).collect();
     roots.dedup();
     roots.len()
 }

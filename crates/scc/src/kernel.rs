@@ -11,11 +11,7 @@ use crate::counters::SccCounters;
 use crate::{SccConfig, SccResult};
 
 /// Runs the full ECL-SCC pipeline.
-pub fn strongly_connected_components(
-    device: &Device,
-    g: &Csr,
-    config: &SccConfig,
-) -> SccResult {
+pub fn strongly_connected_components(device: &Device, g: &Csr, config: &SccConfig) -> SccResult {
     let n = g.num_vertices();
     // Grid size follows the original: enough blocks to fill the
     // device's persistent threads, fixed for the whole run (Figure 1
@@ -50,7 +46,9 @@ pub fn strongly_connected_components(
     let mut m = 0u32;
     loop {
         m += 1;
+        ecl_trace::sink::round(m);
         // Stage 1: signature initialization.
+        ecl_trace::sink::phase_start("signature-init");
         let cfg_v = LaunchConfig::cover(n, config.block_size);
         launch_flat(device, cfg_v, |t| {
             if t.global >= n {
@@ -61,14 +59,17 @@ pub fn strongly_connected_components(
             v_in[t.global].store(t.global as u32);
             v_out[t.global].store(t.global as u32);
         });
-        parallel_time += params.kernel_launch
-            + n.div_ceil(num_blocks.max(1)) as f64 * params.thread_work;
+        parallel_time +=
+            params.kernel_launch + n.div_ceil(num_blocks.max(1)) as f64 * params.thread_work;
+        ecl_trace::sink::phase_end("signature-init");
 
         // Stage 2: max propagation to a fixed point.
-        parallel_time +=
-            propagate(device, config, &counters, &edges, &v_in, &v_out, num_blocks, m);
+        ecl_trace::sink::phase_start("propagate");
+        parallel_time += propagate(device, config, &counters, &edges, &v_in, &v_out, num_blocks, m);
+        ecl_trace::sink::phase_end("propagate");
 
         // Stage 3: edge removal.
+        ecl_trace::sink::phase_start("prune");
         let before = edges.len();
         prune(device, config, &edges, &v_in, &v_out);
         parallel_time += params.kernel_launch
@@ -81,6 +82,7 @@ pub fn strongly_connected_components(
             counters.edges_removed.add((before - edges.len()) as u64);
             counters.edges_per_outer.push(edges.len() as u64);
         }
+        ecl_trace::sink::phase_end("prune");
 
         // Converged when every vertex has matching signatures.
         let done = (0..n).all(|v| v_in[v].load() == v_out[v].load());
@@ -182,8 +184,8 @@ fn propagate(
                 // participate in block-wide synchronizations".
                 let per_thread_edges = slice.len() as f64 / blk.block_size as f64;
                 let sync_latency = params.block_sync * (blk.block_size as f64).log2().max(1.0);
-                my_cost += per_thread_edges * (params.thread_work + 2.0 * params.atomic)
-                    + sync_latency;
+                my_cost +=
+                    per_thread_edges * (params.thread_work + 2.0 * params.atomic) + sync_latency;
                 let n = base_n[blk.block].fetch_add(1, Ordering::Relaxed) + 1;
                 if profiling {
                     counters.series.record(m, n, blk.block, updates);
@@ -217,12 +219,7 @@ fn propagate(
 /// with zero in- or out-degree in the current edge list, until no
 /// such vertex remains. Returns the number of edges removed. Each
 /// pass is charged like a degree-counting + filtering kernel.
-fn trim_edges(
-    device: &Device,
-    n: usize,
-    edges: &mut Vec<(u32, u32)>,
-    block_size: usize,
-) -> u64 {
+fn trim_edges(device: &Device, n: usize, edges: &mut Vec<(u32, u32)>, block_size: usize) -> u64 {
     let mut removed = 0u64;
     let mut in_deg = vec![0u32; n];
     let mut out_deg = vec![0u32; n];

@@ -92,11 +92,7 @@ pub struct SccResult {
 impl SccResult {
     /// Number of SCCs.
     pub fn num_sccs(&self) -> usize {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|&(v, &l)| v as u32 == l)
-            .count()
+        self.labels.iter().enumerate().filter(|&(v, &l)| v as u32 == l).count()
     }
 
     /// Labels normalized to the *minimum* vertex id per SCC, the form
@@ -182,7 +178,7 @@ mod tests {
             let mut b = GraphBuilder::new_directed(200);
             for (u, v) in und.arcs() {
                 if u < v {
-                    if (u + v + seed as u32) % 2 == 0 {
+                    if (u + v + seed as u32).is_multiple_of(2) {
                         b.add_edge(u, v);
                     } else {
                         b.add_edge(v, u);
@@ -191,11 +187,7 @@ mod tests {
             }
             let g = b.build();
             let r = run(&device(), &g, &SccConfig::original());
-            assert_eq!(
-                r.min_labels(),
-                ecl_ref::strongly_connected_components(&g),
-                "seed {seed}"
-            );
+            assert_eq!(r.min_labels(), ecl_ref::strongly_connected_components(&g), "seed {seed}");
         }
     }
 

@@ -19,6 +19,22 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 use ecl_profiling::{AtomicOutcome, AtomicTally};
+use ecl_trace::{sink, EventKind};
+
+/// Mirrors an atomic outcome into the global trace sink. A single
+/// relaxed load when tracing is disabled, so counted atomics stay
+/// cheap on the hot path.
+#[inline]
+fn trace_outcome(outcome: AtomicOutcome) {
+    if sink::is_enabled() {
+        let kind = match outcome {
+            AtomicOutcome::Updated => EventKind::AtomicUpdated,
+            AtomicOutcome::NoEffect => EventKind::AtomicNoEffect,
+            AtomicOutcome::CasFailed => EventKind::AtomicCasFailed,
+        };
+        sink::emit(kind, u32::MAX, 0, 0);
+    }
+}
 
 macro_rules! counted_atomic {
     ($name:ident, $atomic:ty, $prim:ty, $doc:expr) => {
@@ -61,12 +77,14 @@ macro_rules! counted_atomic {
                         if let Some(t) = tally {
                             t.record(AtomicOutcome::Updated);
                         }
+                        trace_outcome(AtomicOutcome::Updated);
                         old
                     }
                     Err(old) => {
                         if let Some(t) = tally {
                             t.record(AtomicOutcome::CasFailed);
                         }
+                        trace_outcome(AtomicOutcome::CasFailed);
                         old
                     }
                 }
@@ -78,9 +96,12 @@ macro_rules! counted_atomic {
             #[inline]
             pub fn fetch_min(&self, v: $prim, tally: Option<&AtomicTally>) -> $prim {
                 let old = self.inner.fetch_min(v, Ordering::Relaxed);
+                let outcome =
+                    if v < old { AtomicOutcome::Updated } else { AtomicOutcome::NoEffect };
                 if let Some(t) = tally {
-                    t.record(if v < old { AtomicOutcome::Updated } else { AtomicOutcome::NoEffect });
+                    t.record(outcome);
                 }
+                trace_outcome(outcome);
                 old
             }
 
@@ -90,9 +111,12 @@ macro_rules! counted_atomic {
             #[inline]
             pub fn fetch_max(&self, v: $prim, tally: Option<&AtomicTally>) -> $prim {
                 let old = self.inner.fetch_max(v, Ordering::Relaxed);
+                let outcome =
+                    if v > old { AtomicOutcome::Updated } else { AtomicOutcome::NoEffect };
                 if let Some(t) = tally {
-                    t.record(if v > old { AtomicOutcome::Updated } else { AtomicOutcome::NoEffect });
+                    t.record(outcome);
                 }
+                trace_outcome(outcome);
                 old
             }
 
@@ -116,9 +140,24 @@ macro_rules! counted_atomic {
     };
 }
 
-counted_atomic!(CountedU32, AtomicU32, u32, "A counted 32-bit atomic (vertex labels, colors, signatures).");
-counted_atomic!(CountedU64, AtomicU64, u64, "A counted 64-bit atomic (packed weight/edge-id pairs in ECL-MST).");
-counted_atomic!(CountedU8, AtomicU8, u8, "A counted 8-bit atomic (ECL-MIS one-byte status/priority).");
+counted_atomic!(
+    CountedU32,
+    AtomicU32,
+    u32,
+    "A counted 32-bit atomic (vertex labels, colors, signatures)."
+);
+counted_atomic!(
+    CountedU64,
+    AtomicU64,
+    u64,
+    "A counted 64-bit atomic (packed weight/edge-id pairs in ECL-MST)."
+);
+counted_atomic!(
+    CountedU8,
+    AtomicU8,
+    u8,
+    "A counted 8-bit atomic (ECL-MIS one-byte status/priority)."
+);
 
 /// Builds a `Vec<CountedU32>` initialized by `f(i)`. Convenience for
 /// label/signature arrays.

@@ -140,10 +140,7 @@ impl CostTally {
 
     /// Weighted abstract time under `params`.
     pub fn modeled_time(&self, params: &CostParams) -> f64 {
-        CostKind::ALL
-            .iter()
-            .map(|&k| self.units(k) as f64 * params.weight(k))
-            .sum()
+        CostKind::ALL.iter().map(|&k| self.units(k) as f64 * params.weight(k)).sum()
     }
 
     /// Copies the tally out as `(kind, units)` pairs.

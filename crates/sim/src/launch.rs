@@ -21,8 +21,26 @@
 
 use rayon::prelude::*;
 
+use ecl_trace::{sink, EventKind};
+
 use crate::cost::CostKind;
 use crate::device::Device;
+
+/// Emits the kernel-launch trace event (payload = grid size). One
+/// relaxed load when tracing is disabled.
+#[inline]
+fn trace_launch(cfg: LaunchConfig) {
+    sink::emit(EventKind::KernelLaunch, u32::MAX, 0, cfg.blocks.min(u32::MAX as usize) as u32);
+}
+
+/// Runs `body` between block-start / block-end trace events.
+#[inline]
+fn trace_block<R>(block: usize, block_size: usize, body: impl FnOnce() -> R) -> R {
+    sink::emit(EventKind::BlockStart, block as u32, 0, block_size as u32);
+    let r = body();
+    sink::emit(EventKind::BlockEnd, block as u32, 0, block_size as u32);
+    r
+}
 
 /// Grid dimensions of one launch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,10 +91,13 @@ where
     F: Fn(ThreadCtx) + Sync,
 {
     device.charge(CostKind::KernelLaunch, 1);
+    trace_launch(cfg);
     (0..cfg.blocks).into_par_iter().for_each(|block| {
-        for lane in 0..cfg.block_size {
-            f(ThreadCtx { global: block * cfg.block_size + lane, block, lane });
-        }
+        trace_block(block, cfg.block_size, || {
+            for lane in 0..cfg.block_size {
+                f(ThreadCtx { global: block * cfg.block_size + lane, block, lane });
+            }
+        });
     });
 }
 
@@ -134,8 +155,11 @@ where
     F: Fn(BlockCtx<'_>) + Sync,
 {
     device.charge(CostKind::KernelLaunch, 1);
+    trace_launch(cfg);
     (0..cfg.blocks).into_par_iter().for_each(|block| {
-        f(BlockCtx { block, block_size: cfg.block_size, device });
+        trace_block(block, cfg.block_size, || {
+            f(BlockCtx { block, block_size: cfg.block_size, device });
+        });
     });
 }
 
@@ -177,22 +201,25 @@ where
     F: Fn(WarpCtx) + Sync,
 {
     device.charge(CostKind::KernelLaunch, 1);
+    trace_launch(cfg);
     let warp_size = device.config().warp_size.max(1);
     (0..cfg.blocks).into_par_iter().for_each(|block| {
-        let block_base = block * cfg.block_size;
-        let mut offset = 0usize;
-        let mut warp_in_block = 0usize;
-        while offset < cfg.block_size {
-            let lanes = warp_size.min(cfg.block_size - offset);
-            f(WarpCtx {
-                warp: block * cfg.block_size.div_ceil(warp_size) + warp_in_block,
-                block,
-                base: block_base + offset,
-                lanes,
-            });
-            offset += lanes;
-            warp_in_block += 1;
-        }
+        trace_block(block, cfg.block_size, || {
+            let block_base = block * cfg.block_size;
+            let mut offset = 0usize;
+            let mut warp_in_block = 0usize;
+            while offset < cfg.block_size {
+                let lanes = warp_size.min(cfg.block_size - offset);
+                f(WarpCtx {
+                    warp: block * cfg.block_size.div_ceil(warp_size) + warp_in_block,
+                    block,
+                    base: block_base + offset,
+                    lanes,
+                });
+                offset += lanes;
+                warp_in_block += 1;
+            }
+        });
     });
 }
 

@@ -36,6 +36,9 @@ pub mod timing;
 pub use atomics::{CountedU32, CountedU64, CountedU8};
 pub use cost::{CostKind, CostParams, CostTally};
 pub use device::{Device, DeviceConfig};
-pub use launch::{launch_blocks, launch_flat, launch_persistent, launch_warps, BlockCtx, LaunchConfig, ThreadCtx, WarpCtx};
+pub use launch::{
+    launch_blocks, launch_flat, launch_persistent, launch_warps, BlockCtx, LaunchConfig, ThreadCtx,
+    WarpCtx,
+};
 pub use profile::{KernelProfile, KernelRecord};
 pub use timing::run_timed;

@@ -49,10 +49,8 @@ impl KernelProfile {
         let out = f();
         let wall = start.elapsed().as_secs_f64();
         let after = device.cost();
-        let delta: Vec<(CostKind, u64)> = CostKind::ALL
-            .iter()
-            .map(|&k| (k, after.units(k) - before.units(k)))
-            .collect();
+        let delta: Vec<(CostKind, u64)> =
+            CostKind::ALL.iter().map(|&k| (k, after.units(k) - before.units(k))).collect();
         let dt = CostTally::new();
         for &(k, u) in &delta {
             dt.charge(k, u);

@@ -1,0 +1,189 @@
+//! Packed trace events.
+//!
+//! An event is three little-endian `u64` words — 24 bytes — so a
+//! ring-buffer write is three relaxed atomic stores and no
+//! allocation:
+//!
+//! ```text
+//! word 0: timestamp (ns since capture start, or logical sequence)
+//! word 1: kind(16) | lane(16) | block(32)
+//! word 2: thread(32) | payload(32)
+//! ```
+//!
+//! `payload` is kind-specific: the grid size for kernel launches, an
+//! interned string id for phase events, the round number for round
+//! markers, and free-form for the rest. `thread` is the ring slot the
+//! event was recorded from; it is attached when a snapshot drains the
+//! rings, so the hot path never writes it.
+
+/// What happened. The discriminants are the on-disk wire values of
+/// the `.etr` format — append new kinds, never renumber.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum EventKind {
+    /// A kernel was launched; payload = number of blocks.
+    KernelLaunch = 1,
+    /// A simulated block began executing; payload = block size.
+    BlockStart = 2,
+    /// A simulated block finished executing; payload = block size.
+    BlockEnd = 3,
+    /// An atomic operation changed its target.
+    AtomicUpdated = 4,
+    /// A specialized atomic (min/max) left its target unchanged.
+    AtomicNoEffect = 5,
+    /// An `atomicCAS` failed (target did not hold the expected value).
+    AtomicCasFailed = 6,
+    /// A named host-side phase began; payload = interned string id.
+    PhaseStart = 7,
+    /// A named host-side phase ended; payload = interned string id.
+    PhaseEnd = 8,
+    /// An algorithm round boundary; payload = round number.
+    Round = 9,
+    /// Free-form marker; payload is caller-defined.
+    Marker = 10,
+}
+
+impl EventKind {
+    /// All kinds, wire-value ordered.
+    pub const ALL: [EventKind; 10] = [
+        EventKind::KernelLaunch,
+        EventKind::BlockStart,
+        EventKind::BlockEnd,
+        EventKind::AtomicUpdated,
+        EventKind::AtomicNoEffect,
+        EventKind::AtomicCasFailed,
+        EventKind::PhaseStart,
+        EventKind::PhaseEnd,
+        EventKind::Round,
+        EventKind::Marker,
+    ];
+
+    /// Wire value of this kind.
+    pub fn raw(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a wire value (`None` for kinds this build predates).
+    pub fn from_raw(v: u16) -> Option<EventKind> {
+        EventKind::ALL.iter().copied().find(|k| k.raw() == v)
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::KernelLaunch => "kernel-launch",
+            EventKind::BlockStart => "block-start",
+            EventKind::BlockEnd => "block-end",
+            EventKind::AtomicUpdated => "atomic-updated",
+            EventKind::AtomicNoEffect => "atomic-no-effect",
+            EventKind::AtomicCasFailed => "atomic-cas-failed",
+            EventKind::PhaseStart => "phase-start",
+            EventKind::PhaseEnd => "phase-end",
+            EventKind::Round => "round",
+            EventKind::Marker => "marker",
+        }
+    }
+}
+
+/// One decoded trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since capture start (wall clock) or logical
+    /// sequence number, per the capture's clock mode.
+    pub ts: u64,
+    /// Raw event kind (kept raw so captures from newer builds survive
+    /// round-trips through older readers).
+    pub kind: u16,
+    /// Simulated block id (`u32::MAX` when not block-scoped).
+    pub block: u32,
+    /// Lane within the block (0 when not thread-scoped).
+    pub lane: u16,
+    /// Kind-specific payload.
+    pub payload: u32,
+    /// Ring slot (≈ OS worker thread) the event was recorded from.
+    pub thread: u32,
+}
+
+impl Event {
+    /// Decoded kind, if this build knows it.
+    pub fn kind(&self) -> Option<EventKind> {
+        EventKind::from_raw(self.kind)
+    }
+
+    /// Packs into the three wire words (without the thread, which the
+    /// ring's slot index supplies).
+    pub(crate) fn pack_words(kind: u16, block: u32, lane: u16, payload: u32) -> (u64, u64) {
+        let w1 = ((kind as u64) << 48) | ((lane as u64) << 32) | block as u64;
+        let w2 = payload as u64;
+        (w1, w2)
+    }
+
+    /// Unpacks from wire words, attaching `thread`.
+    pub(crate) fn unpack_words(ts: u64, w1: u64, w2: u64, thread: u32) -> Event {
+        Event {
+            ts,
+            kind: (w1 >> 48) as u16,
+            lane: (w1 >> 32) as u16,
+            block: w1 as u32,
+            payload: w2 as u32,
+            thread,
+        }
+    }
+
+    /// Packs for on-disk storage, thread included.
+    pub(crate) fn to_disk_words(self) -> (u64, u64, u64) {
+        let (w1, w2) = Event::pack_words(self.kind, self.block, self.lane, self.payload);
+        (self.ts, w1, w2 | ((self.thread as u64) << 32))
+    }
+
+    /// Unpacks from on-disk words.
+    pub(crate) fn from_disk_words(w0: u64, w1: u64, w2: u64) -> Event {
+        Event::unpack_words(w0, w1, w2 & 0xFFFF_FFFF, (w2 >> 32) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_wire_values_are_stable() {
+        assert_eq!(EventKind::KernelLaunch.raw(), 1);
+        assert_eq!(EventKind::Marker.raw(), 10);
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_raw(k.raw()), Some(k));
+        }
+        assert_eq!(EventKind::from_raw(0), None);
+        assert_eq!(EventKind::from_raw(999), None);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let e = Event {
+            ts: 123_456_789,
+            kind: EventKind::AtomicCasFailed.raw(),
+            block: 0xDEAD_BEEF,
+            lane: 511,
+            payload: 0xCAFE_F00D,
+            thread: 7,
+        };
+        let (w1, w2) = Event::pack_words(e.kind, e.block, e.lane, e.payload);
+        assert_eq!(Event::unpack_words(e.ts, w1, w2, e.thread), e);
+        let (d0, d1, d2) = e.to_disk_words();
+        assert_eq!(Event::from_disk_words(d0, d1, d2), e);
+    }
+
+    #[test]
+    fn extremes_survive_packing() {
+        let e = Event {
+            ts: u64::MAX,
+            kind: u16::MAX,
+            block: u32::MAX,
+            lane: u16::MAX,
+            payload: u32::MAX,
+            thread: u32::MAX,
+        };
+        let (d0, d1, d2) = e.to_disk_words();
+        assert_eq!(Event::from_disk_words(d0, d1, d2), e);
+    }
+}

@@ -1,0 +1,108 @@
+//! Terminal timeline rendering, built on `ecl-profiling`'s chart
+//! primitives so capture summaries match the harness binaries' look.
+
+use std::fmt::Write as _;
+
+use ecl_profiling::chart::{bar_chart, column_chart};
+
+use crate::event::EventKind;
+use crate::ring::ClockMode;
+use crate::snapshot::Snapshot;
+
+/// Renders a capture as a text report: summary line, per-kind counts
+/// as a bar chart, and event density over time as a column chart.
+pub fn render(snap: &Snapshot, width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "capture: {} events, {} threads, span {} {}, dropped {} (overwritten {}, unslotted {})",
+        snap.events.len(),
+        snap.threads,
+        snap.span(),
+        match snap.clock {
+            ClockMode::Wall => "ns",
+            ClockMode::Logical => "ticks",
+        },
+        snap.dropped_total(),
+        snap.dropped_overwritten,
+        snap.dropped_unslotted,
+    );
+
+    let entries: Vec<(String, f64)> = snap
+        .kind_counts()
+        .into_iter()
+        .map(|(kind, n)| {
+            let name = EventKind::from_raw(kind)
+                .map(|k| k.name().to_string())
+                .unwrap_or_else(|| format!("kind-{kind}"));
+            (name, n as f64)
+        })
+        .collect();
+    if !entries.is_empty() {
+        out.push('\n');
+        out.push_str(&bar_chart("events by kind", &entries, width.max(16)));
+    }
+
+    out.push_str(&density(snap, width));
+    out
+}
+
+/// Event density: events bucketed over the capture span, rendered as
+/// a column chart (the "when was the run busy" view).
+fn density(snap: &Snapshot, width: usize) -> String {
+    let span = snap.span();
+    if snap.events.len() < 2 || span == 0 {
+        return String::new();
+    }
+    let buckets = width.clamp(16, 120);
+    let t0 = snap.events[0].ts;
+    let mut counts = vec![0u64; buckets];
+    for e in &snap.events {
+        // span is the max of (e.ts - t0), so the index stays in range;
+        // u128 keeps the multiply exact for wall-clock nanoseconds.
+        let i = ((e.ts - t0) as u128 * (buckets as u128 - 1) / span as u128) as usize;
+        counts[i] += 1;
+    }
+    let mut out = String::from("\n");
+    out.push_str(&column_chart("event density over capture", &counts, buckets, 6));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{Tracer, TracerConfig};
+
+    #[test]
+    fn renders_summary_and_charts() {
+        let t =
+            Tracer::new(TracerConfig { slots: 2, events_per_slot: 256, clock: ClockMode::Logical });
+        t.record(EventKind::KernelLaunch, u32::MAX, 0, 4);
+        for i in 0..100 {
+            t.record(EventKind::AtomicUpdated, i % 4, 0, 0);
+        }
+        let s = t.snapshot();
+        let text = render(&s, 60);
+        assert!(text.contains("101 events"));
+        assert!(text.contains("events by kind"));
+        assert!(text.contains("atomic-updated"));
+        assert!(text.contains("event density over capture"));
+    }
+
+    #[test]
+    fn empty_capture_renders_without_charts_panicking() {
+        let t =
+            Tracer::new(TracerConfig { slots: 1, events_per_slot: 8, clock: ClockMode::Logical });
+        let text = render(&t.snapshot(), 60);
+        assert!(text.contains("0 events"));
+    }
+
+    #[test]
+    fn single_event_skips_density() {
+        let t =
+            Tracer::new(TracerConfig { slots: 1, events_per_slot: 8, clock: ClockMode::Logical });
+        t.record(EventKind::Marker, 0, 0, 0);
+        let text = render(&t.snapshot(), 60);
+        assert!(!text.contains("density"));
+    }
+}

@@ -42,12 +42,8 @@ fn main() {
             }
             let v = t.global as u32;
             let my = labels[t.global].load();
-            let best = g
-                .neighbors(v)
-                .iter()
-                .map(|&u| labels[u as usize].load())
-                .min()
-                .unwrap_or(my);
+            let best =
+                g.neighbors(v).iter().map(|&u| labels[u as usize].load()).min().unwrap_or(my);
             device.charge(CostKind::ThreadWork, g.degree(v) as u64 + 1);
             if best < my {
                 reg.get_activity(activity).record_active();

@@ -17,9 +17,8 @@ fn main() {
         mesh.num_arcs()
     );
 
-    let make_device = || {
-        sim::Device::new(sim::DeviceConfig { num_sms: 8, ..sim::DeviceConfig::rtx4090() })
-    };
+    let make_device =
+        || sim::Device::new(sim::DeviceConfig { num_sms: 8, ..sim::DeviceConfig::rtx4090() });
 
     // Profile the original 512-thread-block configuration.
     let device = make_device();

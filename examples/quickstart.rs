@@ -17,10 +17,7 @@ fn main() {
 
     // The simulated GPU: an RTX 4090 shrunk to 4 SMs so the example
     // runs instantly; per-thread metrics keep their meaning.
-    let device = sim::Device::new(sim::DeviceConfig {
-        num_sms: 4,
-        ..sim::DeviceConfig::rtx4090()
-    });
+    let device = sim::Device::new(sim::DeviceConfig { num_sms: 4, ..sim::DeviceConfig::rtx4090() });
 
     println!("input: {} vertices, {} arcs\n", undirected.num_vertices(), undirected.num_arcs());
 

@@ -34,7 +34,10 @@ fn main() {
     println!("\nconnected sub-networks: {}", baseline.num_components());
     let init = baseline.counters.vertices_initialized.get();
     let trav = baseline.counters.vertices_traversed.get();
-    println!("CC init profile: {init} initialized, {trav} traversed (gap {:.2}x)", trav as f64 / init as f64);
+    println!(
+        "CC init profile: {init} initialized, {trav} traversed (gap {:.2}x)",
+        trav as f64 / init as f64
+    );
 
     // 2. Is the §6.2.2 optimization worth it here? Compare modeled
     //    cost of both variants.

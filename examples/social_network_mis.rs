@@ -12,13 +12,10 @@ use ecl_suite::{gc, gen, mis, profiling, sim};
 fn main() {
     let spec = gen::registry::find("soc-LiveJournal1").expect("registered input");
     let social = spec.generate(0.002, 11);
-    println!(
-        "social graph: {} users, {} follow-pairs",
-        social.num_vertices(),
-        social.num_edges()
-    );
+    println!("social graph: {} users, {} follow-pairs", social.num_vertices(), social.num_edges());
 
-    let device = || sim::Device::new(sim::DeviceConfig { num_sms: 4, ..sim::DeviceConfig::rtx4090() });
+    let device =
+        || sim::Device::new(sim::DeviceConfig { num_sms: 4, ..sim::DeviceConfig::rtx4090() });
 
     // Seed-set selection, repeated three times: the selected set must
     // be identical every run (deterministic result), while the

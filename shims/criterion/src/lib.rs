@@ -1,0 +1,174 @@
+//! Offline shim for the slice of the `criterion` API the workspace's
+//! benches use (see `shims/README.md`). It keeps the bench sources
+//! compiling and running unchanged — groups, `bench_with_input`,
+//! `Bencher::iter`, `sample_size` — but replaces criterion's
+//! statistical machinery with a plain median-of-samples report printed
+//! to stdout. Good enough to compare configurations on one machine;
+//! not a substitute for criterion's confidence intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { _c: self, name, sample_size: 20 }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{id}"), 20, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` against `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure without an input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::with_capacity(samples), remaining: samples };
+    // One untimed warmup plus `samples` timed runs, all through the
+    // same `iter` entry point.
+    f(&mut b);
+    b.report(label);
+}
+
+/// Hands the closure under measurement to the timing loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    remaining: usize,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples (after one
+    /// warmup call) and records each duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warmup
+        for _ in 0..self.remaining {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("  {label:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+        println!(
+            "  {label:<40} median {:>12?}  range [{:?} .. {:?}]  ({} samples)",
+            median,
+            lo,
+            hi,
+            sorted.len()
+        );
+    }
+}
+
+/// A `group/function/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self { label: format!("{function}/{parameter}") }
+    }
+
+    /// A label from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: format!("{parameter}") }
+    }
+}
+
+/// Declares a bench entry point running each target function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (harness = false).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench_with_input(BenchmarkId::new("f", "x"), &5u64, |b, &x| {
+            b.iter(|| {
+                count += x;
+            })
+        });
+        g.finish();
+        // warmup + 3 samples.
+        assert_eq!(count, 4 * 5);
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline shim for the slice of the `rayon` API this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace
+//! vendors minimal drop-in implementations of its external
+//! dependencies (see `shims/README.md`). This one provides
+//! `into_par_iter()` over integer ranges and vectors with `for_each`,
+//! `map`, `sum`, and `collect`, executed on scoped OS threads: items
+//! are split into one contiguous chunk per available core, so closures
+//! genuinely run concurrently (the simulator's launch semantics and
+//! the atomic-contention behavior the paper profiles depend on that).
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+fn worker_count(len: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4);
+    cores.min(len).max(1)
+}
+
+/// Runs `f` over every item, in parallel chunks, returning the mapped
+/// results in input order.
+fn run_chunks<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(len);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `workers` contiguous chunks of near-equal size.
+    let chunk = len.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A materialized parallel iterator (rayon's `IntoParallelIterator`
+/// output for the types this workspace parallelizes over).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Runs `f` once per item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunks(self.items, &|t| f(t));
+    }
+
+    /// Maps each item through `f`; consume with [`Map::sum`],
+    /// [`Map::collect`], or [`Map::for_each`].
+    pub fn map<R, F>(self, f: F) -> Map<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        Map { items: self.items, f }
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct Map<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> Map<T, F> {
+    /// Parallel map + sequential sum of the results.
+    pub fn sum<S>(self) -> S
+    where
+        F: Fn(T) -> S::Item + Sync,
+        S: SumOf,
+        S::Item: Send,
+    {
+        S::sum_of(run_chunks(self.items, &self.f))
+    }
+
+    /// Parallel map collected in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_chunks(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Runs the mapped closure for its side effects.
+    pub fn for_each<R>(self)
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        run_chunks(self.items, &self.f);
+    }
+}
+
+/// Helper trait so `Map::sum::<u32>()`-style calls resolve like
+/// rayon's (`S: Sum<Self::Item>` in the real API).
+pub trait SumOf: Sized {
+    type Item;
+    fn sum_of(items: Vec<Self::Item>) -> Self;
+}
+
+macro_rules! sum_of_prim {
+    ($($t:ty),*) => {$(
+        impl SumOf for $t {
+            type Item = $t;
+            fn sum_of(items: Vec<$t>) -> $t {
+                items.into_iter().sum()
+            }
+        }
+    )*};
+}
+
+sum_of_prim!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+/// Conversion into a (materialized) parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+par_range!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let sum = AtomicU64::new(0);
+        (0..1000usize).into_par_iter().for_each(|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn map_sum() {
+        let s: u32 = (0..100u32).into_par_iter().map(|i| i * 2).sum();
+        assert_eq!(s, 99 * 100);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..257usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v, (1..=257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        (0..0usize).into_par_iter().for_each(|_| panic!("no items"));
+    }
+
+    #[test]
+    fn runs_concurrently() {
+        // Two items that only complete if both run at once.
+        use std::sync::Barrier;
+        let b = Barrier::new(2.min(worker_count(2)));
+        if worker_count(2) >= 2 {
+            (0..2usize).into_par_iter().for_each(|_| {
+                b.wait();
+            });
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline shim for the slice of `serde` this workspace uses (see
+//! `shims/README.md`): types derive `Serialize` as a forward-compat
+//! marker, but every output format in the repo (tables, charts, the
+//! `.etr` trace format, graph binaries) is hand-rolled — nothing
+//! serializes *through* serde. `Serialize` is therefore a marker trait
+//! with a blanket impl, and the derive macro expands to nothing.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Deserialize<'_> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize)]
+    struct Probe {
+        _x: u32,
+    }
+
+    fn takes_serialize<T: super::Serialize>(_t: &T) {}
+
+    #[test]
+    fn derive_and_blanket_impl_coexist() {
+        takes_serialize(&Probe { _x: 1 });
+        takes_serialize(&vec![1u8, 2]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive` (see `shims/README.md`).
+//!
+//! The workspace derives `Serialize` for documentation/forward-compat
+//! but never serializes through serde (all output formats are
+//! hand-rolled text/binary). The serde shim gives `Serialize` a
+//! blanket impl, so these derives validly expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: the `serde` shim's blanket impl
+/// already covers every type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`, for symmetry.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

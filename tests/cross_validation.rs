@@ -16,12 +16,7 @@ fn cc_matches_union_find_on_all_general_inputs() {
     for spec in gen::general_inputs() {
         let g = spec.generate(SCALE, SEED);
         let r = cc::run(&device(), &g, &cc::CcConfig::baseline());
-        assert_eq!(
-            r.labels,
-            reference::connected_components(&g),
-            "{} labels",
-            spec.name
-        );
+        assert_eq!(r.labels, reference::connected_components(&g), "{} labels", spec.name);
     }
 }
 
@@ -113,7 +108,7 @@ fn cc_degree_bin_ablation_same_labels() {
     let g = gen::registry::find("as-skitter").unwrap().generate(0.002, 8);
     let base = cc::run(&device(), &g, &cc::CcConfig::baseline());
     for bins in [
-        DegreeBins { low_below: 0, medium_below: 0 },          // everything "high"
+        DegreeBins { low_below: 0, medium_below: 0 }, // everything "high"
         DegreeBins { low_below: usize::MAX, medium_below: usize::MAX }, // everything "low"
         DegreeBins { low_below: 4, medium_below: 64 },
     ] {
@@ -167,9 +162,7 @@ fn concurrent_runs_share_one_device_safely() {
     // sweeping configs). Cost charges must merge without loss and
     // results stay correct.
     let device = sim::Device::test_small();
-    let graphs: Vec<_> = (0..4)
-        .map(|s| gen::random::erdos_renyi(400, 4.0, s))
-        .collect();
+    let graphs: Vec<_> = (0..4).map(|s| gen::random::erdos_renyi(400, 4.0, s)).collect();
     let labels: Vec<Vec<u32>> = std::thread::scope(|scope| {
         let handles: Vec<_> = graphs
             .iter()

@@ -40,13 +40,8 @@ fn cc_counter_identities() {
 fn scc_series_tally_identity() {
     let g = gen::registry::find("toroid-wedge").unwrap().generate(0.002, 5);
     let r = scc::run(&device(), &g, &scc::SccConfig::original());
-    let series_total: u64 = r
-        .counters
-        .series
-        .steps()
-        .iter()
-        .map(|k| r.counters.series.total_updates(k.m, k.n))
-        .sum();
+    let series_total: u64 =
+        r.counters.series.steps().iter().map(|k| r.counters.series.total_updates(k.m, k.n)).sum();
     assert_eq!(series_total, r.counters.max_tally.updated());
 }
 

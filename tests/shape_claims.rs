@@ -22,8 +22,8 @@ fn cc_init_gap_exists_on_id_shuffled_inputs() {
     let spec = gen::registry::find("2d-2e20.sym").unwrap();
     let g = spec.generate(0.002, SEED);
     let r = cc::run(&device(), &g, &cc::CcConfig::baseline());
-    let gap = r.counters.vertices_traversed.get() as f64
-        / r.counters.vertices_initialized.get() as f64;
+    let gap =
+        r.counters.vertices_traversed.get() as f64 / r.counters.vertices_initialized.get() as f64;
     // A 4-regular graph with random ids: ~1/5 of vertices are local
     // minima and scan all 4 neighbors -> gap ~1.6 (the paper's
     // 1.68e6 / 1.05e6).
