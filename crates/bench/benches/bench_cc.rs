@@ -1,6 +1,8 @@
 //! Criterion bench: ECL-CC baseline vs. first-neighbor-optimized init
 //! (the Table 7 experiment as wall time).
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecl_cc::CcConfig;
 

@@ -1,6 +1,8 @@
 //! Criterion bench: ECL-GC with and without the two shortcuts (the
 //! DESIGN.md ablation of the §2.2 optimizations).
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecl_gc::GcConfig;
 

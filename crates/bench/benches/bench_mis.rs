@@ -1,6 +1,8 @@
 //! Criterion bench: ECL-MIS across structurally different inputs
 //! (the Table 2 workloads as wall time).
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecl_mis::MisConfig;
 

@@ -1,6 +1,8 @@
 //! Criterion bench: ECL-MST baseline vs. corrected launch
 //! configuration (the Table 8 experiment as wall time).
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecl_mst::MstConfig;
 

@@ -9,6 +9,8 @@
 //! `crates/bench/tests/trace_overhead.rs` asserts that; this bench
 //! quantifies it.
 
+#![allow(clippy::unwrap_used)]
+
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

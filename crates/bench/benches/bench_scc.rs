@@ -1,6 +1,8 @@
 //! Criterion bench: ECL-SCC thread-block-size sweep on the meshes
 //! (the Table 6 experiment as wall time).
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecl_scc::SccConfig;
 

@@ -1,5 +1,8 @@
 //! Diagnostic: one ECL-SCC run on one mesh with timing and work
 //! totals (used while sizing the harness scales).
+
+#![allow(clippy::unwrap_used)]
+
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "klein-bottle".into());
     let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.04);

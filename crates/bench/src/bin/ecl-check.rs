@@ -1,0 +1,90 @@
+//! `ecl-check` — run the data-race sanitizer and launch linter over
+//! the generated-graph suite and fail on any unexpected finding.
+//!
+//! ```text
+//! ecl-check [--scale f] [--verbose]
+//! ecl-check --list
+//! ```
+//!
+//! Every entry runs one algorithm (or a seeded-defect canary) under a
+//! check session and compares the findings against the entry's
+//! declared profile: required rules must fire (the seeded races and
+//! the paper's §6.2 findings are regression canaries for the checker
+//! itself), allowed rules may fire, anything else — above all an
+//! unsuppressed data race — fails the run. Exit status 1 when any
+//! entry fails; this is what the CI `check` job gates on.
+
+use ecl_bench::check_suite::{run_entry, suite};
+use ecl_profiling::table::Table;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut verbose = false;
+    let mut scale = ecl_bench::DEFAULT_SCALE;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--verbose" => verbose = true,
+            "--scale" if i + 1 < argv.len() => {
+                scale = argv[i + 1].parse().unwrap_or(ecl_bench::DEFAULT_SCALE);
+                i += 1;
+            }
+            "--list" => {
+                for e in suite() {
+                    println!("{:<24} required {:?}, allowed {:?}", e.name, e.required, e.allowed);
+                }
+                return;
+            }
+            _ => {
+                eprintln!("usage: ecl-check [--scale f] [--verbose] | --list");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let device = ecl_bench::scaled_device(scale);
+    println!(
+        "ecl-check: {} entries on {} SMs x {} threads/SM\n",
+        suite().len(),
+        device.config().num_sms,
+        device.config().threads_per_sm
+    );
+
+    let mut summary = Table::new(
+        "check suite",
+        &["entry", "status", "findings", "suppressed", "launches", "accesses"],
+    );
+    let mut failed = 0usize;
+    for entry in suite() {
+        let outcome = run_entry(&device, &entry);
+        if !outcome.passed() {
+            failed += 1;
+        }
+        summary.row_owned(vec![
+            outcome.name.to_string(),
+            outcome.status().to_string(),
+            outcome.report.findings.len().to_string(),
+            outcome.report.suppressed.len().to_string(),
+            outcome.report.launches.to_string(),
+            outcome.report.accesses.to_string(),
+        ]);
+        let show = verbose || !outcome.passed() || !outcome.report.findings.is_empty();
+        if show {
+            print!("{}", outcome.report.render(outcome.name));
+            for rule in &outcome.missing {
+                println!("  MISSING required rule: {}", rule.name());
+            }
+            println!();
+        }
+    }
+    print!("{}", summary.render());
+    if failed > 0 {
+        eprintln!(
+            "\necl-check: {failed} suite entr{} failed",
+            if failed == 1 { "y" } else { "ies" }
+        );
+        std::process::exit(1);
+    }
+    println!("\necl-check: all entries passed");
+}

@@ -16,6 +16,10 @@
 //! outcomes, and per-round phases into a `.etr` capture; inspect it
 //! with the `ecl-trace` binary (`ecl-trace export --chrome out.etr`
 //! loads in Perfetto).
+//!
+//! `--check` runs the algorithm under the `ecl-check` data-race
+//! sanitizer and launch linter, prints the findings report after the
+//! run, and exits with status 1 if any unsuppressed finding remains.
 
 use ecl_profiling::{chart, Histogram};
 
@@ -32,6 +36,7 @@ struct Args {
     histogram: bool,
     kernels: bool,
     trace: Option<String>,
+    check: bool,
 }
 
 /// Writes the `.etr` capture when the run finishes — on drop, so the
@@ -94,6 +99,7 @@ fn parse() -> Args {
         histogram: false,
         kernels: false,
         trace: None,
+        check: false,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -141,6 +147,7 @@ fn parse() -> Args {
             "--trim" => a.trim = true,
             "--histogram" => a.histogram = true,
             "--kernels" => a.kernels = true,
+            "--check" => a.check = true,
             _ => usage(),
         }
         i += 1;
@@ -177,6 +184,21 @@ fn main() {
         device.resident_threads()
     );
 
+    if a.check {
+        let session = ecl_check::CheckSession::begin(&device);
+        run_algo(&a, spec, &device);
+        let report = session.finish();
+        print!("\n{}", report.render(&format!("ecl-check: {} on {}", a.algo, spec.name)));
+        if !report.is_clean() {
+            eprintln!("ecl-check: unsuppressed findings — failing");
+            std::process::exit(1);
+        }
+        return;
+    }
+    run_algo(&a, spec, &device);
+}
+
+fn run_algo(a: &Args, spec: &ecl_graphgen::InputSpec, device: &ecl_gpusim::Device) {
     match a.algo.as_str() {
         "cc" => {
             let g = spec.generate(a.scale, a.seed);
@@ -187,13 +209,13 @@ fn main() {
             };
             if a.kernels {
                 let ((r, profile), secs) =
-                    ecl_gpusim::run_timed(|| ecl_cc::run_profiled(&device, &g, &cfg));
+                    ecl_gpusim::run_timed(|| ecl_cc::run_profiled(device, &g, &cfg));
                 println!("\nECL-CC: {} components in {secs:.3}s", r.num_components());
                 print!("{}", profile.render("per-kernel cost breakdown"));
-                print_cost(&device);
+                print_cost(device);
                 return;
             }
-            let (r, secs) = ecl_gpusim::run_timed(|| ecl_cc::run(&device, &g, &cfg));
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_cc::run(device, &g, &cfg));
             println!(
                 "\nECL-CC{}: {} components in {:.3}s",
                 if a.optimized { " (optimized init)" } else { "" },
@@ -213,12 +235,12 @@ fn main() {
                 c.hook_cas.attempted(),
                 c.hook_cas.cas_failed()
             );
-            print_cost(&device);
+            print_cost(device);
         }
         "mis" => {
             let g = spec.generate(a.scale, a.seed);
             let cfg = ecl_mis::MisConfig::default();
-            let (r, secs) = ecl_gpusim::run_timed(|| ecl_mis::run(&device, &g, &cfg));
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_mis::run(device, &g, &cfg));
             println!("\nECL-MIS: {} selected in {} rounds ({secs:.3}s)", r.set_size(), r.rounds);
             for (name, counter) in [
                 ("iterations", &r.counters.iterations),
@@ -235,7 +257,7 @@ fn main() {
                     );
                 }
             }
-            print_cost(&device);
+            print_cost(device);
         }
         "gc" => {
             let g = spec.generate(a.scale, a.seed);
@@ -244,7 +266,7 @@ fn main() {
             } else {
                 ecl_gc::GcConfig::default()
             };
-            let (r, secs) = ecl_gpusim::run_timed(|| ecl_gc::run(&device, &g, &cfg));
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_gc::run(device, &g, &cfg));
             println!(
                 "\nECL-GC{}: {} colors in {} rounds ({secs:.3}s)",
                 if a.no_shortcuts { " (no shortcuts)" } else { "" },
@@ -262,7 +284,7 @@ fn main() {
                         .render("  per-vertex stall distribution", 40)
                 );
             }
-            print_cost(&device);
+            print_cost(device);
         }
         "mst" => {
             let g = spec.generate_weighted(a.scale, a.seed, 1 << 20);
@@ -271,7 +293,7 @@ fn main() {
             } else {
                 ecl_mst::MstConfig::baseline()
             };
-            let (r, secs) = ecl_gpusim::run_timed(|| ecl_mst::run(&device, &g, &cfg));
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_mst::run(device, &g, &cfg));
             println!(
                 "\nECL-MST{}: {} edges, weight {}, {} trees ({secs:.3}s)",
                 if a.fixed_launch { " (fixed launch)" } else { "" },
@@ -285,7 +307,7 @@ fn main() {
                 r.counters.atomics.attempted(),
                 100.0 * r.counters.atomics.useless_fraction()
             );
-            print_cost(&device);
+            print_cost(device);
         }
         "scc" => {
             if !spec.directed {
@@ -298,7 +320,7 @@ fn main() {
                 cfg.block_size = bs;
             }
             cfg.trim = a.trim;
-            let (r, secs) = ecl_gpusim::run_timed(|| ecl_scc::run(&device, &g, &cfg));
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_scc::run(device, &g, &cfg));
             println!(
                 "\nECL-SCC (block {}{}): {} SCCs in {} outer iterations ({secs:.3}s)",
                 cfg.block_size,
@@ -316,7 +338,7 @@ fn main() {
             if let Some(row) = r.counters.series.row(1, 1) {
                 print!("{}", chart::column_chart("  block updates, m=1 n=1", &row, 60, 6));
             }
-            print_cost(&device);
+            print_cost(device);
         }
         other => {
             eprintln!("unknown algorithm '{other}'");

@@ -82,6 +82,7 @@ pub fn panel_table(scale: f64, seed: u64, m: u32, n: u32) -> Table {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -64,6 +64,7 @@ pub fn table(scale: f64, seed: u64) -> Table {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -14,6 +14,7 @@
 //! "vertices per thread" on 196,608 persistent threads) depend on the
 //! ratio of input size to thread count, which scaling both preserves.
 
+pub mod check_suite;
 pub mod experiments;
 
 use ecl_gpusim::{Device, DeviceConfig};
@@ -82,6 +83,7 @@ pub fn parse_args() -> (f64, u64) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

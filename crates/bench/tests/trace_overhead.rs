@@ -8,6 +8,8 @@
 //! sides; a real regression (taking a lock or formatting a string per
 //! event on the disabled path) is orders of magnitude, not percent.
 
+#![allow(clippy::unwrap_used)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -66,6 +66,7 @@ impl CcCounters {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

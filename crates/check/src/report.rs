@@ -1,0 +1,217 @@
+//! Findings and the rendered report.
+
+use ecl_profiling::Table;
+
+/// The rule a finding violates. `raw()` values are the payload of
+/// `EventKind::CheckFinding` trace events — append, never renumber.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// Two distinct agents wrote the same cell non-atomically in the
+    /// same launch epoch.
+    WriteWriteRace,
+    /// One agent read a cell another agent wrote non-atomically in the
+    /// same launch epoch.
+    ReadWriteRace,
+    /// The grid launched far more blocks than touched any work — the
+    /// paper's ECL-MST stale-worklist launch (§6.3).
+    OverLaunch,
+    /// Block-wide barriers charged many thread-slots with few
+    /// effective updates between them — the ECL-SCC oversized-block
+    /// signal (§6.2).
+    BlockSyncWaste,
+    /// The block size leaves SM occupancy below threshold
+    /// (`DeviceConfig::occupancy`, the Table 6 block-size cliff).
+    Occupancy,
+    /// A per-lane barrier (`BlockCtx::lane_sync`) was not reached by
+    /// every lane of the block the same number of times —
+    /// `__syncthreads()` under divergence.
+    DivergentSync,
+}
+
+impl Rule {
+    /// All rules, report ordered.
+    pub const ALL: [Rule; 6] = [
+        Rule::WriteWriteRace,
+        Rule::ReadWriteRace,
+        Rule::OverLaunch,
+        Rule::BlockSyncWaste,
+        Rule::Occupancy,
+        Rule::DivergentSync,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WriteWriteRace => "write-write-race",
+            Rule::ReadWriteRace => "read-write-race",
+            Rule::OverLaunch => "over-launch",
+            Rule::BlockSyncWaste => "block-sync-waste",
+            Rule::Occupancy => "occupancy",
+            Rule::DivergentSync => "divergent-sync",
+        }
+    }
+
+    /// Wire value used as the `CheckFinding` trace-event payload.
+    pub fn raw(self) -> u32 {
+        match self {
+            Rule::WriteWriteRace => 1,
+            Rule::ReadWriteRace => 2,
+            Rule::OverLaunch => 3,
+            Rule::BlockSyncWaste => 4,
+            Rule::Occupancy => 5,
+            Rule::DivergentSync => 6,
+        }
+    }
+
+    /// Whether this is one of the two race rules (as opposed to a
+    /// launch-configuration lint).
+    pub fn is_race(self) -> bool {
+        matches!(self, Rule::WriteWriteRace | Rule::ReadWriteRace)
+    }
+}
+
+/// One folded finding: all conflicts with the same (rule, kernel,
+/// region) collapse into a single entry whose `count` tallies the
+/// occurrences and whose `detail` describes the first one.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Kernel name (from the `launch_*_named` call site).
+    pub kernel: String,
+    /// Registered region the cell belongs to, if any.
+    pub region: Option<String>,
+    /// 1-based launch index (within the session) of the first
+    /// occurrence.
+    pub launch_index: u64,
+    /// Number of occurrences folded into this finding.
+    pub count: u64,
+    /// Human-readable description of the first occurrence.
+    pub detail: String,
+    /// `Some(reason)` when the finding hit a benign-allowlisted region
+    /// and was suppressed.
+    pub suppressed: Option<String>,
+}
+
+/// The result of a check session.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (rule, kernel).
+    pub findings: Vec<Finding>,
+    /// Findings on benign-allowlisted regions (still counted, never
+    /// fatal).
+    pub suppressed: Vec<Finding>,
+    /// Tracked kernel launches observed.
+    pub launches: u64,
+    /// Counted-atomic cell accesses observed.
+    pub accesses: u64,
+}
+
+impl Report {
+    /// No unsuppressed findings of any rule.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// No unsuppressed *race* findings (lint findings ignored).
+    pub fn races_clean(&self) -> bool {
+        !self.findings.iter().any(|f| f.rule.is_race())
+    }
+
+    /// Unsuppressed findings of `rule`.
+    pub fn of_rule(&self, rule: Rule) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.rule == rule).collect()
+    }
+
+    /// Whether any unsuppressed finding of `rule` exists.
+    pub fn has(&self, rule: Rule) -> bool {
+        self.findings.iter().any(|f| f.rule == rule)
+    }
+
+    /// Renders the findings as a table plus a summary footer, in the
+    /// same visual style as the harness binaries.
+    pub fn render(&self, title: &str) -> String {
+        let mut t = Table::new(title, &["kernel", "rule", "region", "count", "detail"]);
+        for f in self.findings.iter().chain(self.suppressed.iter()) {
+            let rule = if f.suppressed.is_some() {
+                format!("{} (suppressed)", f.rule.name())
+            } else {
+                f.rule.name().to_string()
+            };
+            t.row_owned(vec![
+                f.kernel.clone(),
+                rule,
+                f.region.clone().unwrap_or_else(|| "-".to_string()),
+                f.count.to_string(),
+                f.detail.clone(),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "{} finding(s), {} suppressed (benign allowlist) · {} launches, {} accesses checked\n",
+            self.findings.len(),
+            self.suppressed.len(),
+            self.launches,
+            self.accesses,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, kernel: &str, suppressed: bool) -> Finding {
+        Finding {
+            rule,
+            kernel: kernel.to_string(),
+            region: Some("r".to_string()),
+            launch_index: 1,
+            count: 3,
+            detail: "cell r[0]".to_string(),
+            suppressed: suppressed.then(|| "why".to_string()),
+        }
+    }
+
+    #[test]
+    fn rule_raw_values_are_distinct_and_stable() {
+        let mut raws: Vec<u32> = Rule::ALL.iter().map(|r| r.raw()).collect();
+        raws.sort_unstable();
+        raws.dedup();
+        assert_eq!(raws.len(), Rule::ALL.len());
+        assert_eq!(Rule::WriteWriteRace.raw(), 1);
+        assert_eq!(Rule::DivergentSync.raw(), 6);
+    }
+
+    #[test]
+    fn clean_predicates() {
+        let mut r = Report::default();
+        assert!(r.is_clean() && r.races_clean());
+        r.suppressed.push(finding(Rule::WriteWriteRace, "k", true));
+        assert!(r.is_clean(), "suppressed findings never dirty a report");
+        r.findings.push(finding(Rule::OverLaunch, "k", false));
+        assert!(!r.is_clean());
+        assert!(r.races_clean(), "lint findings are not races");
+        r.findings.push(finding(Rule::ReadWriteRace, "k", false));
+        assert!(!r.races_clean());
+        assert_eq!(r.of_rule(Rule::OverLaunch).len(), 1);
+        assert!(r.has(Rule::ReadWriteRace));
+        assert!(!r.has(Rule::Occupancy));
+    }
+
+    #[test]
+    fn render_includes_suppressed_and_footer() {
+        let mut r = Report::default();
+        r.findings.push(finding(Rule::OverLaunch, "mst.k1", false));
+        r.suppressed.push(finding(Rule::WriteWriteRace, "mst.reset", true));
+        r.launches = 7;
+        r.accesses = 1234;
+        let text = r.render("findings");
+        assert!(text.contains("over-launch"));
+        assert!(text.contains("write-write-race (suppressed)"));
+        assert!(text.contains("1 finding(s), 1 suppressed"));
+        assert!(text.contains("7 launches, 1234 accesses"));
+    }
+}

@@ -148,6 +148,7 @@ impl Clone for AtomicTally {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -67,6 +67,7 @@ pub fn column_chart(title: &str, values: &[u64], width: usize, height: usize) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -151,6 +151,7 @@ impl Clone for PerThreadCounter {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -145,6 +145,7 @@ impl Clone for ActivityTally {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

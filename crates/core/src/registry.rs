@@ -260,6 +260,7 @@ impl Snapshot {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

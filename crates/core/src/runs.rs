@@ -98,6 +98,7 @@ impl MultiRun {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

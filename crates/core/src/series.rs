@@ -189,6 +189,7 @@ impl IterationBars {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -112,6 +112,7 @@ pub fn median_index(values: &[f64]) -> Option<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -114,6 +114,7 @@ pub fn sci(v: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -134,6 +134,7 @@ pub fn disjoint(words: &[CountedU64], layout: &BitmapLayout, a: u32, b: u32) -> 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -61,6 +61,7 @@ impl GcCounters {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;

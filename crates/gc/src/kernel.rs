@@ -1,7 +1,10 @@
 //! The ECL-GC coloring kernels (`runSmall` / `runLarge`).
 
+use ecl_check::{register_benign_region, register_region};
 use ecl_gpusim::atomics::{atomic_u32_array, atomic_u8_array};
-use ecl_gpusim::{launch_flat, CostKind, CountedU32, CountedU64, CountedU8, Device, LaunchConfig};
+use ecl_gpusim::{
+    launch_flat_named, CostKind, CountedU32, CountedU64, CountedU8, Device, LaunchConfig,
+};
 use ecl_graph::Csr;
 
 use crate::bitmap::{self, BitmapLayout};
@@ -44,6 +47,23 @@ pub fn color(device: &Device, g: &Csr, config: &GcConfig) -> GcResult {
         arc_active: atomic_u8_array(g.num_arcs(), |_| 1),
     };
     ecl_trace::sink::phase_end("init");
+    // Region declarations for the sanitizer. The bitmaps and colors
+    // race by construction: neighbors probe v's possible set while v
+    // clears bits monotonically, and the single UNCOLORED->color store
+    // is read unsynchronized (§2.2). Arc flags are exclusive to the
+    // owning endpoint's thread, so they are registered *non*-benign —
+    // any conflict there is a real bug.
+    let _poss = register_benign_region(
+        "gc.poss",
+        &state.poss,
+        "possible-color bitmaps shrink monotonically; stale reads only defer coloring (§2.2)",
+    );
+    let _colors = register_benign_region(
+        "gc.colors",
+        &state.colors,
+        "single UNCOLORED->color store per vertex; readers tolerate staleness (§2.2)",
+    );
+    let _arcs = register_region("gc.arc-active", &state.arc_active);
 
     // Coloring stage: rounds over the shrinking uncolored worklist,
     // split into the small and large kernels by degree.
@@ -55,8 +75,8 @@ pub fn color(device: &Device, g: &Csr, config: &GcConfig) -> GcResult {
         ecl_trace::sink::phase_start("color-round");
         let (small, large): (Vec<u32>, Vec<u32>) =
             worklist.iter().partition(|&&v| g.degree(v) <= LARGE_DEGREE);
-        run_kernel(device, &state, config, &counters, &small);
-        run_kernel(device, &state, config, &counters, &large);
+        run_kernel(device, "gc.color-small", &state, config, &counters, &small);
+        run_kernel(device, "gc.color-large", &state, config, &counters, &large);
         let before = worklist.len();
         worklist.retain(|&v| state.colors[v as usize].load() == UNCOLORED);
         if counters.enabled() {
@@ -76,6 +96,7 @@ pub fn color(device: &Device, g: &Csr, config: &GcConfig) -> GcResult {
 /// One kernel launch processing the given uncolored vertices.
 fn run_kernel(
     device: &Device,
+    name: &str,
     state: &State<'_>,
     config: &GcConfig,
     counters: &GcCounters,
@@ -86,7 +107,7 @@ fn run_kernel(
     }
     let total = verts.len();
     let cfg = LaunchConfig::cover(total, config.block_size);
-    launch_flat(device, cfg, |t| {
+    launch_flat_named(device, name, cfg, |t| {
         if t.global >= total {
             device.charge(CostKind::IdleCheck, 1);
             return;
@@ -191,6 +212,7 @@ fn process_vertex(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;

@@ -97,6 +97,7 @@ pub fn run(device: &Device, g: &Csr, config: &GcConfig) -> GcResult {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;

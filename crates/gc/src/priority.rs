@@ -32,6 +32,7 @@ pub fn dag_in_degrees(g: &Csr) -> Vec<u32> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;

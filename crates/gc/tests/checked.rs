@@ -1,0 +1,33 @@
+//! ECL-GC under the race sanitizer: the possible-color bitmaps and the
+//! color array race by design (monotonic bit clearing, unsynchronized
+//! color publication), while the per-arc dependency flags are strictly
+//! thread-exclusive — the checker proves both claims at once.
+
+#![allow(clippy::unwrap_used)]
+
+use ecl_check::run_checked;
+use ecl_gc::{run, GcConfig};
+use ecl_gpusim::Device;
+
+#[test]
+fn gc_runs_race_clean_under_checker() {
+    let device = Device::test_small();
+    let g = ecl_graphgen::random::erdos_renyi(500, 6.0, 17);
+    let config = GcConfig { block_size: 64, ..GcConfig::default() };
+    let (result, report) = run_checked(&device, || run(&device, &g, &config));
+    assert!(ecl_ref::is_proper_coloring(&g, &result.colors));
+    assert!(
+        report.is_clean(),
+        "GC must be free of unsuppressed findings:\n{}",
+        report.render("gc")
+    );
+    // In particular: zero findings on the exclusive gc.arc-active
+    // region, suppressed ones only on the declared benign regions.
+    for f in &report.suppressed {
+        let r = f.region.as_deref();
+        assert!(
+            r == Some("gc.poss") || r == Some("gc.colors"),
+            "unexpected suppressed region: {f:?}"
+        );
+    }
+}

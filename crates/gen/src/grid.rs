@@ -133,6 +133,7 @@ pub fn roadmap(rows: usize, cols: usize, subdivisions: usize, seed: u64) -> Csr 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::validate::check_undirected_input;

@@ -190,6 +190,7 @@ pub fn star(layers: usize, base: usize, seed: u64) -> Csr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::DegreeStats;

@@ -177,6 +177,7 @@ pub fn clique_overlay(n: usize, groups: usize, group_mean: usize, seed: u64) -> 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::validate::check_undirected_input;

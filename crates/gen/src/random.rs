@@ -50,6 +50,7 @@ pub fn random_near_regular(n: usize, d: usize, seed: u64) -> Csr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::validate::check_undirected_input;

@@ -411,6 +411,7 @@ pub fn find(name: &str) -> Option<&'static InputSpec> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::DegreeStats;

@@ -50,6 +50,7 @@ pub fn relabel_random(g: &Csr, seed: u64) -> Csr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::DegreeStats;

@@ -73,6 +73,7 @@ pub fn rmat(scale: u32, edges_per_vertex: f64, params: RmatParams, seed: u64) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::validate::check_undirected_input;

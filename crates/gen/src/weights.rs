@@ -36,6 +36,7 @@ pub fn with_hashed_weights(g: &Csr, max_weight: u32, seed: u64) -> WeightedCsr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::validate::check_weight_symmetry;

@@ -33,7 +33,7 @@ impl Csr {
         let n = offsets.len() - 1;
         assert_eq!(offsets[0], 0, "offsets[0] must be 0");
         assert_eq!(
-            *offsets.last().unwrap(),
+            *offsets.last().expect("offsets is non-empty"),
             neighbors.len(),
             "offsets[n] must equal the arc count"
         );
@@ -161,6 +161,7 @@ impl Csr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;

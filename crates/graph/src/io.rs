@@ -210,6 +210,7 @@ pub fn write_edge_list<W: Write>(w: &mut W, g: &Csr) -> io::Result<()> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -145,6 +145,7 @@ fn bfs_farthest(g: &Csr, start: VertexId) -> (VertexId, usize) {
 use crate::csr::VertexId;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;

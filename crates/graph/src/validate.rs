@@ -83,6 +83,7 @@ pub fn check_undirected_input(g: &Csr) -> Result<(), Violation> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;

@@ -86,6 +86,7 @@ impl WeightedCsr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;

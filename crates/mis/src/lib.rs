@@ -108,6 +108,7 @@ pub fn run(device: &Device, g: &Csr, config: &MisConfig) -> MisResult {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;

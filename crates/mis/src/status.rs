@@ -97,6 +97,7 @@ fn hash_id(v: u32) -> u32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,29 @@
+//! ECL-MIS under the race sanitizer: the status-byte array is the
+//! paper's flagship benign-race structure (monotonic one-byte
+//! transitions instead of atomics), so a checked run is clean with all
+//! conflicts suppressed on `mis.stat`.
+
+#![allow(clippy::unwrap_used)]
+
+use ecl_check::run_checked;
+use ecl_gpusim::Device;
+use ecl_mis::{run, MisConfig};
+
+#[test]
+fn mis_runs_race_clean_under_checker() {
+    let device = Device::test_small();
+    let g = ecl_graphgen::random::erdos_renyi(600, 4.0, 13);
+    let (result, report) = run_checked(&device, || run(&device, &g, &MisConfig::default()));
+    assert!(ecl_ref::is_maximal_independent_set(&g, &result.in_set));
+    assert!(
+        report.is_clean(),
+        "MIS must be free of unsuppressed findings:\n{}",
+        report.render("mis")
+    );
+    assert!(!report.suppressed.is_empty(), "status-byte races should be seen (and suppressed)");
+    assert!(
+        report.suppressed.iter().all(|f| f.region.as_deref() == Some("mis.stat")),
+        "only the declared benign region may race: {:?}",
+        report.suppressed
+    );
+}

@@ -3,8 +3,11 @@
 
 use parking_lot::Mutex;
 
+use ecl_check::{register_benign_region, register_region, CheckedSlice};
 use ecl_gpusim::atomics::{atomic_u32_array, atomic_u64_array, atomic_u8_array};
-use ecl_gpusim::{launch_flat, launch_warps, CostKind, CountedU64, Device, LaunchConfig};
+use ecl_gpusim::{
+    launch_flat_named, launch_warps_named, CostKind, CountedU64, Device, LaunchConfig,
+};
 use ecl_graph::{EdgeId, WeightedCsr};
 use ecl_profiling::series::{IterationBar, IterationKind};
 use ecl_profiling::{ActivityTally, AtomicTally};
@@ -73,6 +76,16 @@ pub fn minimum_spanning_forest(device: &Device, g: &WeightedCsr, config: &MstCon
         epoch: 0,
         winners: Mutex::new(Vec::new()),
     };
+    // Best keys are written non-atomically only by the reset pass,
+    // where every writer stores the same NONE_KEY sentinel. Attempt
+    // counters see plain loads plus CAS retries only, so they carry no
+    // allowlist: a race there would be a real bug.
+    let _best_region = register_benign_region(
+        "mst.best",
+        &state.best,
+        "reset stores are idempotent: every writer stores NONE_KEY",
+    );
+    let _attempts_region = register_region("mst.attempts", &state.attempts);
 
     // The launch sizes the baseline keeps for the whole run (§6.2.3:
     // "launched with too many thread blocks ... not updated
@@ -179,9 +192,15 @@ fn iteration(
     let iter_atomics = AtomicTally::new();
     // Roots observed by K1, reused by K2 for a consistent winner check,
     // and attempt flags for the conflict metric.
+    // Per-slot scratch is strictly exclusive: one warp (K1) or lane
+    // (K2/reset) owns index i. Registered non-benign so the checker
+    // proves that exclusivity every iteration.
     let root_u = atomic_u32_array(len, |_| 0);
+    let root_u = CheckedSlice::new("mst.root-u", &root_u);
     let root_v = atomic_u32_array(len, |_| 0);
+    let root_v = CheckedSlice::new("mst.root-v", &root_v);
     let attempted = atomic_u8_array(len, |_| 0);
+    let attempted = CheckedSlice::new("mst.attempted", &attempted);
 
     // K1: election. One thread per worklist slot; a non-atomic check
     // guards the atomicMin (the §6.1.4 conflict/useless-atomic
@@ -192,7 +211,7 @@ fn iteration(
     // produce genuine no-effect atomicMin operations — the "useless
     // atomics" of Figure 2.
     const MAX_WARP: usize = 64;
-    launch_warps(device, cfg, |warp| {
+    launch_warps_named(device, "mst.k1-election", cfg, |warp| {
         debug_assert!(warp.lanes <= MAX_WARP);
         let mut keys = [0u64; MAX_WARP];
         let mut roots = [(0u32, 0u32); MAX_WARP];
@@ -278,7 +297,7 @@ fn iteration(
     // K2: selection + merge. An edge enters the MST iff it is the
     // elected minimum of at least one incident component.
     let merges = ecl_profiling::GlobalCounter::new();
-    launch_flat(device, cfg, |t| {
+    launch_flat_named(device, "mst.k2-merge", cfg, |t| {
         if t.global >= len {
             device.charge(CostKind::IdleCheck, 1);
             return;
@@ -305,7 +324,7 @@ fn iteration(
     // Reset pass: clear the best keys of every root this worklist
     // touched (new merged roots are the minima of the old ones, so
     // storing through the observed roots covers them).
-    launch_flat(device, cfg, |t| {
+    launch_flat_named(device, "mst.reset", cfg, |t| {
         if t.global >= len {
             device.charge(CostKind::IdleCheck, 1);
             return;
@@ -372,6 +391,7 @@ impl MstCounters {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

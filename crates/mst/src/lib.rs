@@ -123,6 +123,7 @@ pub fn run(device: &Device, g: &WeightedCsr, config: &MstConfig) -> MstResult {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;

@@ -6,6 +6,7 @@
 //! finds terminate; unions hook the larger root under the smaller one
 //! with `atomicCAS`, retrying from fresh roots on failure.
 
+use ecl_check::{register_benign_region, RegionHandle};
 use ecl_gpusim::atomics::atomic_u32_array;
 use ecl_gpusim::{CostKind, CountedU32, Device};
 use ecl_profiling::AtomicTally;
@@ -14,12 +15,22 @@ use ecl_profiling::AtomicTally;
 #[derive(Debug)]
 pub struct GpuUnionFind {
     parent: Vec<CountedU32>,
+    /// Sanitizer registration: parent pointers race on purpose
+    /// (pointer-jumping stores plus hooking CASes), so the region is
+    /// declared benign for the lifetime of the structure.
+    _region: RegionHandle,
 }
 
 impl GpuUnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: atomic_u32_array(n, |i| i as u32) }
+        let parent = atomic_u32_array(n, |i| i as u32);
+        let _region = register_benign_region(
+            "mst.uf-parent",
+            &parent,
+            "pointer jumping only shortcuts toward the root; chains strictly decrease (§2.4)",
+        );
+        Self { parent, _region }
     }
 
     /// Number of elements.
@@ -87,6 +98,7 @@ impl GpuUnionFind {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rayon::prelude::*;

@@ -56,6 +56,7 @@ pub fn num_colors(colors: &[u32]) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;

@@ -46,6 +46,7 @@ pub fn is_maximal_independent_set(g: &Csr, in_set: &[bool]) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;

@@ -42,6 +42,7 @@ pub fn kruskal(g: &WeightedCsr) -> MstResult {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;

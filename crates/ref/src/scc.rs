@@ -83,6 +83,7 @@ pub fn num_sccs(g: &Csr) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;

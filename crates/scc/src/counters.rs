@@ -51,6 +51,7 @@ impl SccCounters {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -3,8 +3,11 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
+use ecl_check::register_region;
 use ecl_gpusim::atomics::atomic_u32_array;
-use ecl_gpusim::{launch_blocks, launch_flat, CostKind, CountedU32, Device, LaunchConfig};
+use ecl_gpusim::{
+    launch_blocks_named, launch_flat_named, CostKind, CountedU32, Device, LaunchConfig,
+};
 use ecl_graph::Csr;
 
 use crate::counters::SccCounters;
@@ -26,6 +29,12 @@ pub fn strongly_connected_components(device: &Device, g: &Csr, config: &SccConfi
 
     let v_in = atomic_u32_array(n, |i| i as u32);
     let v_out = atomic_u32_array(n, |i| i as u32);
+    // Signatures are *not* benign-allowlisted: init stores are
+    // per-vertex exclusive and propagation only ever combines plain
+    // loads with counted fetch_max atomics, so the checker must see
+    // these regions fully race-free.
+    let _v_in_region = register_region("scc.v-in", &v_in);
+    let _v_out_region = register_region("scc.v-out", &v_out);
 
     // The current (pruned) edge list. Pruning is host-side compaction;
     // the removal test itself runs as a kernel.
@@ -50,7 +59,7 @@ pub fn strongly_connected_components(device: &Device, g: &Csr, config: &SccConfi
         // Stage 1: signature initialization.
         ecl_trace::sink::phase_start("signature-init");
         let cfg_v = LaunchConfig::cover(n, config.block_size);
-        launch_flat(device, cfg_v, |t| {
+        launch_flat_named(device, "scc.signature-init", cfg_v, |t| {
             if t.global >= n {
                 device.charge(CostKind::IdleCheck, 1);
                 return;
@@ -134,7 +143,7 @@ fn propagate(
         for c in &block_cost {
             c.store(0, Ordering::Relaxed);
         }
-        launch_blocks(device, cfg, |blk| {
+        launch_blocks_named(device, "scc.propagate", cfg, |blk| {
             let lo = len * blk.block / num_blocks;
             let hi = len * (blk.block + 1) / num_blocks;
             let slice = &edges[lo..hi];
@@ -259,7 +268,7 @@ fn prune(
 ) {
     let len = edges.len();
     let cfg = LaunchConfig::cover(len, config.block_size);
-    launch_flat(device, cfg, |t| {
+    launch_flat_named(device, "scc.prune", cfg, |t| {
         if t.global >= len {
             device.charge(CostKind::IdleCheck, 1);
         } else {
@@ -269,6 +278,7 @@ fn prune(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;

@@ -119,6 +119,7 @@ pub fn run(device: &Device, g: &Csr, config: &SccConfig) -> SccResult {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ecl_graph::GraphBuilder;

@@ -1,0 +1,37 @@
+//! ECL-SCC under the race sanitizer and launch linter. Unlike the
+//! other four kernels SCC has *no* benign-race idiom — propagation
+//! combines plain loads with counted fetch_max atomics and init stores
+//! are exclusive — so the signature regions must come back completely
+//! race-clean without any allowlist entry. The *linter*, on the other
+//! hand, is expected to fire: on a tiny input with wide blocks almost
+//! every barrier slot belongs to an idle lane, which is exactly the
+//! §6.2.1 oversized-block overhead the block-sync-waste rule encodes.
+
+#![allow(clippy::unwrap_used)]
+
+use ecl_check::{run_checked, Rule};
+use ecl_gpusim::Device;
+use ecl_scc::{run, SccConfig};
+
+#[test]
+fn scc_runs_race_clean_under_checker() {
+    let device = Device::test_small();
+    let g = ecl_graphgen::mesh::toroid_wedge(8, 8, 1);
+    let (result, report) =
+        run_checked(&device, || run(&device, &g, &SccConfig::with_block_size(64)));
+    assert_eq!(result.labels.len(), g.num_vertices());
+    assert!(report.races_clean(), "SCC must be free of data races:\n{}", report.render("scc"));
+    assert!(
+        report.suppressed.is_empty(),
+        "SCC declares no benign regions; nothing may be suppressed: {:?}",
+        report.suppressed
+    );
+    // The §6.2.1 signal: 64-lane blocks re-syncing over a 128-edge
+    // graph strand most barrier slots on idle lanes.
+    let waste = report.of_rule(Rule::BlockSyncWaste);
+    assert!(
+        waste.iter().any(|f| f.kernel == "scc.propagate"),
+        "oversized blocks on a tiny input must trip block-sync-waste:\n{}",
+        report.render("scc")
+    );
+}

@@ -21,6 +21,19 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use ecl_profiling::{AtomicOutcome, AtomicTally};
 use ecl_trace::{sink, EventKind};
 
+use crate::check::{self, AccessKind};
+
+/// Maps an RMW outcome to the access classification the checker sees.
+/// Both map to atomic (race-exempt) kinds; the split lets lint rules
+/// count *effective* updates.
+#[inline]
+fn rmw_access_kind(outcome: AtomicOutcome) -> AccessKind {
+    match outcome {
+        AtomicOutcome::Updated => AccessKind::AtomicUpdated,
+        AtomicOutcome::NoEffect | AtomicOutcome::CasFailed => AccessKind::AtomicNoEffect,
+    }
+}
+
 /// Mirrors an atomic outcome into the global trace sink. A single
 /// relaxed load when tracing is disabled, so counted atomics stay
 /// cheap on the hot path.
@@ -50,15 +63,29 @@ macro_rules! counted_atomic {
                 Self { inner: <$atomic>::new(v) }
             }
 
-            /// Relaxed load.
+            /// Relaxed load. Semantically a *plain* CUDA read: the
+            /// race detector treats it as an ordinary access, not an
+            /// atomic.
             #[inline]
             pub fn load(&self) -> $prim {
+                check::on_access(
+                    self as *const Self as usize,
+                    std::mem::size_of::<Self>(),
+                    AccessKind::Read,
+                );
                 self.inner.load(Ordering::Relaxed)
             }
 
-            /// Relaxed store.
+            /// Relaxed store. Semantically a *plain* CUDA write: the
+            /// race detector treats it as an ordinary access, not an
+            /// atomic.
             #[inline]
             pub fn store(&self, v: $prim) {
+                check::on_access(
+                    self as *const Self as usize,
+                    std::mem::size_of::<Self>(),
+                    AccessKind::Write,
+                );
                 self.inner.store(v, Ordering::Relaxed)
             }
 
@@ -78,6 +105,11 @@ macro_rules! counted_atomic {
                             t.record(AtomicOutcome::Updated);
                         }
                         trace_outcome(AtomicOutcome::Updated);
+                        check::on_access(
+                            self as *const Self as usize,
+                            std::mem::size_of::<Self>(),
+                            rmw_access_kind(AtomicOutcome::Updated),
+                        );
                         old
                     }
                     Err(old) => {
@@ -85,6 +117,11 @@ macro_rules! counted_atomic {
                             t.record(AtomicOutcome::CasFailed);
                         }
                         trace_outcome(AtomicOutcome::CasFailed);
+                        check::on_access(
+                            self as *const Self as usize,
+                            std::mem::size_of::<Self>(),
+                            rmw_access_kind(AtomicOutcome::CasFailed),
+                        );
                         old
                     }
                 }
@@ -102,6 +139,11 @@ macro_rules! counted_atomic {
                     t.record(outcome);
                 }
                 trace_outcome(outcome);
+                check::on_access(
+                    self as *const Self as usize,
+                    std::mem::size_of::<Self>(),
+                    rmw_access_kind(outcome),
+                );
                 old
             }
 
@@ -117,6 +159,11 @@ macro_rules! counted_atomic {
                     t.record(outcome);
                 }
                 trace_outcome(outcome);
+                check::on_access(
+                    self as *const Self as usize,
+                    std::mem::size_of::<Self>(),
+                    rmw_access_kind(outcome),
+                );
                 old
             }
 
@@ -176,6 +223,7 @@ pub fn atomic_u8_array(n: usize, f: impl Fn(usize) -> u8) -> Vec<CountedU8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -167,6 +167,7 @@ impl Clone for CostTally {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

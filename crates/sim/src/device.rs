@@ -113,9 +113,12 @@ impl Device {
         self.config.resident_threads()
     }
 
-    /// Charges `units` of `kind` to this device's tally.
+    /// Charges `units` of `kind` to this device's tally. Also reports
+    /// the charge to an installed checker (one relaxed load when none
+    /// is) so launch lints can attribute work to the executing agent.
     #[inline]
     pub fn charge(&self, kind: CostKind, units: u64) {
+        crate::check::on_charge(kind, units);
         self.cost.charge(kind, units);
     }
 
@@ -141,6 +144,7 @@ impl Device {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -23,6 +23,7 @@ use rayon::prelude::*;
 
 use ecl_trace::{sink, EventKind};
 
+use crate::check::{self, Agent, LaunchShape};
 use crate::cost::CostKind;
 use crate::device::Device;
 
@@ -83,6 +84,33 @@ pub struct ThreadCtx {
     pub lane: usize,
 }
 
+/// Shared body of the per-thread launch shapes: flat grids and
+/// persistent-thread grids differ only in how `cfg` was derived and in
+/// the [`LaunchShape`] reported to an installed checker.
+fn run_flat<F>(device: &Device, name: &str, shape: LaunchShape, cfg: LaunchConfig, f: F)
+where
+    F: Fn(ThreadCtx) + Sync,
+{
+    device.charge(CostKind::KernelLaunch, 1);
+    trace_launch(cfg);
+    let tracked = check::launch_begin(device, name, shape, cfg);
+    (0..cfg.blocks).into_par_iter().for_each(|block| {
+        trace_block(block, cfg.block_size, || {
+            for lane in 0..cfg.block_size {
+                if tracked {
+                    check::set_agent(Some(Agent::thread(block as u32, lane as u32)));
+                }
+                f(ThreadCtx { global: block * cfg.block_size + lane, block, lane });
+            }
+            if tracked {
+                check::set_agent(None);
+                check::block_end(block as u32, cfg.block_size);
+            }
+        });
+    });
+    check::launch_end(device, tracked);
+}
+
 /// Launches `cfg.blocks × cfg.block_size` threads; `f` runs once per
 /// thread. Charges one kernel launch to the device. Blocks execute in
 /// parallel; threads of a block execute in lane order.
@@ -90,15 +118,16 @@ pub fn launch_flat<F>(device: &Device, cfg: LaunchConfig, f: F)
 where
     F: Fn(ThreadCtx) + Sync,
 {
-    device.charge(CostKind::KernelLaunch, 1);
-    trace_launch(cfg);
-    (0..cfg.blocks).into_par_iter().for_each(|block| {
-        trace_block(block, cfg.block_size, || {
-            for lane in 0..cfg.block_size {
-                f(ThreadCtx { global: block * cfg.block_size + lane, block, lane });
-            }
-        });
-    });
+    run_flat(device, "flat", LaunchShape::Flat, cfg, f);
+}
+
+/// [`launch_flat`] with a kernel name reported to the checker (and in
+/// `ecl-check` findings).
+pub fn launch_flat_named<F>(device: &Device, name: &str, cfg: LaunchConfig, f: F)
+where
+    F: Fn(ThreadCtx) + Sync,
+{
+    run_flat(device, name, LaunchShape::Flat, cfg, f);
 }
 
 /// Launches one thread per resident hardware slot using the device's
@@ -108,9 +137,17 @@ pub fn launch_persistent<F>(device: &Device, f: F) -> usize
 where
     F: Fn(ThreadCtx) + Sync,
 {
+    launch_persistent_named(device, "persistent", f)
+}
+
+/// [`launch_persistent`] with a kernel name reported to the checker.
+pub fn launch_persistent_named<F>(device: &Device, name: &str, f: F) -> usize
+where
+    F: Fn(ThreadCtx) + Sync,
+{
     let n = device.resident_threads();
     let cfg = LaunchConfig::cover(n, device.config().default_block_size);
-    launch_flat(device, cfg, f);
+    run_flat(device, name, LaunchShape::Persistent, cfg, f);
     n
 }
 
@@ -138,6 +175,20 @@ impl BlockCtx<'_> {
     /// idle threads to participate in block-wide synchronizations").
     pub fn sync(&self) {
         self.device.charge(CostKind::BlockSync, self.block_size as u64);
+        check::on_block_sync(self.block_size as u64);
+    }
+
+    /// One *lane's* arrival at a block-wide barrier: charges a single
+    /// sync unit and reports the lane to an installed checker, which
+    /// verifies that every lane of the block reaches the barrier the
+    /// same number of times (`__syncthreads()` inside a divergent
+    /// branch is undefined behavior on real hardware — the
+    /// `divergent-sync` lint). Kernels that iterate lanes explicitly
+    /// call this once per lane instead of one [`BlockCtx::sync`].
+    pub fn lane_sync(&self, t: ThreadCtx) {
+        debug_assert_eq!(t.block, self.block, "lane_sync from a foreign block");
+        self.device.charge(CostKind::BlockSync, 1);
+        check::on_lane_sync(t.lane as u32);
     }
 
     /// The device this block runs on (for cost charges from kernel
@@ -154,13 +205,32 @@ pub fn launch_blocks<F>(device: &Device, cfg: LaunchConfig, f: F)
 where
     F: Fn(BlockCtx<'_>) + Sync,
 {
+    launch_blocks_named(device, "blocks", cfg, f);
+}
+
+/// [`launch_blocks`] with a kernel name reported to the checker. The
+/// race agent is the whole block: lanes of a block execute in-order
+/// inside one closure call and cannot race each other.
+pub fn launch_blocks_named<F>(device: &Device, name: &str, cfg: LaunchConfig, f: F)
+where
+    F: Fn(BlockCtx<'_>) + Sync,
+{
     device.charge(CostKind::KernelLaunch, 1);
     trace_launch(cfg);
+    let tracked = check::launch_begin(device, name, LaunchShape::Blocks, cfg);
     (0..cfg.blocks).into_par_iter().for_each(|block| {
         trace_block(block, cfg.block_size, || {
+            if tracked {
+                check::set_agent(Some(Agent::block_wide(block as u32)));
+            }
             f(BlockCtx { block, block_size: cfg.block_size, device });
+            if tracked {
+                check::set_agent(None);
+                check::block_end(block as u32, cfg.block_size);
+            }
         });
     });
+    check::launch_end(device, tracked);
 }
 
 /// One warp of a warp-synchronous launch.
@@ -200,8 +270,19 @@ pub fn launch_warps<F>(device: &Device, cfg: LaunchConfig, f: F)
 where
     F: Fn(WarpCtx) + Sync,
 {
+    launch_warps_named(device, "warps", cfg, f);
+}
+
+/// [`launch_warps`] with a kernel name reported to the checker. The
+/// race agent is the warp: lanes of a warp run lockstep inside one
+/// closure call.
+pub fn launch_warps_named<F>(device: &Device, name: &str, cfg: LaunchConfig, f: F)
+where
+    F: Fn(WarpCtx) + Sync,
+{
     device.charge(CostKind::KernelLaunch, 1);
     trace_launch(cfg);
+    let tracked = check::launch_begin(device, name, LaunchShape::Warps, cfg);
     let warp_size = device.config().warp_size.max(1);
     (0..cfg.blocks).into_par_iter().for_each(|block| {
         trace_block(block, cfg.block_size, || {
@@ -210,6 +291,9 @@ where
             let mut warp_in_block = 0usize;
             while offset < cfg.block_size {
                 let lanes = warp_size.min(cfg.block_size - offset);
+                if tracked {
+                    check::set_agent(Some(Agent::warp(block as u32, warp_in_block as u32)));
+                }
                 f(WarpCtx {
                     warp: block * cfg.block_size.div_ceil(warp_size) + warp_in_block,
                     block,
@@ -219,11 +303,17 @@ where
                 offset += lanes;
                 warp_in_block += 1;
             }
+            if tracked {
+                check::set_agent(None);
+                check::block_end(block as u32, cfg.block_size);
+            }
         });
     });
+    check::launch_end(device, tracked);
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

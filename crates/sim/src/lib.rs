@@ -27,6 +27,7 @@
 //! loops); none rely on intra-warp communication.
 
 pub mod atomics;
+pub mod check;
 pub mod cost;
 pub mod device;
 pub mod launch;
@@ -34,10 +35,12 @@ pub mod profile;
 pub mod timing;
 
 pub use atomics::{CountedU32, CountedU64, CountedU8};
+pub use check::{AccessKind, Agent, CheckSink, LaunchShape};
 pub use cost::{CostKind, CostParams, CostTally};
 pub use device::{Device, DeviceConfig};
 pub use launch::{
-    launch_blocks, launch_flat, launch_persistent, launch_warps, BlockCtx, LaunchConfig, ThreadCtx,
+    launch_blocks, launch_blocks_named, launch_flat, launch_flat_named, launch_persistent,
+    launch_persistent_named, launch_warps, launch_warps_named, BlockCtx, LaunchConfig, ThreadCtx,
     WarpCtx,
 };
 pub use profile::{KernelProfile, KernelRecord};

@@ -131,6 +131,7 @@ impl KernelProfile {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -29,6 +29,7 @@ pub fn run_repeated<T>(reps: usize, mut f: impl FnMut(usize) -> T) -> (Vec<T>, V
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

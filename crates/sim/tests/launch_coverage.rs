@@ -1,0 +1,121 @@
+//! Property tests for the launch primitives: every global thread id
+//! of a `LaunchConfig` is executed exactly once, by each launch shape,
+//! including the degenerate configs (`n = 0`, `block_size = 1`,
+//! non-divisible `n`).
+
+#![allow(clippy::unwrap_used)]
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use ecl_gpusim::{launch_blocks, launch_flat, launch_warps, Device, LaunchConfig};
+use proptest::prelude::*;
+
+/// One counter per launched global id; asserts each was hit once.
+fn assert_exactly_once(cfg: LaunchConfig, run: impl Fn(&[AtomicU32])) -> Result<(), TestCaseError> {
+    let counts: Vec<AtomicU32> = (0..cfg.total_threads()).map(|_| AtomicU32::new(0)).collect();
+    run(&counts);
+    for (i, c) in counts.iter().enumerate() {
+        let hits = c.load(Ordering::Relaxed);
+        prop_assert!(hits == 1, "global id {} hit {} times at cfg {:?}", i, hits, cfg);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flat_launch_executes_each_global_id_exactly_once(
+        blocks in 0usize..20,
+        block_size in 1usize..70,
+    ) {
+        let d = Device::test_small();
+        let cfg = LaunchConfig::new(blocks, block_size);
+        assert_exactly_once(cfg, |counts| {
+            launch_flat(&d, cfg, |t| {
+                counts[t.global].fetch_add(1, Ordering::Relaxed);
+            });
+        })?;
+    }
+
+    #[test]
+    fn block_launch_enumerates_each_global_id_exactly_once(
+        blocks in 0usize..20,
+        block_size in 1usize..70,
+    ) {
+        let d = Device::test_small();
+        let cfg = LaunchConfig::new(blocks, block_size);
+        assert_exactly_once(cfg, |counts| {
+            launch_blocks(&d, cfg, |b| {
+                for t in b.threads() {
+                    counts[t.global].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        })?;
+    }
+
+    #[test]
+    fn warp_launch_covers_each_global_id_exactly_once(
+        blocks in 0usize..20,
+        block_size in 1usize..70,
+    ) {
+        let d = Device::test_small(); // warp size 32
+        let cfg = LaunchConfig::new(blocks, block_size);
+        assert_exactly_once(cfg, |counts| {
+            launch_warps(&d, cfg, |w| {
+                for lane in 0..w.lanes {
+                    counts[w.thread(lane).global].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        })?;
+    }
+
+    #[test]
+    fn cover_launches_at_least_n_and_less_than_one_extra_block(
+        n in 0usize..5000,
+        block_size in 1usize..513,
+    ) {
+        let cfg = LaunchConfig::cover(n, block_size);
+        prop_assert!(cfg.total_threads() >= n);
+        prop_assert!(cfg.total_threads() < n + block_size, "no more than one partial block of slack");
+        prop_assert_eq!(cfg.block_size, block_size);
+    }
+}
+
+#[test]
+fn explicit_edge_cases() {
+    let d = Device::test_small();
+    // n = 0: no closure calls, for every shape.
+    for cfg in [LaunchConfig::cover(0, 32), LaunchConfig::new(0, 1)] {
+        launch_flat(&d, cfg, |_| panic!("no threads expected"));
+        launch_blocks(&d, cfg, |_| panic!("no blocks expected"));
+        launch_warps(&d, cfg, |_| panic!("no warps expected"));
+    }
+    // block_size = 1: every block is a single lane / a 1-lane warp.
+    let cfg = LaunchConfig::new(5, 1);
+    let counts: Vec<AtomicU32> = (0..5).map(|_| AtomicU32::new(0)).collect();
+    launch_flat(&d, cfg, |t| {
+        assert_eq!(t.lane, 0);
+        counts[t.global].fetch_add(1, Ordering::Relaxed);
+    });
+    launch_warps(&d, cfg, |w| {
+        assert_eq!(w.lanes, 1);
+        counts[w.base].fetch_add(1, Ordering::Relaxed);
+    });
+    assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 2));
+    // Non-divisible n: cover() launches a padded tail that flat
+    // launches do enumerate (kernels bounds-check themselves).
+    let cfg = LaunchConfig::cover(33, 32);
+    assert_eq!(cfg.total_threads(), 64);
+    let in_range = AtomicU32::new(0);
+    let tail = AtomicU32::new(0);
+    launch_flat(&d, cfg, |t| {
+        if t.global < 33 {
+            in_range.fetch_add(1, Ordering::Relaxed);
+        } else {
+            tail.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    assert_eq!(in_range.load(Ordering::Relaxed), 33);
+    assert_eq!(tail.load(Ordering::Relaxed), 31);
+}

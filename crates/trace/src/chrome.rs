@@ -116,6 +116,7 @@ fn json_string(s: &str) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::ring::{Tracer, TracerConfig};

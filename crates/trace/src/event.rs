@@ -41,11 +41,15 @@ pub enum EventKind {
     Round = 9,
     /// Free-form marker; payload is caller-defined.
     Marker = 10,
+    /// `ecl-check` reported a finding; payload = rule id
+    /// (`ecl-check`'s `Rule::raw`), block = offending block or
+    /// `u32::MAX` when not block-specific.
+    CheckFinding = 11,
 }
 
 impl EventKind {
     /// All kinds, wire-value ordered.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::KernelLaunch,
         EventKind::BlockStart,
         EventKind::BlockEnd,
@@ -56,6 +60,7 @@ impl EventKind {
         EventKind::PhaseEnd,
         EventKind::Round,
         EventKind::Marker,
+        EventKind::CheckFinding,
     ];
 
     /// Wire value of this kind.
@@ -81,6 +86,7 @@ impl EventKind {
             EventKind::PhaseEnd => "phase-end",
             EventKind::Round => "round",
             EventKind::Marker => "marker",
+            EventKind::CheckFinding => "check-finding",
         }
     }
 }
@@ -143,6 +149,7 @@ impl Event {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -244,6 +244,7 @@ fn parse_events(body: &[u8]) -> io::Result<Vec<Event>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::event::EventKind;

@@ -96,7 +96,7 @@ fn with_tracer(f: impl FnOnce(&Tracer)) {
     }
     let ptr = PTR.load(Ordering::Acquire);
     if !ptr.is_null() {
-        // Safety: `ptr` came from an Arc that install/uninstall retire
+        // SAFETY: `ptr` came from an Arc that install/uninstall retire
         // instead of dropping, so the Tracer outlives every reader.
         f(unsafe { &*ptr });
     }
@@ -133,6 +133,7 @@ pub fn phase_span<R>(name: &str, f: impl FnOnce() -> R) -> R {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::ring::{ClockMode, TracerConfig};

@@ -59,6 +59,7 @@ impl Snapshot {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::ring::{Tracer, TracerConfig};

@@ -69,6 +69,7 @@ fn density(snap: &Snapshot, width: usize) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::ring::{Tracer, TracerConfig};

@@ -3,6 +3,8 @@
 //! identical to `ecl-graph::io`'s — is that hostile bytes produce
 //! `io::Error`s, never panics and never unbounded allocations.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 
 use ecl_trace::{read_snapshot, write_snapshot, ClockMode, EventKind, Tracer, TracerConfig, MAGIC};

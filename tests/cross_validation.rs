@@ -2,6 +2,8 @@
 //! sequential reference on every registered paper input (at reduced
 //! scale) and on assorted corner-case graphs.
 
+#![allow(clippy::unwrap_used)]
+
 use ecl_suite::{cc, gc, gen, mis, mst, reference, scc, sim};
 
 const SCALE: f64 = 0.001;

@@ -2,6 +2,8 @@
 //! instrumented algorithms: internal-consistency identities between
 //! independently maintained counters, and failure-injection checks.
 
+#![allow(clippy::unwrap_used)]
+
 use ecl_suite::{cc, gen, mis, mst, profiling, scc, sim};
 
 fn device() -> sim::Device {

@@ -2,6 +2,8 @@
 //! arbitrary generated graphs, plus structural invariants of the
 //! substrate types.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 
 use ecl_suite::{cc, gc, graph, mis, mst, reference, scc, sim};

@@ -5,6 +5,8 @@
 //! belong to the authors' RTX 4090 and full-size inputs (see
 //! EXPERIMENTS.md for the full paper-vs-measured record).
 
+#![allow(clippy::unwrap_used)]
+
 use ecl_suite::{cc, gc, gen, mis, mst, scc, sim};
 
 const SEED: u64 = 99;
