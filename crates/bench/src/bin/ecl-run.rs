@@ -80,7 +80,8 @@ fn usage() -> ! {
          [--scale f] [--seed n] [--block-size n]\n\
          \x20      [--optimized] [--fixed-launch] [--no-shortcuts] [--trim] [--histogram] [--kernels]\n\
          \x20      [--trace <path>]  (record a .etr event capture; see the ecl-trace binary)\n\
-         \x20      ecl-run --list    (show registered inputs)"
+         \x20      ecl-run --list    (show registered inputs)\n\
+         \x20      ecl-run --bench-json <path>  (dispatch-engine benchmark: pool vs. spawn)"
     );
     std::process::exit(2);
 }
@@ -141,6 +142,10 @@ fn parse() -> Args {
                 a.trace = Some(argv[i + 1].clone());
                 i += 1;
             }
+            "--bench-json" if i + 1 < argv.len() => {
+                bench_json(&argv[i + 1]);
+                std::process::exit(0);
+            }
             "--optimized" => a.optimized = true,
             "--fixed-launch" => a.fixed_launch = true,
             "--no-shortcuts" => a.no_shortcuts = true,
@@ -156,6 +161,33 @@ fn parse() -> Args {
         usage();
     }
     a
+}
+
+/// `--bench-json <path>`: run the PR 3 dispatch-engine benchmark
+/// (persistent pool vs. legacy spawn-per-launch) and write the
+/// results as JSON.
+fn bench_json(path: &str) {
+    eprintln!("bench: measuring spawn vs. pool dispatch (a few seconds)...");
+    let bench = ecl_bench::dispatch_bench::run();
+    eprintln!(
+        "bench: launch overhead {:.0} ns -> {:.0} ns per launch ({:.1}x)",
+        bench.overhead_ns.spawn,
+        bench.overhead_ns.pool,
+        bench.overhead_ns.speedup()
+    );
+    for (algo, input, pair) in &bench.end_to_end {
+        eprintln!(
+            "bench: {algo} on {input}: {:.1} ms -> {:.1} ms ({:.2}x)",
+            pair.spawn * 1e3,
+            pair.pool * 1e3,
+            pair.speedup()
+        );
+    }
+    if let Err(e) = std::fs::write(path, bench.to_json()) {
+        eprintln!("bench: failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("bench: wrote {path}");
 }
 
 fn print_cost(device: &ecl_gpusim::Device) {

@@ -1,0 +1,209 @@
+//! PR 3 evidence harness: dispatch-overhead and end-to-end timings of
+//! the persistent execution pool against the legacy spawn-per-launch
+//! engine.
+//!
+//! Two measurements, both at a forced worker count so the comparison
+//! is about the *engine* and not about however many cores the host
+//! happens to expose:
+//!
+//! 1. **Launch overhead** — a trivial kernel launched back-to-back.
+//!    Under the legacy engine every launch paid worker-thread spawn +
+//!    join; under the pool the workers are parked and each launch is a
+//!    queue push + wake. Reported as nanoseconds per launch.
+//! 2. **End-to-end** — ECL-CC on the `as-skitter` power-law input and
+//!    ECL-SCC on the hub-heavy `star` mesh, at a small scale where the
+//!    iterative algorithms are launch-dominated (dozens of kernel
+//!    launches over modest grids — exactly the regime the paper's
+//!    fixed-launch vs. dynamic-launch discussion is about).
+//!
+//! `ecl-run --bench-json <path>` serialises the results (JSON is
+//! hand-rolled; the workspace is offline and carries no serde).
+
+use std::time::Instant;
+
+use ecl_cc::CcConfig;
+use ecl_gpusim::pool::{with_policy, DispatchPolicy};
+use ecl_gpusim::LaunchConfig;
+use ecl_scc::SccConfig;
+
+/// Worker count forced for both engines (emulating a ≥ 4-core host
+/// even when the benchmark machine has fewer).
+pub const WORKERS: usize = 4;
+
+/// Trivial-kernel launches per overhead sample.
+const LAUNCHES: usize = 256;
+
+/// Grid of the trivial kernel: enough blocks that both engines
+/// actually engage their workers.
+const OVERHEAD_BLOCKS: usize = 8;
+
+/// Input scale of the end-to-end runs, chosen so the iterative
+/// algorithms are launch-dominated: the regime where an execution
+/// engine's per-launch overhead is visible end-to-end.
+pub const SCALE: f64 = 0.0005;
+
+/// Algorithm runs batched per end-to-end sample (small runs would
+/// otherwise sit near the timer floor).
+const E2E_BATCH: usize = 4;
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Median-of-`reps` wall time of `f`, in seconds.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    median(samples)
+}
+
+/// Nanoseconds per trivial launch under `policy`.
+fn launch_overhead_ns(policy: DispatchPolicy) -> f64 {
+    with_policy(policy, || {
+        let device = crate::scaled_device(SCALE);
+        let cfg = LaunchConfig::new(OVERHEAD_BLOCKS, 64);
+        // Warm up: first pooled dispatch spawns the workers.
+        ecl_gpusim::launch_flat_named(&device, "bench.warmup", cfg, |_| {});
+        let secs = time_median(7, || {
+            for _ in 0..LAUNCHES {
+                ecl_gpusim::launch_flat_named(&device, "bench.noop", cfg, |t| {
+                    std::hint::black_box(t.global);
+                });
+            }
+        });
+        secs * 1e9 / LAUNCHES as f64
+    })
+}
+
+/// End-to-end seconds for one algorithm under `policy`.
+fn end_to_end_s(algo: &str, input: &str, policy: DispatchPolicy) -> f64 {
+    let spec = ecl_graphgen::registry::find(input).expect("registered input");
+    let g = spec.generate(SCALE, crate::DEFAULT_SEED);
+    with_policy(policy, || {
+        let sample = || match algo {
+            "cc" => {
+                let device = crate::scaled_device(SCALE);
+                std::hint::black_box(ecl_cc::run(&device, &g, &CcConfig::baseline()));
+            }
+            "scc" => {
+                let device = crate::scaled_device_min(SCALE, crate::SCC_MIN_SMS);
+                std::hint::black_box(ecl_scc::run(&device, &g, &SccConfig::with_block_size(256)));
+            }
+            other => panic!("unknown algo {other}"),
+        };
+        sample(); // warm-up (pool spawn, allocator, page faults)
+        time_median(9, || {
+            for _ in 0..E2E_BATCH {
+                sample();
+            }
+        }) / E2E_BATCH as f64
+    })
+}
+
+/// One pre/post pair plus its ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct Pair {
+    /// Legacy spawn-per-launch engine (the "pre" baseline).
+    pub spawn: f64,
+    /// Persistent pool (the "post" engine).
+    pub pool: f64,
+}
+
+impl Pair {
+    /// How many times faster the pool is.
+    pub fn speedup(&self) -> f64 {
+        self.spawn / self.pool
+    }
+}
+
+/// Full result set of the PR 3 benchmark.
+#[derive(Debug)]
+pub struct DispatchBench {
+    /// ns per trivial launch, spawn vs. pool.
+    pub overhead_ns: Pair,
+    /// (algo, input, seconds spawn vs. pool).
+    pub end_to_end: Vec<(&'static str, &'static str, Pair)>,
+    /// Cores the host actually exposed (the engines force
+    /// [`WORKERS`] workers regardless).
+    pub host_cores: usize,
+}
+
+/// Runs every measurement. Takes a few seconds.
+pub fn run() -> DispatchBench {
+    let spawn = DispatchPolicy::spawn_baseline(WORKERS);
+    let pool = DispatchPolicy::pooled(WORKERS);
+    let overhead_ns = Pair { spawn: launch_overhead_ns(spawn), pool: launch_overhead_ns(pool) };
+    let end_to_end = [("cc", "as-skitter"), ("scc", "star")]
+        .into_iter()
+        .map(|(algo, input)| {
+            let pair = Pair {
+                spawn: end_to_end_s(algo, input, spawn),
+                pool: end_to_end_s(algo, input, pool),
+            };
+            (algo, input, pair)
+        })
+        .collect();
+    let host_cores =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    DispatchBench { overhead_ns, end_to_end, host_cores }
+}
+
+impl DispatchBench {
+    /// Hand-rolled JSON (offline workspace: no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"benchmark\": \"pr3-dispatch-engine\",\n");
+        s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        s.push_str(&format!("  \"forced_workers\": {WORKERS},\n"));
+        s.push_str(&format!("  \"scale\": {SCALE},\n"));
+        s.push_str("  \"launch_overhead\": {\n");
+        s.push_str(&format!("    \"launches_per_sample\": {LAUNCHES},\n"));
+        s.push_str(&format!("    \"blocks_per_launch\": {OVERHEAD_BLOCKS},\n"));
+        s.push_str(&format!("    \"spawn_ns_per_launch\": {:.1},\n", self.overhead_ns.spawn));
+        s.push_str(&format!("    \"pool_ns_per_launch\": {:.1},\n", self.overhead_ns.pool));
+        s.push_str(&format!("    \"speedup\": {:.2}\n", self.overhead_ns.speedup()));
+        s.push_str("  },\n");
+        s.push_str("  \"end_to_end\": [\n");
+        for (i, (algo, input, pair)) in self.end_to_end.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"algo\": \"{algo}\", \"input\": \"{input}\", \
+                 \"spawn_s\": {:.6}, \"pool_s\": {:.6}, \"speedup\": {:.2}}}{}\n",
+                pair.spawn,
+                pair.pool,
+                pair.speedup(),
+                if i + 1 < self.end_to_end.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let b = DispatchBench {
+            overhead_ns: Pair { spawn: 100.0, pool: 10.0 },
+            end_to_end: vec![("cc", "as-skitter", Pair { spawn: 0.2, pool: 0.1 })],
+            host_cores: 1,
+        };
+        let j = b.to_json();
+        assert!(j.contains("\"speedup\": 10.00"));
+        assert!(j.contains("\"algo\": \"cc\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn pair_speedup() {
+        assert_eq!(Pair { spawn: 3.0, pool: 1.5 }.speedup(), 2.0);
+    }
+}

@@ -15,6 +15,7 @@
 //! ratio of input size to thread count, which scaling both preserves.
 
 pub mod check_suite;
+pub mod dispatch_bench;
 pub mod experiments;
 
 use ecl_gpusim::{Device, DeviceConfig};

@@ -79,14 +79,28 @@ struct FindingStore {
     suppressed: Vec<Finding>,
 }
 
+/// Source of launch-epoch ids, shared by every session the process
+/// ever runs. Epochs must be unique *across* sessions, not merely
+/// within one: the simulator's worker threads are pooled and survive
+/// launches, so a per-thread memo tagged with a session-local epoch
+/// (session 2's launch 1 vs. session 1's launch 1) could alias and
+/// suppress attribution in a later session — exactly the stale-state
+/// leakage that per-launch thread spawning used to mask.
+static GLOBAL_EPOCH: AtomicU64 = AtomicU64::new(0);
+
 /// The shared checker state; implements [`CheckSink`].
 pub(crate) struct CheckerShared {
     device: usize,
     config: CheckConfig,
     shadow: ShadowMemory,
     regions: Mutex<Vec<RegionInfo>>,
-    /// Launch counter; the current epoch id (0 = before any launch).
+    /// Current launch epoch (a [`GLOBAL_EPOCH`] ticket; 0 = before
+    /// any launch). Tags shadow-memory cell states and the per-thread
+    /// touch memo.
     epoch: AtomicU64,
+    /// Launches seen by *this session*, used as the human-readable
+    /// `launch_index` on findings.
+    launch_index: AtomicU64,
     state: Mutex<Option<EpochState>>,
     store: Mutex<FindingStore>,
     // Per-epoch counters kept as atomics (reset at launch_begin) so
@@ -114,6 +128,7 @@ impl CheckerShared {
             shadow: ShadowMemory::new(),
             regions: Mutex::new(Vec::new()),
             epoch: AtomicU64::new(0),
+            launch_index: AtomicU64::new(0),
             state: Mutex::new(None),
             store: Mutex::new(FindingStore::default()),
             work_units: AtomicU64::new(0),
@@ -180,7 +195,7 @@ impl CheckerShared {
         suppressed: Option<String>,
         block: u32,
     ) {
-        let launch_index = self.epoch.load(Ordering::Relaxed);
+        let launch_index = self.launch_index.load(Ordering::Relaxed);
         let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
         let key = (rule, kernel.clone(), region.clone(), suppressed.is_some());
         if let Some(&i) = store.index.get(&key) {
@@ -237,12 +252,15 @@ impl CheckSink for CheckerShared {
             return false;
         }
         self.launches.fetch_add(1, Ordering::Relaxed);
-        let index = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        self.launch_index.fetch_add(1, Ordering::Relaxed);
+        // A fresh process-globally-unique epoch: stale TOUCH_MEMO and
+        // shadow-memory entries from any earlier launch (even of a
+        // previous session) can never match it.
+        self.epoch.store(GLOBAL_EPOCH.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
         self.work_units.store(0, Ordering::Relaxed);
         self.sync_slots.store(0, Ordering::Relaxed);
         self.sync_rounds.store(0, Ordering::Relaxed);
         self.atomic_updates.store(0, Ordering::Relaxed);
-        let _ = index;
         *self.state() = Some(EpochState {
             name: name.to_string(),
             shape,

@@ -144,8 +144,7 @@ fn propagate(
             c.store(0, Ordering::Relaxed);
         }
         launch_blocks_named(device, "scc.propagate", cfg, |blk| {
-            let lo = len * blk.block / num_blocks;
-            let hi = len * (blk.block + 1) / num_blocks;
+            let (lo, hi) = partition_bounds(len, num_blocks, blk.block);
             let slice = &edges[lo..hi];
             let mut block_updated = false;
             let mut my_cost = 0.0f64;
@@ -222,6 +221,20 @@ fn propagate(
         }
     }
     parallel_time
+}
+
+/// Bounds of part `i` when `0..len` is split into `parts` contiguous
+/// ranges of `div_ceil(len, parts)` items (the trailing parts may be
+/// empty). The naive `len * (i + 1) / parts` arithmetic overflows for
+/// edge counts anywhere near `usize::MAX / parts`; saturating on the
+/// (already clamped-to-`len`) products keeps every intermediate in
+/// range while the bounds still tile `0..len` exactly: consecutive
+/// parts share an endpoint, part 0 starts at 0, and the last part
+/// ends at `len` because `chunk * parts >= len` by construction.
+fn partition_bounds(len: usize, parts: usize, i: usize) -> (usize, usize) {
+    debug_assert!(i < parts, "part index {i} out of {parts}");
+    let chunk = len.div_ceil(parts.max(1));
+    (chunk.saturating_mul(i).min(len), chunk.saturating_mul(i + 1).min(len))
 }
 
 /// Iterative trimming: repeatedly drop edges incident to vertices
@@ -327,6 +340,48 @@ mod tests {
         assert_eq!(r.num_sccs(), n);
         // The grid had to relaunch: slices are smaller than the path.
         assert!(r.counters.grid_relaunches.get() > 0);
+    }
+
+    /// Asserts the partition tiles `0..len` exactly: starts at 0,
+    /// ends at len, consecutive parts share endpoints (no gap, no
+    /// overlap), every part is well-formed.
+    fn assert_tiles(len: usize, parts: usize) {
+        let (first_lo, _) = partition_bounds(len, parts, 0);
+        assert_eq!(first_lo, 0, "len {len} parts {parts}");
+        let (_, last_hi) = partition_bounds(len, parts, parts - 1);
+        assert_eq!(last_hi, len, "len {len} parts {parts}");
+        let mut prev_hi = 0;
+        for i in 0..parts {
+            let (lo, hi) = partition_bounds(len, parts, i);
+            assert!(lo <= hi, "inverted part {i} for len {len} parts {parts}");
+            assert_eq!(lo, prev_hi, "gap/overlap at part {i} for len {len} parts {parts}");
+            prev_hi = hi;
+        }
+    }
+
+    #[test]
+    fn partition_covers_exactly_at_adversarial_sizes() {
+        // The sizes where the old `len * (i + 1) / parts` arithmetic
+        // wrapped: edge counts within a factor of `parts` of
+        // usize::MAX. (A simulated edge list never reaches these, but
+        // a 2^40-edge input times 384 blocks already overflows u64 —
+        // the same arithmetic on a 32-bit host breaks at 11M edges.)
+        for len in [0, 1, 5, 383, 384, 1000, usize::MAX / 384, usize::MAX - 3, usize::MAX] {
+            for parts in [1, 2, 3, 7, 384, 1_000_000] {
+                assert_tiles(len, parts);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced_for_typical_grids() {
+        // No part exceeds ceil(len / parts) items.
+        let (len, parts) = (100_000usize, 384);
+        let cap = len.div_ceil(parts);
+        for i in 0..parts {
+            let (lo, hi) = partition_bounds(len, parts, i);
+            assert!(hi - lo <= cap);
+        }
     }
 
     #[test]

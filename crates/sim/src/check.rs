@@ -236,6 +236,31 @@ pub(crate) fn set_agent(agent: Option<Agent>) {
     AGENT.with(|a| a.set(agent));
 }
 
+/// Launch-boundary guard for the per-OS-thread agent state.
+///
+/// Pooled workers survive launches, so the thread-local agent must be
+/// cleared at every block *entry* (a previous launch that unwound
+/// mid-block would otherwise leave its agent installed, attributing
+/// the next launch's — possibly untracked — accesses to a stale
+/// agent) and again on *exit*, including panic unwinds: the `Drop`
+/// impl runs while the pool's `catch_unwind` is draining the block.
+pub(crate) struct AgentScope;
+
+impl AgentScope {
+    /// Clears any stale agent left on this OS thread and returns the
+    /// guard that re-clears on scope exit.
+    pub(crate) fn enter() -> Self {
+        set_agent(None);
+        AgentScope
+    }
+}
+
+impl Drop for AgentScope {
+    fn drop(&mut self) {
+        set_agent(None);
+    }
+}
+
 pub(crate) fn launch_begin(
     device: &Device,
     name: &str,

@@ -83,7 +83,13 @@ pub struct Device {
 
 impl Device {
     /// A device with the given configuration and default cost weights.
+    ///
+    /// Creating a device warms the process-wide execution pool
+    /// ([`crate::pool::prewarm`]) so the first kernel launch does not
+    /// pay worker spawn-up on its critical path; the workers park
+    /// between launches and are shared by all devices.
     pub fn new(config: DeviceConfig) -> Self {
+        crate::pool::prewarm();
         Self { config, params: CostParams::default(), cost: CostTally::new() }
     }
 

@@ -15,17 +15,22 @@
 //!   block-wide synchronization — ECL-SCC's propagate-until-quiescent
 //!   kernels.
 //!
-//! Blocks run as parallel rayon tasks. Threads inside a block run
+//! Blocks are dispatched onto the persistent worker pool
+//! ([`crate::pool`]): workers claim block indices off a shared ticket,
+//! so a heavy block never strands the rest of the grid behind it, and
+//! no threads are spawned per launch. Threads inside a block run
 //! in-order within one closure invocation; kernels needing block-wide
-//! phases call the closure once per block and loop internally.
-
-use rayon::prelude::*;
+//! phases call the closure once per block and loop internally. Blocks
+//! run in an unspecified order (possibly sequentially) — the CUDA
+//! block-scheduling contract — so kernels must not spin-wait on other
+//! blocks.
 
 use ecl_trace::{sink, EventKind};
 
 use crate::check::{self, Agent, LaunchShape};
 use crate::cost::CostKind;
 use crate::device::Device;
+use crate::pool;
 
 /// Emits the kernel-launch trace event (payload = grid size). One
 /// relaxed load when tracing is disabled.
@@ -94,7 +99,8 @@ where
     device.charge(CostKind::KernelLaunch, 1);
     trace_launch(cfg);
     let tracked = check::launch_begin(device, name, shape, cfg);
-    (0..cfg.blocks).into_par_iter().for_each(|block| {
+    pool::dispatch(cfg.blocks, |block| {
+        let _agents = check::AgentScope::enter();
         trace_block(block, cfg.block_size, || {
             for lane in 0..cfg.block_size {
                 if tracked {
@@ -218,7 +224,8 @@ where
     device.charge(CostKind::KernelLaunch, 1);
     trace_launch(cfg);
     let tracked = check::launch_begin(device, name, LaunchShape::Blocks, cfg);
-    (0..cfg.blocks).into_par_iter().for_each(|block| {
+    pool::dispatch(cfg.blocks, |block| {
+        let _agents = check::AgentScope::enter();
         trace_block(block, cfg.block_size, || {
             if tracked {
                 check::set_agent(Some(Agent::block_wide(block as u32)));
@@ -284,7 +291,8 @@ where
     trace_launch(cfg);
     let tracked = check::launch_begin(device, name, LaunchShape::Warps, cfg);
     let warp_size = device.config().warp_size.max(1);
-    (0..cfg.blocks).into_par_iter().for_each(|block| {
+    pool::dispatch(cfg.blocks, |block| {
+        let _agents = check::AgentScope::enter();
         trace_block(block, cfg.block_size, || {
             let block_base = block * cfg.block_size;
             let mut offset = 0usize;

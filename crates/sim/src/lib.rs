@@ -20,8 +20,11 @@
 //!   computed from modeled cost so the reproduction is hardware- and
 //!   load-independent; wall time is reported alongside.
 //!
-//! Blocks execute as parallel rayon tasks; threads within a block run
-//! as an in-order loop per kernel invocation. This is exact for the
+//! Blocks execute on a persistent worker pool with dynamic
+//! ticket-based claiming ([`pool`]) — workers park between launches
+//! and pull block indices off a shared atomic, mirroring how hardware
+//! SMs pick up ready blocks; threads within a block run as an
+//! in-order loop per kernel invocation. This is exact for the
 //! profiled ECL kernels, which are either fully asynchronous
 //! (per-thread monotonic updates) or block-synchronous (or-reduction
 //! loops); none rely on intra-warp communication.
@@ -31,6 +34,7 @@ pub mod check;
 pub mod cost;
 pub mod device;
 pub mod launch;
+pub mod pool;
 pub mod profile;
 pub mod timing;
 
@@ -43,5 +47,6 @@ pub use launch::{
     launch_persistent_named, launch_warps, launch_warps_named, BlockCtx, LaunchConfig, ThreadCtx,
     WarpCtx,
 };
+pub use pool::{DispatchMode, DispatchPolicy};
 pub use profile::{KernelProfile, KernelRecord};
 pub use timing::run_timed;

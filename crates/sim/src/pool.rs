@@ -1,0 +1,490 @@
+//! Persistent execution pool with dynamic (ticket-based) block
+//! dispatch.
+//!
+//! The simulator's previous engine split every launch's blocks into
+//! one contiguous chunk per core and spawned a fresh set of OS threads
+//! for every kernel launch. Both halves of that design are exactly the
+//! defect the paper profiles in its subjects: on power-law inputs the
+//! chunk holding the high-degree vertices serializes the launch
+//! (load imbalance), and iterative algorithms — ECL-CC's
+//! pointer-jumping rounds, ECL-SCC's propagate-until-quiescent loop —
+//! pay the spawn/join churn dozens of times per run (launch overhead).
+//!
+//! This module replaces it with the scheme GPU block schedulers (and
+//! Gunrock-style load balancers) use:
+//!
+//! - **Persistent workers.** A process-wide pool is created lazily on
+//!   first parallel dispatch (or warmed by [`prewarm`], which
+//!   `Device::new` calls). Workers park on a condvar between launches
+//!   instead of being respawned, so a launch costs one queue push and
+//!   one wake instead of N `thread::spawn` + join.
+//! - **Dynamic block claiming.** Blocks are claimed off a shared
+//!   `AtomicUsize` ticket in small ranges (the *grain*, auto-sized
+//!   from `blocks / workers` and clamped so claims stay cheap). A
+//!   heavy block no longer strands its chunk-mates' work behind it on
+//!   one core — idle workers keep pulling tickets, which is faithful
+//!   to how hardware SMs pick up the next ready block.
+//!
+//! Dispatch order is intentionally *not* deterministic — exactly like
+//! a GPU grid. Kernel code may only rely on what CUDA guarantees:
+//! blocks run in any order, possibly sequentially, and must not
+//! spin-wait on other blocks. Everything the simulator aggregates
+//! (counter totals, cost charges, check verdicts) is a commutative
+//! reduction over per-block contributions, so results are identical
+//! across worker counts and grains; `tests/scheduler_determinism.rs`
+//! asserts that.
+//!
+//! # Policy
+//!
+//! Dispatch behavior is controlled per calling thread with
+//! [`with_policy`] (tests, benches) and process-wide through
+//! environment variables read once at first use:
+//!
+//! - `ECL_SIM_WORKERS=n` — worker count (default: available cores),
+//! - `ECL_SIM_GRAIN=n` — fixed claim grain (default: auto),
+//! - `ECL_SIM_DISPATCH=pool|spawn|seq` — engine selection. `spawn` is
+//!   the legacy spawn-per-launch contiguous-chunk engine, kept as the
+//!   measurable baseline for `bench_launch_overhead`; `seq` forces
+//!   in-order execution on the calling thread (the determinism
+//!   reference).
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// How a dispatch maps block indices onto OS threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Persistent worker pool + dynamic ticket claiming (default).
+    Pool,
+    /// Legacy engine: spawn fresh scoped threads for this dispatch,
+    /// one contiguous chunk of blocks each. Kept as the measurable
+    /// pre-PR baseline; do not use outside benchmarks.
+    Spawn,
+    /// All blocks in index order on the calling thread.
+    Sequential,
+}
+
+/// Per-thread override of the dispatch defaults. `None` fields fall
+/// through to the environment (and then the built-in defaults).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DispatchPolicy {
+    /// Number of OS threads that execute blocks (the calling thread
+    /// participates, so `workers: 1` runs inline).
+    pub workers: Option<usize>,
+    /// Blocks claimed per ticket. `None` auto-sizes from
+    /// `blocks / (workers * 4)`.
+    pub grain: Option<usize>,
+    /// Engine selection.
+    pub mode: Option<DispatchMode>,
+}
+
+impl DispatchPolicy {
+    /// Forces in-order execution on the calling thread — the
+    /// determinism reference schedule.
+    pub fn sequential() -> Self {
+        Self { workers: Some(1), grain: None, mode: Some(DispatchMode::Sequential) }
+    }
+
+    /// `workers` pool workers with automatic grain.
+    pub fn pooled(workers: usize) -> Self {
+        Self { workers: Some(workers), grain: None, mode: Some(DispatchMode::Pool) }
+    }
+
+    /// The legacy spawn-per-launch contiguous-chunk engine with
+    /// `workers` threads (benchmark baseline).
+    pub fn spawn_baseline(workers: usize) -> Self {
+        Self { workers: Some(workers), grain: None, mode: Some(DispatchMode::Spawn) }
+    }
+}
+
+thread_local! {
+    static POLICY: Cell<DispatchPolicy> = const { Cell::new(DispatchPolicy {
+        workers: None,
+        grain: None,
+        mode: None,
+    }) };
+}
+
+/// Runs `f` with `policy` overriding the dispatch defaults for every
+/// launch issued from this thread, restoring the previous override on
+/// exit (including on panic).
+pub fn with_policy<R>(policy: DispatchPolicy, f: impl FnOnce() -> R) -> R {
+    struct Restore(DispatchPolicy);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            POLICY.with(|p| p.set(self.0));
+        }
+    }
+    let _restore = Restore(POLICY.with(|p| p.replace(policy)));
+    f()
+}
+
+/// Environment-derived defaults, parsed once.
+fn env_policy() -> DispatchPolicy {
+    static ENV: OnceLock<DispatchPolicy> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let parse = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
+        let mode = std::env::var("ECL_SIM_DISPATCH").ok().and_then(|v| match v.as_str() {
+            "pool" => Some(DispatchMode::Pool),
+            "spawn" => Some(DispatchMode::Spawn),
+            "seq" => Some(DispatchMode::Sequential),
+            _ => None,
+        });
+        DispatchPolicy {
+            workers: parse("ECL_SIM_WORKERS").filter(|&w| w > 0),
+            grain: parse("ECL_SIM_GRAIN").filter(|&g| g > 0),
+            mode,
+        }
+    })
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4)
+}
+
+/// The worker count the next dispatch from this thread would use.
+pub fn effective_workers() -> usize {
+    let local = POLICY.with(|p| p.get());
+    local.workers.or(env_policy().workers).unwrap_or_else(default_workers).max(1)
+}
+
+fn effective_policy() -> (usize, Option<usize>, DispatchMode) {
+    let local = POLICY.with(|p| p.get());
+    let env = env_policy();
+    (
+        local.workers.or(env.workers).unwrap_or_else(default_workers).max(1),
+        local.grain.or(env.grain),
+        local.mode.or(env.mode).unwrap_or(DispatchMode::Pool),
+    )
+}
+
+/// Claim size for `n` blocks over `workers` threads: small enough
+/// that a heavy block cannot strand much work behind it (≥ 4 claims
+/// per worker), large enough that ticket traffic stays cheap, and
+/// capped so pathological grids still interleave.
+pub fn auto_grain(n: usize, workers: usize) -> usize {
+    (n / (workers.max(1) * 4)).clamp(1, 256)
+}
+
+/// Runs `f(0..n)` across the effective worker set. Blocks run in an
+/// unspecified order; each index exactly once. Panics in `f` are
+/// propagated to the caller after all claimed blocks finish — worker
+/// threads survive (they are pooled, not per-launch).
+pub fn dispatch<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let (workers, grain, mode) = effective_policy();
+    let workers = workers.min(n);
+    if workers <= 1 || mode == DispatchMode::Sequential {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let grain = grain.unwrap_or_else(|| auto_grain(n, workers)).max(1);
+    match mode {
+        DispatchMode::Pool => pooled_dispatch(n, workers, grain, &f),
+        DispatchMode::Spawn => spawn_chunked(n, workers, &f),
+        DispatchMode::Sequential => unreachable!("handled above"),
+    }
+}
+
+/// Number of pool workers spawned so far (0 until the first parallel
+/// pooled dispatch or [`prewarm`] call).
+pub fn worker_count() -> usize {
+    pool().spawned.load(Ordering::Relaxed)
+}
+
+/// Ensures the pool can serve the effective worker count without
+/// spawning on the first launch's critical path. Idempotent and cheap
+/// when already warm; called by `Device::new`.
+pub fn prewarm() {
+    let target = effective_workers();
+    if target > 1 {
+        pool().ensure_workers(target - 1);
+    }
+}
+
+/// One in-flight dispatch. Workers claim `grain`-sized index ranges
+/// off `next`; the worker whose claim completes the final block
+/// retires the job from the queue and wakes the submitter.
+struct Job {
+    /// Next unclaimed block index (may overshoot `n` once per worker).
+    next: AtomicUsize,
+    /// Blocks claimed but not yet finished, plus blocks unclaimed.
+    remaining: AtomicUsize,
+    n: usize,
+    grain: usize,
+    /// The dispatch closure with its lifetime erased. See the SAFETY
+    /// argument at the transmute in [`pooled_dispatch`].
+    func: &'static (dyn Fn(usize) + Sync),
+    /// First panic payload observed while running blocks.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+struct PoolShared {
+    /// In-flight jobs. Concurrent dispatches (e.g. two tests launching
+    /// at once) coexist; workers scan for any job with tickets left.
+    queue: Mutex<Vec<Arc<Job>>>,
+    /// Signals workers that the queue gained work.
+    work_cv: Condvar,
+    /// Workers spawned so far (they park forever when idle; the pool
+    /// never shrinks — bounded by the largest worker count requested).
+    spawned: AtomicUsize,
+    /// Serializes spawning.
+    grow: Mutex<()>,
+}
+
+fn pool() -> &'static PoolShared {
+    static POOL: OnceLock<PoolShared> = OnceLock::new();
+    POOL.get_or_init(|| PoolShared {
+        queue: Mutex::new(Vec::new()),
+        work_cv: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+        grow: Mutex::new(()),
+    })
+}
+
+impl PoolShared {
+    fn ensure_workers(&self, target: usize) {
+        if self.spawned.load(Ordering::Acquire) >= target {
+            return;
+        }
+        let _grow = self.grow.lock().unwrap_or_else(|e| e.into_inner());
+        while self.spawned.load(Ordering::Acquire) < target {
+            let id = self.spawned.load(Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name(format!("ecl-sim-{id}"))
+                .spawn(|| worker_loop(pool()))
+                .expect("failed to spawn simulator pool worker");
+            self.spawned.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Claims and runs ticket ranges of `job` until none remain.
+    fn run_job(&self, job: &Arc<Job>) {
+        loop {
+            let start = job.next.fetch_add(job.grain, Ordering::Relaxed);
+            if start >= job.n {
+                return;
+            }
+            let end = (start + job.grain).min(job.n);
+            for i in start..end {
+                // Panics must not kill the pooled worker: record the
+                // payload for the submitter and keep draining (the
+                // legacy engine also ran all blocks before failing the
+                // launch). Drop guards inside `f` (the launch shapes'
+                // agent scope) run during this unwind, so no
+                // per-thread checker state leaks past the block.
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (job.func)(i))) {
+                    let mut slot = job.panic.lock().unwrap_or_else(|e| e.into_inner());
+                    slot.get_or_insert(payload);
+                }
+            }
+            let finished = end - start;
+            if job.remaining.fetch_sub(finished, Ordering::AcqRel) == finished {
+                self.retire(job);
+            }
+        }
+    }
+
+    /// Removes a completed job from the queue and wakes its submitter.
+    fn retire(&self, job: &Arc<Job>) {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.retain(|j| !Arc::ptr_eq(j, job));
+        drop(queue);
+        let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        job.done_cv.notify_all();
+    }
+}
+
+fn worker_loop(p: &'static PoolShared) {
+    loop {
+        let job = {
+            let mut queue = p.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) =
+                    queue.iter().find(|j| j.next.load(Ordering::Relaxed) < j.n).cloned()
+                {
+                    break job;
+                }
+                queue = p.work_cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        p.run_job(&job);
+    }
+}
+
+fn pooled_dispatch(n: usize, workers: usize, grain: usize, f: &(dyn Fn(usize) + Sync)) {
+    let p = pool();
+    p.ensure_workers(workers - 1);
+    // SAFETY: the only thing this transmute changes is the reference
+    // lifetime. The erased reference is dropped before this function
+    // returns: `run_job` stops dereferencing `func` once its final
+    // ticket claim completes, `remaining` reaching zero retires the
+    // job from the queue (so no parked worker can rediscover it), and
+    // this function blocks on `done_cv` until that retirement — after
+    // which the only live uses of `func` are gone. Workers that raced
+    // a last overshooting `fetch_add` observe `start >= n` and return
+    // without touching `func`.
+    let func: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+    let job = Arc::new(Job {
+        next: AtomicUsize::new(0),
+        remaining: AtomicUsize::new(n),
+        n,
+        grain,
+        func,
+        panic: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut queue = p.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.push(Arc::clone(&job));
+    }
+    p.work_cv.notify_all();
+    // The submitting thread is a full participant — with one worker
+    // configured no pool thread is involved at all.
+    p.run_job(&job);
+    let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
+    while !*done {
+        done = job.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(done);
+    let payload = job.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// The legacy engine: one contiguous chunk per worker, fresh scoped
+/// threads per call. This is the load-imbalance + launch-churn
+/// baseline the pool replaces; `bench_launch_overhead` measures the
+/// difference.
+fn spawn_chunked(n: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
+            .take_while(|&(lo, hi)| lo < hi)
+            .map(|(lo, hi)| {
+                s.spawn(move || {
+                    for i in lo..hi {
+                        f(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn covers_exactly(n: usize, policy: DispatchPolicy) {
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        with_policy(policy, || {
+            dispatch(n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} under {policy:?}");
+        }
+    }
+
+    #[test]
+    fn every_mode_runs_each_index_exactly_once() {
+        for n in [0, 1, 2, 7, 64, 257] {
+            covers_exactly(n, DispatchPolicy::sequential());
+            covers_exactly(n, DispatchPolicy::pooled(4));
+            covers_exactly(n, DispatchPolicy::spawn_baseline(4));
+            covers_exactly(n, DispatchPolicy { grain: Some(3), ..DispatchPolicy::pooled(8) });
+        }
+    }
+
+    #[test]
+    fn commutative_sums_are_schedule_independent() {
+        let total = |policy: DispatchPolicy| {
+            let sum = AtomicU64::new(0);
+            with_policy(policy, || {
+                dispatch(1000, |i| {
+                    sum.fetch_add(i as u64 * i as u64, Ordering::Relaxed);
+                });
+            });
+            sum.load(Ordering::Relaxed)
+        };
+        let reference = total(DispatchPolicy::sequential());
+        assert_eq!(total(DispatchPolicy::pooled(8)), reference);
+        assert_eq!(
+            total(DispatchPolicy { grain: Some(1), ..DispatchPolicy::pooled(3) }),
+            reference
+        );
+        assert_eq!(total(DispatchPolicy::spawn_baseline(4)), reference);
+    }
+
+    #[test]
+    fn pool_threads_persist_across_dispatches() {
+        with_policy(DispatchPolicy::pooled(4), || {
+            dispatch(16, |_| {});
+            let after_first = worker_count();
+            assert!(after_first >= 3, "pool should have spawned workers");
+            for _ in 0..50 {
+                dispatch(16, |_| {});
+            }
+            assert_eq!(worker_count(), after_first, "no per-launch spawning");
+        });
+    }
+
+    #[test]
+    fn panics_propagate_and_workers_survive() {
+        let run = || {
+            with_policy(DispatchPolicy::pooled(4), || {
+                dispatch(64, |i| {
+                    if i == 33 {
+                        panic!("block 33 failed");
+                    }
+                });
+            })
+        };
+        let err = catch_unwind(AssertUnwindSafe(run)).expect_err("must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "block 33 failed");
+        // The pool is still serviceable after a panicked dispatch.
+        covers_exactly(128, DispatchPolicy::pooled(4));
+    }
+
+    #[test]
+    fn auto_grain_bounds() {
+        assert_eq!(auto_grain(0, 4), 1);
+        assert_eq!(auto_grain(15, 4), 1);
+        assert_eq!(auto_grain(64, 4), 4);
+        assert_eq!(auto_grain(1 << 20, 1), 256);
+    }
+
+    #[test]
+    fn with_policy_restores_on_exit() {
+        let before = effective_workers();
+        with_policy(DispatchPolicy::pooled(7), || {
+            assert_eq!(effective_workers(), 7);
+        });
+        assert_eq!(effective_workers(), before);
+    }
+}

@@ -1,0 +1,131 @@
+//! Regression tests for per-thread checker state across launches.
+//!
+//! With the persistent execution pool, the OS threads that run blocks
+//! survive from one kernel launch to the next (and so does the
+//! calling thread under sequential dispatch). The per-thread agent
+//! installed for race attribution therefore must be cleared at launch
+//! *boundaries* — including abnormal ones: a launch that unwinds
+//! mid-block used to rely on its worker threads dying to discard the
+//! agent. If the state leaked, a later launch (possibly an untracked
+//! one) on the same OS thread would have its accesses attributed to
+//! an agent of the previous launch — cross-launch race and lint
+//! attribution.
+
+#![allow(clippy::unwrap_used)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ecl_gpusim::atomics::atomic_u32_array;
+use ecl_gpusim::check::{self, AccessKind, Agent, CheckSink, LaunchShape};
+use ecl_gpusim::pool::{with_policy, DispatchPolicy};
+use ecl_gpusim::{launch_flat_named, CostKind, Device, DeviceConfig, LaunchConfig};
+
+/// Records every attributed access together with the index of the
+/// tracked launch it arrived in.
+struct Recorder {
+    device: usize,
+    tracked_launches: AtomicU64,
+    accesses: Mutex<Vec<(u64, Agent)>>,
+}
+
+impl CheckSink for Recorder {
+    fn launch_begin(
+        &self,
+        device: usize,
+        _config: DeviceConfig,
+        _name: &str,
+        _shape: LaunchShape,
+        _cfg: LaunchConfig,
+    ) -> bool {
+        if device != self.device {
+            return false;
+        }
+        self.tracked_launches.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+    fn launch_end(&self, _device: usize) {}
+    fn access(&self, _addr: usize, _size: usize, _kind: AccessKind, agent: Agent) {
+        let launch = self.tracked_launches.load(Ordering::SeqCst);
+        self.accesses.lock().unwrap().push((launch, agent));
+    }
+    fn charge(&self, _kind: CostKind, _units: u64, _agent: Agent) {}
+    fn block_sync(&self, _agent: Agent, _participants: u64) {}
+    fn lane_sync(&self, _agent: Agent, _lane: u32) {}
+    fn block_end(&self, _block: u32, _block_size: usize) {}
+}
+
+/// One scenario: a tracked launch that panics mid-block, then an
+/// untracked launch, then a tracked launch — all reusing the same OS
+/// threads (the calling thread under sequential dispatch, the pooled
+/// workers otherwise).
+fn exercise(policy: DispatchPolicy) {
+    with_policy(policy, || {
+        let tracked_dev = Device::test_small();
+        let other_dev = Device::test_small();
+        let cells = atomic_u32_array(8, |_| 0);
+        let rec = Arc::new(Recorder {
+            device: check::device_id(&tracked_dev),
+            tracked_launches: AtomicU64::new(0),
+            accesses: Mutex::new(Vec::new()),
+        });
+        check::install(rec.clone());
+
+        // Tracked launch 1 unwinds after per-lane agents were
+        // installed. Before the pool, the worker threads died here and
+        // took the stale agent with them; now the launch-boundary
+        // guard must do it.
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            launch_flat_named(&tracked_dev, "reuse.panicking", LaunchConfig::new(2, 2), |t| {
+                cells[t.global].store(1);
+                if t.lane == 1 {
+                    panic!("die mid-launch");
+                }
+            });
+        }));
+        assert!(panicked.is_err(), "launch must propagate the block panic");
+        assert!(
+            check::current_agent().is_none(),
+            "agent must be cleared while unwinding out of a launch"
+        );
+
+        // An *untracked* launch (different device) reusing the same
+        // threads: none of its accesses may reach the sink. A leaked
+        // agent from launch 1 would attribute them.
+        let before = rec.accesses.lock().unwrap().len();
+        launch_flat_named(&other_dev, "reuse.untracked", LaunchConfig::new(2, 2), |t| {
+            cells[t.global].store(2);
+        });
+        assert_eq!(
+            rec.accesses.lock().unwrap().len(),
+            before,
+            "untracked launch leaked attributed accesses ({policy:?})",
+        );
+
+        // A second tracked launch with a *smaller* grid: every access
+        // it produces must carry one of its own agents, not a stale
+        // agent of launch 1's larger grid.
+        launch_flat_named(&tracked_dev, "reuse.tracked", LaunchConfig::new(1, 2), |t| {
+            cells[t.global].store(3);
+        });
+        let accesses = rec.accesses.lock().unwrap();
+        let second: Vec<&(u64, Agent)> = accesses.iter().filter(|(l, _)| *l == 2).collect();
+        assert_eq!(second.len(), 2, "launch 2 stores: {accesses:?}");
+        for (_, agent) in &second {
+            assert_eq!(agent.block, 0, "cross-launch agent attribution: {agent}");
+            assert!(agent.lane < 2, "cross-launch agent attribution: {agent}");
+        }
+        drop(accesses);
+        check::uninstall();
+    });
+}
+
+// One test body: the check sink is process-global, so the scenarios
+// must not interleave with each other under the parallel runner.
+#[test]
+fn thread_reuse_does_not_leak_agents_across_launches() {
+    exercise(DispatchPolicy::sequential());
+    exercise(DispatchPolicy::pooled(4));
+    exercise(DispatchPolicy { grain: Some(1), ..DispatchPolicy::pooled(2) });
+}

@@ -4,10 +4,13 @@
 //! vendors minimal drop-in implementations of its external
 //! dependencies (see `shims/README.md`). This one provides
 //! `into_par_iter()` over integer ranges and vectors with `for_each`,
-//! `map`, `sum`, and `collect`, executed on scoped OS threads: items
-//! are split into one contiguous chunk per available core, so closures
-//! genuinely run concurrently (the simulator's launch semantics and
-//! the atomic-contention behavior the paper profiles depend on that).
+//! `map`, `sum`, and `collect`, executed on scoped OS threads: one
+//! worker per available core, each claiming the next unclaimed item
+//! from a shared ticket (rayon-style dynamic load balancing, not
+//! static chunking — skewed per-item costs must not serialize on one
+//! worker). Closures genuinely run concurrently: the simulator's
+//! launch semantics and the atomic-contention behavior the paper
+//! profiles depend on that.
 
 use std::num::NonZeroUsize;
 
@@ -36,28 +39,47 @@ where
     if workers == 1 {
         return items.into_iter().map(f).collect();
     }
-    // Split into `workers` contiguous chunks of near-equal size.
-    let chunk = len.div_ceil(workers);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
-    let mut items = items.into_iter();
-    loop {
-        let c: Vec<T> = items.by_ref().take(chunk).collect();
-        if c.is_empty() {
-            break;
-        }
-        chunks.push(c);
-    }
-    let mut out: Vec<Vec<R>> = Vec::new();
+    // Dynamic claiming instead of static contiguous chunks: with
+    // skewed per-item costs (a power-law degree sweep), pre-splitting
+    // leaves most workers idle while one drains the expensive chunk.
+    // Workers pull the next unclaimed index from a shared ticket.
+    // Each worker is statically seeded with its own first item, so
+    // every worker still runs at least one item concurrently even if
+    // a fast peer drains the rest of the queue.
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let next = std::sync::atomic::AtomicUsize::new(workers);
+    let mut parts: Vec<Vec<(usize, R)>> = Vec::new();
     std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let slots = &slots;
+                let next = &next;
+                s.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut idx = w; // seeded first item
+                    while idx < slots.len() {
+                        let item = slots[idx]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .take()
+                            .expect("item claimed twice");
+                        local.push((idx, f(item)));
+                        idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    local
+                })
+            })
             .collect();
         for h in handles {
-            out.push(h.join().expect("parallel worker panicked"));
+            parts.push(h.join().expect("parallel worker panicked"));
         }
     });
-    out.into_iter().flatten().collect()
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(len).collect();
+    for (idx, r) in parts.into_iter().flatten() {
+        out[idx] = Some(r);
+    }
+    out.into_iter().map(|r| r.expect("item never ran")).collect()
 }
 
 /// A materialized parallel iterator (rayon's `IntoParallelIterator`
@@ -203,6 +225,22 @@ mod tests {
     #[test]
     fn empty_range_is_noop() {
         (0..0usize).into_par_iter().for_each(|_| panic!("no items"));
+    }
+
+    #[test]
+    fn skewed_costs_still_cover_every_item() {
+        // One item 1000x the cost of the rest: dynamic claiming must
+        // still visit every item exactly once, in order.
+        let v: Vec<u64> = (0..503u64)
+            .into_par_iter()
+            .map(|i| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i * 3
+            })
+            .collect();
+        assert_eq!(v, (0..503u64).map(|i| i * 3).collect::<Vec<_>>());
     }
 
     #[test]

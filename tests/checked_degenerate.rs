@@ -87,6 +87,31 @@ fn check_mst(device: &Device, g: &ecl_suite::graph::WeightedCsr, shape: &str) {
 }
 
 #[test]
+fn zero_block_launches_of_every_shape_are_clean_noops() {
+    // `LaunchConfig::cover(0, tpb)` — the grid an empty graph
+    // produces — must neither panic nor emit findings from any launch
+    // shape: the closure never runs, the launch is still charged and
+    // traced, and the linter must not manufacture occupancy /
+    // over-launch / sync findings for a zero-block grid.
+    let device = Device::test_small();
+    let cfg = sim::LaunchConfig::cover(0, 64);
+    assert_eq!(cfg.blocks, 0);
+    let ((), report) = run_checked(&device, || {
+        sim::launch_flat_named(&device, "deg.flat", cfg, |_| panic!("no threads expected"));
+        sim::launch_blocks_named(&device, "deg.blocks", cfg, |_| panic!("no blocks expected"));
+        sim::launch_warps_named(&device, "deg.warps", cfg, |_| panic!("no warps expected"));
+        // The persistent shape has no input-derived grid; it must
+        // stay lint-clean with a body that touches nothing.
+        sim::launch_persistent_named(&device, "deg.persistent", |_| {});
+    });
+    assert!(report.findings.is_empty(), "{}", report.render("zero-block sweep"));
+    assert!(report.is_clean());
+    assert_eq!(report.launches, 4);
+    // Each zero-block launch was still charged as a kernel launch.
+    assert_eq!(device.cost().units(sim::CostKind::KernelLaunch), 4);
+}
+
+#[test]
 fn empty_graph_runs_race_clean() {
     let device = Device::test_small();
     check_cc(&device, &undirected(0, &[]), "empty");
