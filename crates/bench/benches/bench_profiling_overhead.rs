@@ -76,6 +76,24 @@ fn bench_overhead(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Kernel/pool profiling (ecl-prof): the disabled path is one
+    // relaxed load per *launch*, so it must sit within noise of
+    // tracing-disabled above; the enabled path times each ticket
+    // claim and aggregates per-kernel stats (budget: single-digit
+    // percent on launch-dominated runs).
+    let mut group = c.benchmark_group("prof-overhead");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("cc", "prof-disabled"), &g, |b, g| {
+        ecl_prof::sink::uninstall();
+        b.iter(|| run_cc(g))
+    });
+    group.bench_with_input(BenchmarkId::new("cc", "prof-enabled"), &g, |b, g| {
+        ecl_prof::sink::install(Arc::new(ecl_prof::Collector::new()));
+        b.iter(|| run_cc(g));
+        ecl_prof::sink::uninstall();
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_overhead);

@@ -37,6 +37,8 @@ struct Args {
     kernels: bool,
     trace: Option<String>,
     check: bool,
+    profile: Option<String>,
+    repeats: usize,
 }
 
 /// Writes the `.etr` capture when the run finishes — on drop, so the
@@ -80,6 +82,8 @@ fn usage() -> ! {
          [--scale f] [--seed n] [--block-size n]\n\
          \x20      [--optimized] [--fixed-launch] [--no-shortcuts] [--trim] [--histogram] [--kernels]\n\
          \x20      [--trace <path>]  (record a .etr event capture; see the ecl-trace binary)\n\
+         \x20      [--profile <dir>] [--repeats n]  (write manifest.json/metrics.prom/flame.* \n\
+         \x20                                        profiling artifacts; see the ecl-prof binary)\n\
          \x20      ecl-run --list    (show registered inputs)\n\
          \x20      ecl-run --bench-json <path>  (dispatch-engine benchmark: pool vs. spawn)"
     );
@@ -101,6 +105,8 @@ fn parse() -> Args {
         kernels: false,
         trace: None,
         check: false,
+        profile: None,
+        repeats: 3,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -140,6 +146,14 @@ fn parse() -> Args {
             }
             "--trace" if i + 1 < argv.len() => {
                 a.trace = Some(argv[i + 1].clone());
+                i += 1;
+            }
+            "--profile" if i + 1 < argv.len() => {
+                a.profile = Some(argv[i + 1].clone());
+                i += 1;
+            }
+            "--repeats" if i + 1 < argv.len() => {
+                a.repeats = argv[i + 1].parse().unwrap_or_else(|_| usage());
                 i += 1;
             }
             "--bench-json" if i + 1 < argv.len() => {
@@ -205,6 +219,38 @@ fn main() {
         eprintln!("unknown input '{}'; try --list", a.input);
         std::process::exit(2);
     });
+    if let Some(dir) = &a.profile {
+        let pspec = ecl_bench::profile_run::ProfileSpec {
+            algo: &a.algo,
+            input: &a.input,
+            scale: a.scale,
+            seed: a.seed,
+            repeats: a.repeats,
+        };
+        match ecl_bench::profile_run::profile(&pspec, std::path::Path::new(dir)) {
+            Ok(manifest) => {
+                let wall = manifest.metrics.iter().find(|m| m.name == "wall_seconds");
+                let median = wall.map(|m| {
+                    let mut v = m.samples.clone();
+                    v.sort_by(f64::total_cmp);
+                    v[v.len() / 2]
+                });
+                println!(
+                    "profiled {} on {} x{}: {} kernels, median wall {:.3}s -> {dir}/",
+                    a.algo,
+                    a.input,
+                    a.repeats,
+                    manifest.kernels.len(),
+                    median.unwrap_or(0.0)
+                );
+            }
+            Err(e) => {
+                eprintln!("profile: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let device = ecl_bench::scaled_device(a.scale);
     let _trace = TraceGuard::start(a.trace.clone());
     println!(

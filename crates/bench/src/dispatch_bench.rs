@@ -158,7 +158,12 @@ impl DispatchBench {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
+        s.push_str("  \"schema\": \"ecl-bench/2\",\n");
         s.push_str("  \"benchmark\": \"pr3-dispatch-engine\",\n");
+        s.push_str(&format!("  \"git_sha\": \"{}\",\n", ecl_prof::git_sha()));
+        s.push_str(&format!(
+            "  \"dispatch\": {{\"mode\": \"pool\", \"workers\": {WORKERS}, \"grain\": null}},\n"
+        ));
         s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
         s.push_str(&format!("  \"forced_workers\": {WORKERS},\n"));
         s.push_str(&format!("  \"scale\": {SCALE},\n"));
@@ -197,6 +202,9 @@ mod tests {
             host_cores: 1,
         };
         let j = b.to_json();
+        assert!(j.contains("\"schema\": \"ecl-bench/2\""));
+        assert!(j.contains("\"git_sha\": \""));
+        assert!(j.contains("\"dispatch\": {\"mode\": \"pool\""));
         assert!(j.contains("\"speedup\": 10.00"));
         assert!(j.contains("\"algo\": \"cc\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());

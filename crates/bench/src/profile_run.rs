@@ -1,0 +1,240 @@
+//! `ecl-run --profile <dir>`: one self-profiling algorithm run.
+//!
+//! Installs the `ecl-prof` collector (and a wall-clock tracer for the
+//! final repeat), runs the requested algorithm `repeats` times, and
+//! writes four artifacts into the output directory:
+//!
+//! - `manifest.json` — the versioned `ecl-prof/1` run manifest: git
+//!   SHA, dispatch policy, per-repeat metric samples, per-kernel
+//!   launch statistics, and the algorithm's counter distributions;
+//! - `metrics.prom` — the same data in Prometheus text exposition;
+//! - `flame.folded` — pprof-style folded stacks from the trace
+//!   capture of the final repeat;
+//! - `flame.svg` — the folded stacks rendered as a flamegraph.
+//!
+//! The `wall_seconds` metric carries one sample per repeat so the
+//! gate can apply its MAD noise envelope; `modeled_time` is the
+//! simulator's deterministic cost estimate — byte-identical across
+//! hosts for a given input, which is what CI gates on.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use ecl_prof::manifest::{Direction, DispatchInfo, Manifest, Metric, SCHEMA};
+use ecl_prof::{folded_to_svg, to_folded, to_prometheus, Collector};
+use ecl_profiling::SketchSnapshot;
+
+/// Settings of one profiled run.
+pub struct ProfileSpec<'a> {
+    /// Algorithm (`cc|gc|mis|mst|scc`).
+    pub algo: &'a str,
+    /// Registered input name.
+    pub input: &'a str,
+    /// Input scale factor.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Repeats (one `wall_seconds` sample each).
+    pub repeats: usize,
+}
+
+/// One repeat's outcome.
+struct RepeatResult {
+    wall_seconds: f64,
+    modeled_time: f64,
+    /// Counter distributions, overwritten each repeat (deterministic
+    /// per input, so the last repeat's snapshot is representative).
+    distributions: Vec<(String, SketchSnapshot)>,
+}
+
+fn run_once(spec: &ProfileSpec<'_>) -> Result<RepeatResult, String> {
+    let reg = ecl_graphgen::registry::find(spec.input)
+        .ok_or_else(|| format!("unknown input '{}'", spec.input))?;
+    let mut distributions = Vec::new();
+    let (device, wall_seconds) = match spec.algo {
+        "cc" => {
+            let g = reg.generate(spec.scale, spec.seed);
+            let device = crate::scaled_device(spec.scale);
+            let (r, secs) =
+                ecl_gpusim::run_timed(|| ecl_cc::run(&device, &g, &ecl_cc::CcConfig::baseline()));
+            distributions
+                .push(("cc/init_traversal_len".to_string(), r.counters.traversal_len.snapshot()));
+            (device, secs)
+        }
+        "mis" => {
+            let g = reg.generate(spec.scale, spec.seed);
+            let device = crate::scaled_device(spec.scale);
+            let (r, secs) =
+                ecl_gpusim::run_timed(|| ecl_mis::run(&device, &g, &ecl_mis::MisConfig::default()));
+            distributions
+                .push(("mis/spins_per_round".to_string(), r.counters.spins_per_round.snapshot()));
+            (device, secs)
+        }
+        "gc" => {
+            let g = reg.generate(spec.scale, spec.seed);
+            let device = crate::scaled_device(spec.scale);
+            let (r, secs) =
+                ecl_gpusim::run_timed(|| ecl_gc::run(&device, &g, &ecl_gc::GcConfig::default()));
+            distributions
+                .push(("gc/scan_per_visit".to_string(), r.counters.scan_per_visit.snapshot()));
+            (device, secs)
+        }
+        "mst" => {
+            let g = reg.generate_weighted(spec.scale, spec.seed, 1 << 20);
+            let device = crate::scaled_device(spec.scale);
+            let (r, secs) = ecl_gpusim::run_timed(|| {
+                ecl_mst::run(&device, &g, &ecl_mst::MstConfig::baseline())
+            });
+            distributions
+                .push(("mst/launch_coverage".to_string(), r.counters.launch_coverage.snapshot()));
+            (device, secs)
+        }
+        "scc" => {
+            if !reg.directed {
+                return Err(format!("'{}' is undirected; SCC needs a mesh input", spec.input));
+            }
+            let g = reg.generate(spec.scale, spec.seed);
+            let device = crate::scaled_device_min(spec.scale, crate::SCC_MIN_SMS);
+            let (r, secs) = ecl_gpusim::run_timed(|| {
+                ecl_scc::run(&device, &g, &ecl_scc::SccConfig::original())
+            });
+            distributions.push((
+                "scc/updates_per_sweep".to_string(),
+                r.counters.updates_per_sweep.snapshot(),
+            ));
+            (device, secs)
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    Ok(RepeatResult { wall_seconds, modeled_time: device.modeled_time(), distributions })
+}
+
+/// Runs `spec` with profiling installed and writes the four artifacts
+/// into `out_dir` (created if needed). Returns the manifest.
+pub fn profile(spec: &ProfileSpec<'_>, out_dir: &Path) -> Result<Manifest, String> {
+    let repeats = spec.repeats.max(1);
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
+
+    let collector = Arc::new(Collector::new());
+    ecl_prof::sink::install(Arc::clone(&collector));
+    let mut wall = Vec::with_capacity(repeats);
+    let mut modeled = Vec::with_capacity(repeats);
+    let mut distributions = Vec::new();
+    let mut folded = String::new();
+    let mut result = Ok(());
+    for rep in 0..repeats {
+        let last = rep + 1 == repeats;
+        if last {
+            ecl_trace::sink::install(Arc::new(ecl_trace::Tracer::with_clock(
+                ecl_trace::ClockMode::Wall,
+            )));
+        }
+        match run_once(spec) {
+            Ok(r) => {
+                wall.push(r.wall_seconds);
+                modeled.push(r.modeled_time);
+                distributions = r.distributions;
+            }
+            Err(e) => {
+                result = Err(e);
+            }
+        }
+        if last {
+            if let Some(tracer) = ecl_trace::sink::uninstall() {
+                folded = to_folded(&tracer.snapshot());
+            }
+        }
+        if result.is_err() {
+            break;
+        }
+    }
+    ecl_prof::sink::uninstall();
+    result?;
+
+    let workers = ecl_gpusim::pool::effective_workers();
+    let manifest = Manifest {
+        schema: SCHEMA.to_string(),
+        git_sha: ecl_prof::git_sha(),
+        dispatch: DispatchInfo { mode: "pool".to_string(), workers: workers as u64, grain: None },
+        context: vec![
+            ("algo".to_string(), spec.algo.to_string()),
+            ("input".to_string(), spec.input.to_string()),
+            ("scale".to_string(), format!("{}", spec.scale)),
+            ("seed".to_string(), format!("{}", spec.seed)),
+            ("repeats".to_string(), format!("{repeats}")),
+        ],
+        metrics: vec![
+            Metric {
+                name: "wall_seconds".to_string(),
+                unit: "s".to_string(),
+                direction: Direction::Lower,
+                samples: wall,
+            },
+            Metric {
+                name: "modeled_time".to_string(),
+                unit: "cost-units".to_string(),
+                direction: Direction::Lower,
+                samples: modeled,
+            },
+            Metric {
+                name: "launches".to_string(),
+                unit: "1".to_string(),
+                direction: Direction::Info,
+                samples: vec![collector.launches() as f64],
+            },
+        ],
+        kernels: collector.snapshot(),
+        distributions,
+    };
+
+    let write = |name: &str, contents: &str| -> Result<(), String> {
+        let path = out_dir.join(name);
+        std::fs::write(&path, contents).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    write("manifest.json", &manifest.to_json())?;
+    write("metrics.prom", &to_prometheus(&manifest))?;
+    write("flame.folded", &folded)?;
+    write("flame.svg", &folded_to_svg(&folded))?;
+    Ok(manifest)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    // One test body: the prof/trace sinks are process-global.
+    #[test]
+    fn profile_writes_all_artifacts_and_a_parseable_manifest() {
+        let dir = std::env::temp_dir().join(format!("ecl-prof-test-{}", std::process::id()));
+        let spec =
+            ProfileSpec { algo: "cc", input: "as-skitter", scale: 0.0005, seed: 42, repeats: 2 };
+        let manifest = profile(&spec, &dir).expect("profiled run");
+        assert_eq!(manifest.schema, SCHEMA);
+        assert!(!manifest.kernels.is_empty(), "launch hooks must have reported");
+        let wall = manifest.metrics.iter().find(|m| m.name == "wall_seconds").unwrap();
+        assert_eq!(wall.samples.len(), 2);
+        let modeled = manifest.metrics.iter().find(|m| m.name == "modeled_time").unwrap();
+        assert!(modeled.samples.iter().all(|&s| s > 0.0));
+        // Deterministic cost model: identical across repeats.
+        assert_eq!(modeled.samples[0], modeled.samples[1]);
+        assert_eq!(manifest.distributions[0].0, "cc/init_traversal_len");
+        assert!(manifest.distributions[0].1.count > 0);
+
+        for name in ["manifest.json", "metrics.prom", "flame.folded", "flame.svg"] {
+            let path = dir.join(name);
+            assert!(path.exists(), "missing artifact {name}");
+        }
+        let text = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        let back = Manifest::from_json(&text).expect("round-trip");
+        assert_eq!(back.kernels.len(), manifest.kernels.len());
+        // The manifest gates against itself cleanly.
+        let report = ecl_prof::gate_files(&text, &text, &ecl_prof::GateConfig::default()).unwrap();
+        assert!(report.passed(), "{}", report.render());
+
+        let unknown =
+            profile(&ProfileSpec { algo: "nope", ..spec }, &dir).expect_err("unknown algo");
+        assert!(unknown.contains("unknown algorithm"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,6 +1,6 @@
 //! ECL-CC's application-specific counters (§3.2, §6.1.3).
 
-use ecl_profiling::{AtomicTally, GlobalCounter, ProfileMode};
+use ecl_profiling::{AtomicTally, GlobalCounter, LogSketch, ProfileMode};
 
 /// Counters embedded in the ECL-CC kernels.
 ///
@@ -30,6 +30,11 @@ pub struct CcCounters {
     /// Pointer-jump shortcuts installed by intermediate pointer
     /// jumping inside `representative()`.
     pub pointer_jumps: GlobalCounter,
+    /// Per-vertex distribution of neighbors examined by the init scan
+    /// — the streaming form of `vertices_traversed`: the total alone
+    /// hides whether work is uniform or dominated by a few hubs, the
+    /// p99/max of this sketch shows it.
+    pub traversal_len: LogSketch,
 }
 
 impl CcCounters {
@@ -44,6 +49,7 @@ impl CcCounters {
             find_unchanged: GlobalCounter::new(),
             hook_cas: AtomicTally::new(),
             pointer_jumps: GlobalCounter::new(),
+            traversal_len: LogSketch::new(),
         }
     }
 
@@ -87,5 +93,21 @@ mod tests {
         assert_eq!(c.vertices_traversed.get(), 0);
         assert_eq!(c.find_calls.get(), 0);
         assert_eq!(c.hook_cas.attempted(), 0);
+        assert_eq!(c.traversal_len.snapshot().count, 0);
+    }
+
+    #[test]
+    fn traversal_sketch_total_matches_counter_when_recorded_together() {
+        let c = CcCounters::new(ProfileMode::On);
+        for len in [0u64, 3, 1, 40] {
+            c.traversal_len.record(len);
+            for _ in 0..len {
+                c.vertices_traversed.inc();
+            }
+        }
+        let snap = c.traversal_len.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, c.vertices_traversed.get());
+        assert!(snap.p99 >= 40);
     }
 }

@@ -83,11 +83,13 @@ fn init(device: &Device, g: &Csr, config: &CcConfig, counters: &CcCounters, nsta
         let v = t.global as u32;
         let adj = g.neighbors(v);
         let mut label = v;
+        let mut scanned = 0u64;
         if config.optimized_init {
             // Sorted lists: the first neighbor is the minimum, so it
             // alone decides whether a smaller neighbor exists.
             if let Some(&first) = adj.first() {
                 device.charge(CostKind::ThreadWork, 1);
+                scanned += 1;
                 if counters.enabled() {
                     counters.vertices_traversed.inc();
                 }
@@ -98,6 +100,7 @@ fn init(device: &Device, g: &Csr, config: &CcConfig, counters: &CcCounters, nsta
         } else {
             for &u in adj {
                 device.charge(CostKind::ThreadWork, 1);
+                scanned += 1;
                 if counters.enabled() {
                     counters.vertices_traversed.inc();
                 }
@@ -110,6 +113,7 @@ fn init(device: &Device, g: &Csr, config: &CcConfig, counters: &CcCounters, nsta
         nstat[t.global].store(label);
         if counters.enabled() {
             counters.vertices_initialized.inc();
+            counters.traversal_len.record(scanned);
         }
     });
 }

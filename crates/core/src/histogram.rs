@@ -39,12 +39,26 @@ impl Histogram {
         }
     }
 
-    /// Inclusive-exclusive value range of bucket `k`.
+    /// Value range of bucket `k`, inclusive-exclusive — except the top
+    /// bucket (index 64, holding `[2^63, u64::MAX]`), whose upper
+    /// bound saturates at `u64::MAX` inclusively: `1u64 << 64` would
+    /// overflow.
     pub fn bucket_range(k: usize) -> (u64, u64) {
         if k == 0 {
             (0, 1)
+        } else if k >= 64 {
+            (1u64 << 63, u64::MAX)
         } else {
             (1u64 << (k - 1), 1u64 << k)
+        }
+    }
+
+    /// Largest value bucket `k` can hold.
+    fn bucket_top(k: usize) -> u64 {
+        if k >= 64 {
+            u64::MAX
+        } else {
+            Self::bucket_range(k).1 - 1
         }
     }
 
@@ -81,10 +95,25 @@ impl Histogram {
         for (k, &c) in self.buckets.iter().enumerate() {
             acc += c;
             if acc >= target {
-                return Self::bucket_range(k).1 - 1;
+                return Self::bucket_top(k);
             }
         }
-        Self::bucket_range(self.buckets.len().saturating_sub(1)).1 - 1
+        Self::bucket_top(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Merges `other` into `self`. The bucket layout is shared (bucket
+    /// `k` always covers the same value range), so histograms built
+    /// from value sets with different ranges — and hence different
+    /// bucket-vector lengths — merge exactly: the shorter vector is
+    /// extended to the longer one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, &theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
     }
 
     /// Renders the histogram as text bars, one line per non-empty
@@ -145,7 +174,60 @@ mod tests {
         let h = Histogram::of(&[]);
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile_bound(0.5), 0);
+        assert_eq!(h.quantile_bound(0.0), 0);
+        assert_eq!(h.quantile_bound(1.0), 0);
         assert!(h.render("t", 20).contains("no samples"));
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let h = Histogram::of(&[12]);
+        assert_eq!(h.count(), 1);
+        // All quantiles land in 12's bucket, [8, 16).
+        assert_eq!(h.quantile_bound(0.0), 15);
+        assert_eq!(h.quantile_bound(0.5), 15);
+        assert_eq!(h.quantile_bound(1.0), 15);
+    }
+
+    #[test]
+    fn top_bucket_saturation() {
+        // u64::MAX lands in the final bucket (index 64); the bucket
+        // arithmetic must not overflow (`1u64 << 64` would) and the
+        // quantile bound saturates at u64::MAX.
+        let h = Histogram::of(&[u64::MAX, u64::MAX - 1]);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(h.buckets().len(), 65);
+        assert_eq!(h.buckets()[64], 2);
+        assert_eq!(Histogram::bucket_range(64), (1u64 << 63, u64::MAX));
+        assert_eq!(h.quantile_bound(0.5), u64::MAX);
+        assert_eq!(h.quantile_bound(1.0), u64::MAX);
+        assert!(h.render("tail", 10).contains("18446744073709551615"));
+    }
+
+    #[test]
+    fn merge_mismatched_ranges() {
+        // Small-value histogram (3 buckets) absorbs a large-value one
+        // (12 buckets) and vice versa — same result either way.
+        let small = Histogram::of(&[0, 1, 2]);
+        let large = Histogram::of(&[1024, 2048]);
+        let mut a = small.clone();
+        a.merge(&large);
+        let mut b = large.clone();
+        b.merge(&small);
+        assert_eq!(a, b);
+        assert_eq!(a, Histogram::of(&[0, 1, 2, 1024, 2048]));
+        assert_eq!(a.count(), 5);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::of(&[3, 9]);
+        let before = h.clone();
+        h.merge(&Histogram::of(&[]));
+        assert_eq!(h, before);
+        let mut e = Histogram::of(&[]);
+        e.merge(&before);
+        assert_eq!(e, before);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod metrics;
 pub mod registry;
 pub mod runs;
 pub mod series;
+pub mod sketch;
 pub mod stats;
 pub mod table;
 pub mod trace;
@@ -41,10 +42,11 @@ pub mod trace;
 pub use atomics::{AtomicOutcome, AtomicTally};
 pub use counter::{GlobalCounter, PerThreadCounter, ProfileMode};
 pub use histogram::Histogram;
-pub use metrics::{ActivityTally, LoadBalance};
+pub use metrics::{imbalance_from_summary, ActivityTally, LoadBalance};
 pub use registry::{CounterHandle, Registry, Snapshot};
 pub use runs::MultiRun;
 pub use series::{BlockSeries, IterationBars};
+pub use sketch::{LogSketch, SketchSnapshot, SKETCH_BUCKETS};
 pub use stats::{pearson, Summary};
 pub use table::Table;
 pub use trace::ConvergenceTrace;

@@ -33,24 +33,40 @@ impl LoadBalance {
     }
 
     /// Imbalance factor: max / avg work per thread. 1.0 is perfectly
-    /// balanced; large values indicate a straggler. Returns 0 when no
-    /// work was recorded.
+    /// balanced; large values indicate a straggler. Returns 0 for
+    /// zero-activity launches (no threads, or no work recorded) — the
+    /// guard is explicit because per-launch profiling feeds this into
+    /// exported manifests, where a NaN/inf would poison every
+    /// downstream comparison.
     pub fn imbalance_factor(&self) -> f64 {
         let s = self.summary();
-        if s.avg == 0.0 {
-            0.0
-        } else {
-            s.max / s.avg
-        }
+        imbalance_from_summary(&s)
     }
 
-    /// Fraction of threads that did any work at all.
+    /// Fraction of threads that did any work at all. 0 for a launch
+    /// with no threads (never NaN).
     pub fn participation(&self) -> f64 {
         let vals = self.work.values();
         if vals.is_empty() {
             return 0.0;
         }
         vals.iter().filter(|&&v| v > 0).count() as f64 / vals.len() as f64
+    }
+}
+
+/// The max/avg imbalance factor over an already-computed [`Summary`],
+/// guarded against the degenerate launches a self-profiling run hits
+/// routinely (empty grids, zero-work kernels): any summary whose
+/// average is non-positive or non-finite yields 0 instead of NaN/inf.
+pub fn imbalance_from_summary(s: &Summary) -> f64 {
+    if !(s.avg.is_finite() && s.avg > 0.0) {
+        return 0.0;
+    }
+    let f = s.max / s.avg;
+    if f.is_finite() {
+        f
+    } else {
+        0.0
     }
 }
 
@@ -188,8 +204,34 @@ mod tests {
 
     #[test]
     fn no_work_recorded() {
+        // Zero-activity launch on a real grid: threads exist, nothing
+        // ran. avg = 0 must not produce 0/0 = NaN.
         let lb = LoadBalance::new(3);
         assert_eq!(lb.imbalance_factor(), 0.0);
+        assert!(lb.imbalance_factor().is_finite());
+        assert_eq!(lb.participation(), 0.0);
+    }
+
+    #[test]
+    fn single_thread_is_perfectly_balanced() {
+        let lb = LoadBalance::new(1);
+        lb.record(0, 42);
+        assert!((lb.imbalance_factor() - 1.0).abs() < 1e-12);
+        assert_eq!(lb.participation(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_from_summary_guards_degenerate_inputs() {
+        use crate::stats::Summary;
+        let zero = Summary::of_u64(&[]);
+        assert_eq!(imbalance_from_summary(&zero), 0.0);
+        let nan = Summary { count: 1, sum: f64::NAN, avg: f64::NAN, max: 1.0, min: 0.0, std: 0.0 };
+        assert_eq!(imbalance_from_summary(&nan), 0.0);
+        let inf_max =
+            Summary { count: 1, sum: 1.0, avg: 1.0, max: f64::INFINITY, min: 0.0, std: 0.0 };
+        assert_eq!(imbalance_from_summary(&inf_max), 0.0);
+        let ok = Summary::of_u64(&[10, 30]);
+        assert!((imbalance_from_summary(&ok) - 1.5).abs() < 1e-12);
     }
 
     #[test]

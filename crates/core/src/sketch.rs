@@ -1,0 +1,406 @@
+//! Streaming percentile sketches over log-spaced buckets.
+//!
+//! [`Histogram`](crate::Histogram) is built *after the fact* from a
+//! complete value slice. The paper's per-thread distributions
+//! (iterations, adjacency lengths, CAS outcomes) additionally need a
+//! form that can be recorded **while the kernels run** and merged
+//! across runs, kernels, and threads without keeping the raw values:
+//! a fixed-width array of power-of-two buckets plus streaming
+//! count/sum/min/max. Quantiles come out as upper bucket bounds — a
+//! factor-of-two error envelope, which is exactly the resolution the
+//! paper's log-scale tables and charts use.
+//!
+//! All mutation is relaxed-atomic, so a sketch can be shared across
+//! simulated threads exactly like [`GlobalCounter`]
+//! (crate::GlobalCounter): slots race benignly and are aggregated
+//! after the parallel region joins.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+/// Bucket count: bucket 0 holds the value 0, bucket `k` in `1..=64`
+/// holds `[2^(k-1), 2^k)`, covering all of `u64` with no saturation.
+pub const SKETCH_BUCKETS: usize = 65;
+
+/// A mergeable streaming histogram with percentile estimates.
+#[derive(Debug)]
+pub struct LogSketch {
+    buckets: [AtomicU64; SKETCH_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Minimum seen (`u64::MAX` when empty — resolved by `min()`).
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; SKETCH_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index `v` falls into (same mapping as
+    /// [`Histogram::bucket_of`](crate::Histogram::bucket_of)).
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive-exclusive value range of bucket `k` (the top bucket's
+    /// upper bound saturates at `u64::MAX`).
+    pub fn bucket_range(k: usize) -> (u64, u64) {
+        match k {
+            0 => (0, 1),
+            64 => (1u64 << 63, u64::MAX),
+            _ => (1u64 << (k - 1), 1u64 << k),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` samples of value `v` (used when folding per-thread
+    /// counter slots in at end of run).
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Folds a complete value slice in (one sample per element) — the
+    /// merge of a per-thread counter's final distribution.
+    pub fn record_values(&self, values: &[u64]) {
+        for &v in values {
+            self.record(v);
+        }
+    }
+
+    /// Merges `other` into `self`. Sketches share one fixed bucket
+    /// layout, so the merge is exact (bucket-wise addition).
+    pub fn merge(&self, other: &LogSketch) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c > 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if self.count() == 0 {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean (0 when empty — never NaN).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// The p-quantile (0.0–1.0) as an upper bucket bound, clamped to
+    /// the observed maximum. 0 when empty.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "quantile out of range");
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = (p * count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (k, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            if acc >= target {
+                // Largest value the bucket can hold (the top bucket's
+                // range is inclusive), clamped to the observed max so a
+                // single-sample sketch reports the sample itself.
+                let bound = match k {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => Self::bucket_range(k).1 - 1,
+                };
+                return bound.min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// An immutable copy for export.
+    pub fn snapshot(&self) -> SketchSnapshot {
+        let buckets: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(k, b)| {
+                let c = b.load(Ordering::Relaxed);
+                if c > 0 {
+                    Some((k as u32, c))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        SketchSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            buckets,
+        }
+    }
+
+    /// Resets to empty (requires exclusive access).
+    pub fn reset(&mut self) {
+        for b in self.buckets.iter_mut() {
+            *b.get_mut() = 0;
+        }
+        *self.count.get_mut() = 0;
+        *self.sum.get_mut() = 0;
+        *self.min.get_mut() = u64::MAX;
+        *self.max.get_mut() = 0;
+    }
+}
+
+impl Clone for LogSketch {
+    fn clone(&self) -> Self {
+        let c = Self::new();
+        c.merge(self);
+        c
+    }
+}
+
+/// Immutable export form of a [`LogSketch`]: summary fields plus the
+/// non-empty `(bucket index, count)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct SketchSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+    /// Non-empty buckets as `(index, count)`.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl SketchSnapshot {
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_is_all_zero() {
+        let s = LogSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LogSketch::new();
+        s.record(7);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.min(), 7);
+        assert_eq!(s.max(), 7);
+        assert_eq!(s.mean(), 7.0);
+        // The quantile bound is clamped to the observed max.
+        assert_eq!(s.quantile(0.5), 7);
+        assert_eq!(s.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn zeros_land_in_bucket_zero() {
+        let s = LogSketch::new();
+        s.record_n(0, 10);
+        s.record(4);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.snapshot().buckets, vec![(0, 10), (3, 1)]);
+    }
+
+    #[test]
+    fn top_bucket_holds_u64_max_without_overflow() {
+        let s = LogSketch::new();
+        s.record(u64::MAX);
+        s.record(u64::MAX); // sum saturates, buckets stay exact
+        assert_eq!(LogSketch::bucket_of(u64::MAX), 64);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), u64::MAX);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        assert_eq!(LogSketch::bucket_range(64).1, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let s = LogSketch::new();
+        for v in 0..1000u64 {
+            s.record(v);
+        }
+        let q = |p| s.quantile(p);
+        assert!(q(0.1) <= q(0.5) && q(0.5) <= q(0.9) && q(0.9) <= q(1.0));
+        assert_eq!(q(1.0), 999);
+        // Median of 0..999 is ~500 → bucket upper bound 511.
+        assert_eq!(q(0.5), 511);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_exact() {
+        let a = LogSketch::new();
+        let b = LogSketch::new();
+        a.record_values(&[1, 2, 3]);
+        b.record_values(&[100, 200]);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 306);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 200);
+        let direct = LogSketch::new();
+        direct.record_values(&[1, 2, 3, 100, 200]);
+        assert_eq!(a.snapshot(), direct.snapshot());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = LogSketch::new();
+        a.record_values(&[5, 9]);
+        let before = a.snapshot();
+        a.merge(&LogSketch::new());
+        assert_eq!(a.snapshot(), before);
+    }
+
+    #[test]
+    fn concurrent_records_aggregate() {
+        let s = LogSketch::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for v in 0..1000u64 {
+                        s.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.count(), 8000);
+        assert_eq!(s.sum(), 8 * (999 * 1000 / 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn bad_quantile_panics() {
+        LogSketch::new().quantile(-0.1);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_summary() {
+        let s = LogSketch::new();
+        s.record_values(&[0, 1, 1, 8, 1 << 40]);
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 1 << 40);
+        assert!(snap.mean() > 0.0);
+        assert_eq!(snap.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut s = LogSketch::new();
+        s.record(3);
+        s.reset();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.snapshot().buckets, vec![]);
+    }
+
+    #[test]
+    fn clone_snapshots_values() {
+        let s = LogSketch::new();
+        s.record(3);
+        let t = s.clone();
+        s.record(4);
+        assert_eq!(t.count(), 1);
+        assert_eq!(s.count(), 2);
+    }
+}

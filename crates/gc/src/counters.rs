@@ -1,7 +1,9 @@
 //! ECL-GC's application-specific counters (§6.1.5, Table 5).
 
 use ecl_graph::Csr;
-use ecl_profiling::{ConvergenceTrace, GlobalCounter, PerThreadCounter, ProfileMode, Summary};
+use ecl_profiling::{
+    ConvergenceTrace, GlobalCounter, LogSketch, PerThreadCounter, ProfileMode, Summary,
+};
 
 /// Counters embedded in the coloring kernels. The first two are
 /// per-*vertex* (Table 5 reports avg/max over vertices); the rest are
@@ -22,6 +24,12 @@ pub struct GcCounters {
     pub shortcut1_colorings: GlobalCounter,
     /// Uncolored vertices remaining after each round.
     pub uncolored_per_round: ConvergenceTrace,
+    /// Streaming distribution of adjacency-list lengths scanned per
+    /// worklist visit. Re-visited high-degree vertices re-pay their
+    /// whole scan each round, so this sketch (unlike the static degree
+    /// distribution) shows the *work* skew the worklist actually
+    /// executes.
+    pub scan_per_visit: LogSketch,
 }
 
 impl GcCounters {
@@ -34,6 +42,7 @@ impl GcCounters {
             shortcut2_removals: GlobalCounter::new(),
             shortcut1_colorings: GlobalCounter::new(),
             uncolored_per_round: ConvergenceTrace::new(),
+            scan_per_visit: LogSketch::new(),
         }
     }
 

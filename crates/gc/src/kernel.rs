@@ -135,6 +135,9 @@ fn process_vertex(
     let adj = g.neighbors(v);
     let arc0 = g.arc_range(v).start;
     let profiling = counters.enabled();
+    if profiling {
+        counters.scan_per_visit.record(adj.len() as u64);
+    }
 
     let mut best = bitmap::lowest_set(&state.poss, &state.layout, v)
         .expect("uncolored vertex must have a possible color");

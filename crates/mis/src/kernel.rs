@@ -124,6 +124,7 @@ pub fn maximal_independent_set(device: &Device, g: &Csr, config: &MisConfig) -> 
                 }
                 let spins = if encoded & 1 == 1 { (quantum / cost).clamp(1, 100_000) } else { 1 };
                 counters.iterations.add(tid, spins);
+                counters.spins_per_round.record(spins);
             }
         }
         if profiling {

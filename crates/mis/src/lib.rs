@@ -27,7 +27,7 @@ pub mod status;
 
 use ecl_gpusim::Device;
 use ecl_graph::Csr;
-use ecl_profiling::{ConvergenceTrace, PerThreadCounter, ProfileMode};
+use ecl_profiling::{ConvergenceTrace, LogSketch, PerThreadCounter, ProfileMode};
 
 /// Configuration of one ECL-MIS run.
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +64,11 @@ pub struct MisCounters {
     pub finalized: PerThreadCounter,
     /// Undecided vertices remaining after each round.
     pub undecided_per_round: ConvergenceTrace,
+    /// Streaming distribution of per-thread spins per round — the
+    /// percentile view of `iterations`: Table 2 reports the total, the
+    /// sketch's p99/max exposes the straggler threads that gate each
+    /// round.
+    pub spins_per_round: LogSketch,
 }
 
 impl MisCounters {
@@ -74,6 +79,7 @@ impl MisCounters {
             assigned: PerThreadCounter::new(num_threads),
             finalized: PerThreadCounter::new(num_threads),
             undecided_per_round: ConvergenceTrace::new(),
+            spins_per_round: LogSketch::new(),
         }
     }
 }

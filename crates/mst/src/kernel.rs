@@ -187,6 +187,9 @@ fn iteration(
     } else {
         LaunchConfig::cover(stale_size.max(len), config.block_size)
     };
+    if profiling {
+        counters.launch_coverage.record(cfg.total_threads() as u64);
+    }
 
     let activity = ActivityTally::new();
     let iter_atomics = AtomicTally::new();

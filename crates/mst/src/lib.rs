@@ -30,7 +30,7 @@ pub mod union_find;
 
 use ecl_gpusim::Device;
 use ecl_graph::{EdgeId, WeightedCsr};
-use ecl_profiling::{AtomicTally, ConvergenceTrace, IterationBars, ProfileMode};
+use ecl_profiling::{AtomicTally, ConvergenceTrace, IterationBars, LogSketch, ProfileMode};
 
 /// Configuration of one ECL-MST run.
 #[derive(Clone, Copy, Debug)]
@@ -78,6 +78,12 @@ pub struct MstCounters {
     pub atomics: AtomicTally,
     /// Worklist edges surviving after each iteration's compaction.
     pub worklist_per_iteration: ConvergenceTrace,
+    /// Streaming distribution of worklist sizes the K1/K2 launches
+    /// actually covered — with the stale baseline launch config the
+    /// gap between this sketch's quantiles and the shrinking
+    /// `worklist_per_iteration` trace is exactly the §6.2.3 wasted
+    /// coverage.
+    pub launch_coverage: LogSketch,
 }
 
 impl MstCounters {
@@ -87,6 +93,7 @@ impl MstCounters {
             bars: IterationBars::new(),
             atomics: AtomicTally::new(),
             worklist_per_iteration: ConvergenceTrace::new(),
+            launch_coverage: LogSketch::new(),
         }
     }
 }

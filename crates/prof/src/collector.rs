@@ -1,0 +1,198 @@
+//! Aggregation of [`LaunchSample`]s into per-kernel statistics.
+
+use std::sync::Mutex;
+
+use ecl_profiling::{LogSketch, SketchSnapshot};
+
+use crate::sample::LaunchSample;
+
+/// Running aggregate for one kernel name.
+#[derive(Debug)]
+struct KernelAgg {
+    name: String,
+    shape: &'static str,
+    launches: u64,
+    blocks: u64,
+    threads: u64,
+    /// Per-launch wall time, sketched.
+    wall_ns: LogSketch,
+    /// Per-launch imbalance factor × 1000, sketched (integer sketch of
+    /// a [1, ∞) ratio; 1000 = perfectly balanced).
+    imbalance_milli: LogSketch,
+    busy_ns_total: u64,
+    span_ns_total: u64,
+    claim_wait_ns_total: u64,
+    claims_total: u64,
+}
+
+/// Immutable per-kernel statistics for export.
+#[derive(Clone, Debug)]
+pub struct KernelStats {
+    /// Kernel name.
+    pub name: String,
+    /// Launch shape.
+    pub shape: String,
+    /// Launches folded into this record.
+    pub launches: u64,
+    /// Blocks executed across all launches.
+    pub blocks: u64,
+    /// Threads launched across all launches.
+    pub threads: u64,
+    /// Per-launch wall-time distribution (ns).
+    pub wall_ns: SketchSnapshot,
+    /// Per-launch imbalance-factor distribution (milli-units: 1000 =
+    /// balanced).
+    pub imbalance_milli: SketchSnapshot,
+    /// Mean worker utilization across launches (busy / attached span).
+    pub utilization: f64,
+    /// Total participant time not spent executing blocks (ns).
+    pub claim_wait_ns: u64,
+    /// Ticket claims across all launches.
+    pub claims: u64,
+}
+
+/// Thread-safe collector of launch samples, grouped by kernel name in
+/// first-seen order. Installed globally through [`crate::sink`];
+/// recording takes a short mutex (launch completion is coarse-grained
+/// — hundreds per run, not millions).
+#[derive(Debug, Default)]
+pub struct Collector {
+    kernels: Mutex<Vec<KernelAgg>>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one launch sample in.
+    pub fn record(&self, sample: &LaunchSample) {
+        let imbalance_milli = (sample.imbalance() * 1000.0).round().max(0.0) as u64;
+        let busy: u64 = sample.workers.iter().map(|w| w.busy_ns).sum();
+        let span = sample.wall_ns.saturating_mul(sample.workers.len() as u64);
+        let mut kernels = self.kernels.lock().unwrap_or_else(|e| e.into_inner());
+        let agg = match kernels.iter_mut().find(|k| k.name == sample.kernel) {
+            Some(agg) => agg,
+            None => {
+                kernels.push(KernelAgg {
+                    name: sample.kernel.clone(),
+                    shape: sample.shape,
+                    launches: 0,
+                    blocks: 0,
+                    threads: 0,
+                    wall_ns: LogSketch::new(),
+                    imbalance_milli: LogSketch::new(),
+                    busy_ns_total: 0,
+                    span_ns_total: 0,
+                    claim_wait_ns_total: 0,
+                    claims_total: 0,
+                });
+                kernels.last_mut().expect("just pushed")
+            }
+        };
+        agg.launches += 1;
+        agg.blocks += sample.blocks;
+        agg.threads += sample.threads();
+        agg.wall_ns.record(sample.wall_ns);
+        if !sample.workers.is_empty() {
+            agg.imbalance_milli.record(imbalance_milli);
+        }
+        agg.busy_ns_total += busy;
+        agg.span_ns_total += span;
+        agg.claim_wait_ns_total += sample.claim_wait_ns();
+        agg.claims_total += sample.claims();
+    }
+
+    /// Total launches recorded.
+    pub fn launches(&self) -> u64 {
+        let kernels = self.kernels.lock().unwrap_or_else(|e| e.into_inner());
+        kernels.iter().map(|k| k.launches).sum()
+    }
+
+    /// Per-kernel statistics in first-seen order.
+    pub fn snapshot(&self) -> Vec<KernelStats> {
+        let kernels = self.kernels.lock().unwrap_or_else(|e| e.into_inner());
+        kernels
+            .iter()
+            .map(|k| KernelStats {
+                name: k.name.clone(),
+                shape: k.shape.to_string(),
+                launches: k.launches,
+                blocks: k.blocks,
+                threads: k.threads,
+                wall_ns: k.wall_ns.snapshot(),
+                imbalance_milli: k.imbalance_milli.snapshot(),
+                utilization: if k.span_ns_total == 0 {
+                    0.0
+                } else {
+                    (k.busy_ns_total as f64 / k.span_ns_total as f64).clamp(0.0, 1.0)
+                },
+                claim_wait_ns: k.claim_wait_ns_total,
+                claims: k.claims_total,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::sample::WorkerStat;
+
+    fn sample(kernel: &str, wall_ns: u64, busy: &[u64]) -> LaunchSample {
+        LaunchSample {
+            kernel: kernel.into(),
+            shape: "flat",
+            blocks: busy.len() as u64 * 2,
+            block_size: 64,
+            wall_ns,
+            workers: busy
+                .iter()
+                .map(|&b| WorkerStat { blocks: 2, claims: 1, busy_ns: b })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn groups_by_kernel_in_first_seen_order() {
+        let c = Collector::new();
+        c.record(&sample("init", 100, &[50, 50]));
+        c.record(&sample("compute", 200, &[100, 100]));
+        c.record(&sample("init", 300, &[200, 100]));
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "init");
+        assert_eq!(snap[0].launches, 2);
+        assert_eq!(snap[0].blocks, 8);
+        assert_eq!(snap[1].name, "compute");
+        assert_eq!(c.launches(), 3);
+    }
+
+    #[test]
+    fn utilization_aggregates_over_launches() {
+        let c = Collector::new();
+        c.record(&sample("k", 100, &[100, 100])); // fully busy
+        c.record(&sample("k", 100, &[0, 0])); // fully idle
+        let snap = c.snapshot();
+        assert!((snap[0].utilization - 0.5).abs() < 1e-12);
+        assert_eq!(snap[0].claim_wait_ns, 200);
+    }
+
+    #[test]
+    fn imbalance_sketch_records_milli_units() {
+        let c = Collector::new();
+        c.record(&sample("k", 100, &[100, 100])); // balanced -> 1000
+        let snap = c.snapshot();
+        assert_eq!(snap[0].imbalance_milli.count, 1);
+        assert_eq!(snap[0].imbalance_milli.min, 1000);
+    }
+
+    #[test]
+    fn empty_collector_snapshot() {
+        let c = Collector::new();
+        assert!(c.snapshot().is_empty());
+        assert_eq!(c.launches(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Unified kernel/pool profiling for the suite.
+//!
+//! Where `ecl-profiling` answers "how many" and `ecl-trace` answers
+//! "when", this crate answers "how fast, and how evenly": it turns
+//! the simulator into a self-profiling system whose every run can
+//! emit a machine-readable performance artifact.
+//!
+//! The pieces:
+//!
+//! - [`sample::LaunchSample`] — one kernel launch as observed by the
+//!   hooks in `ecl-gpusim`'s launch/pool layer: wall time, grid
+//!   geometry, and per-participant block/claim/busy stats.
+//! - [`sink`] — the global zero-cost-when-disabled hook the simulator
+//!   reports into, mirroring `ecl_trace::sink`: the disabled path is
+//!   one relaxed atomic load per *launch*.
+//! - [`collector::Collector`] — aggregates samples per kernel into
+//!   [`ecl_profiling::LogSketch`] percentile sketches of wall time
+//!   and load imbalance, plus utilization and claim-wait totals.
+//! - [`manifest::Manifest`] — the versioned (`ecl-prof/1`) JSON run
+//!   manifest: git SHA, dispatch policy, gateable metric sample
+//!   vectors, kernel stats, counter distributions.
+//! - [`expose`] — Prometheus text exposition of a manifest.
+//! - [`folded`] — pprof-style folded stacks and an SVG flamegraph
+//!   derived from `ecl-trace` captures.
+//! - [`gate`] — the noise-aware (median + MAD) regression detector
+//!   behind `ecl-prof gate`, comparing two manifests or BENCH JSONs
+//!   and exiting nonzero on real slowdowns.
+//!
+//! The `ecl-prof` binary wires the exposition and gate surfaces into
+//! subcommands; `ecl-run --profile` (in `ecl-bench`) produces the
+//! artifacts.
+
+pub mod collector;
+pub mod expose;
+pub mod folded;
+pub mod gate;
+pub mod json;
+pub mod manifest;
+pub mod sample;
+pub mod sink;
+
+pub use collector::{Collector, KernelStats};
+pub use expose::to_prometheus;
+pub use folded::{folded_to_svg, to_folded};
+pub use gate::{gate_files, GateConfig, GateReport, Status};
+pub use manifest::{git_sha, Direction, DispatchInfo, Manifest, Metric, SCHEMA};
+pub use sample::{LaunchSample, WorkerStat};

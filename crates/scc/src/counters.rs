@@ -1,6 +1,8 @@
 //! ECL-SCC's application-specific counters (§6.1.2, Figure 1).
 
-use ecl_profiling::{AtomicTally, BlockSeries, ConvergenceTrace, GlobalCounter, ProfileMode};
+use ecl_profiling::{
+    AtomicTally, BlockSeries, ConvergenceTrace, GlobalCounter, LogSketch, ProfileMode,
+};
 
 /// Counters embedded in the propagation and pruning kernels.
 #[derive(Debug)]
@@ -18,6 +20,11 @@ pub struct SccCounters {
     pub grid_relaunches: GlobalCounter,
     /// Edges surviving after each outer iteration's pruning.
     pub edges_per_outer: ConvergenceTrace,
+    /// Streaming distribution of per-block signature updates per
+    /// sweep — Figure 1's raw data as percentiles: the `series` grid
+    /// keeps every point, this sketch answers "how skewed" in O(1)
+    /// space and is what the run manifest exports.
+    pub updates_per_sweep: LogSketch,
 }
 
 impl SccCounters {
@@ -30,6 +37,7 @@ impl SccCounters {
             edges_removed: GlobalCounter::new(),
             grid_relaunches: GlobalCounter::new(),
             edges_per_outer: ConvergenceTrace::new(),
+            updates_per_sweep: LogSketch::new(),
         }
     }
 

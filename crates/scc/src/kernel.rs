@@ -197,6 +197,7 @@ fn propagate(
                 let n = base_n[blk.block].fetch_add(1, Ordering::Relaxed) + 1;
                 if profiling {
                     counters.series.record(m, n, blk.block, updates);
+                    counters.updates_per_sweep.record(updates);
                 }
                 if updates == 0 {
                     break;

@@ -48,6 +48,48 @@ fn trace_block<R>(block: usize, block_size: usize, body: impl FnOnce() -> R) -> 
     r
 }
 
+/// Dispatches a launch's blocks onto the pool, reporting a per-launch
+/// profile sample when `ecl-prof`'s sink is installed. The disabled
+/// path is the plain [`pool::dispatch`] plus one relaxed atomic load.
+fn dispatch_blocks<F>(name: &str, shape: &'static str, cfg: LaunchConfig, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if !ecl_prof::sink::is_enabled() {
+        pool::dispatch(cfg.blocks, f);
+        return;
+    }
+    let started = std::time::Instant::now();
+    let participants = pool::dispatch_profiled(cfg.blocks, f);
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    ecl_prof::sink::on_launch(&ecl_prof::LaunchSample {
+        kernel: name.to_string(),
+        shape,
+        blocks: cfg.blocks as u64,
+        block_size: cfg.block_size as u64,
+        wall_ns,
+        workers: participants
+            .into_iter()
+            .map(|p| ecl_prof::WorkerStat {
+                blocks: p.blocks,
+                claims: p.claims,
+                busy_ns: p.busy_ns,
+            })
+            .collect(),
+    });
+}
+
+/// The stable shape label a [`LaunchShape`] reports in profile
+/// samples.
+fn shape_label(shape: LaunchShape) -> &'static str {
+    match shape {
+        LaunchShape::Flat => "flat",
+        LaunchShape::Persistent => "persistent",
+        LaunchShape::Blocks => "blocks",
+        LaunchShape::Warps => "warps",
+    }
+}
+
 /// Grid dimensions of one launch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LaunchConfig {
@@ -99,7 +141,7 @@ where
     device.charge(CostKind::KernelLaunch, 1);
     trace_launch(cfg);
     let tracked = check::launch_begin(device, name, shape, cfg);
-    pool::dispatch(cfg.blocks, |block| {
+    dispatch_blocks(name, shape_label(shape), cfg, |block| {
         let _agents = check::AgentScope::enter();
         trace_block(block, cfg.block_size, || {
             for lane in 0..cfg.block_size {
@@ -224,7 +266,7 @@ where
     device.charge(CostKind::KernelLaunch, 1);
     trace_launch(cfg);
     let tracked = check::launch_begin(device, name, LaunchShape::Blocks, cfg);
-    pool::dispatch(cfg.blocks, |block| {
+    dispatch_blocks(name, "blocks", cfg, |block| {
         let _agents = check::AgentScope::enter();
         trace_block(block, cfg.block_size, || {
             if tracked {
@@ -291,7 +333,7 @@ where
     trace_launch(cfg);
     let tracked = check::launch_begin(device, name, LaunchShape::Warps, cfg);
     let warp_size = device.config().warp_size.max(1);
-    pool::dispatch(cfg.blocks, |block| {
+    dispatch_blocks(name, "warps", cfg, |block| {
         let _agents = check::AgentScope::enter();
         trace_block(block, cfg.block_size, || {
             let block_base = block * cfg.block_size;
@@ -463,5 +505,34 @@ mod tests {
             b.device().charge(CostKind::ThreadWork, 3);
         });
         assert_eq!(d.cost().units(CostKind::ThreadWork), 6);
+    }
+
+    #[test]
+    fn profiling_sink_sees_every_launch_shape() {
+        // One test body: the prof sink is process-global state.
+        let d = Device::test_small();
+        let collector = std::sync::Arc::new(ecl_prof::Collector::new());
+        ecl_prof::sink::install(std::sync::Arc::clone(&collector));
+        launch_flat_named(&d, "prof-flat", LaunchConfig::new(4, 8), |_| {});
+        launch_blocks_named(&d, "prof-blocks", LaunchConfig::new(3, 8), |_| {});
+        launch_warps_named(&d, "prof-warps", LaunchConfig::new(2, 64), |_| {});
+        launch_flat_named(&d, "prof-flat", LaunchConfig::new(4, 8), |_| {});
+        ecl_prof::sink::uninstall();
+        // Launches after uninstall are not recorded.
+        launch_flat_named(&d, "prof-flat", LaunchConfig::new(4, 8), |_| {});
+
+        let stats = collector.snapshot();
+        let by_name =
+            |n: &str| stats.iter().find(|k| k.name == n).unwrap_or_else(|| panic!("missing {n}"));
+        let flat = by_name("prof-flat");
+        assert_eq!(flat.launches, 2);
+        assert_eq!(flat.blocks, 8);
+        assert_eq!(flat.threads, 64);
+        assert_eq!(flat.shape, "flat");
+        assert_eq!(flat.wall_ns.count, 2);
+        assert_eq!(by_name("prof-blocks").shape, "blocks");
+        assert_eq!(by_name("prof-warps").shape, "warps");
+        // Participant accounting covered every block of each launch.
+        assert!(flat.utilization >= 0.0 && flat.utilization <= 1.0);
     }
 }

@@ -53,6 +53,22 @@ use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// What one dispatch participant (a pool worker or the submitting
+/// thread) did during a single [`dispatch_profiled`] call. This is the
+/// raw material of `ecl-prof`'s per-launch utilization / imbalance /
+/// claim-wait metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParticipantStat {
+    /// Blocks this participant executed.
+    pub blocks: u64,
+    /// Ticket ranges it claimed (1 for the chunked/sequential engines).
+    pub claims: u64,
+    /// Nanoseconds spent executing claimed blocks (claim overhead and
+    /// queue scanning excluded).
+    pub busy_ns: u64,
+}
 
 /// How a dispatch maps block indices onto OS threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -177,21 +193,49 @@ pub fn dispatch<F>(n: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
+    dispatch_inner(n, &f, false);
+}
+
+/// [`dispatch`] with per-participant execution stats: every thread
+/// that executed at least one block contributes one
+/// [`ParticipantStat`] (in completion order). Used by the launch layer
+/// when `ecl-prof`'s sink is installed; costs one `Instant` pair per
+/// ticket claim plus one short mutex per claim, none of which is paid
+/// by the unprofiled [`dispatch`] path.
+pub fn dispatch_profiled<F>(n: usize, f: F) -> Vec<ParticipantStat>
+where
+    F: Fn(usize) + Sync,
+{
+    dispatch_inner(n, &f, true).unwrap_or_default()
+}
+
+fn dispatch_inner(
+    n: usize,
+    f: &(dyn Fn(usize) + Sync),
+    profiled: bool,
+) -> Option<Vec<ParticipantStat>> {
     if n == 0 {
-        return;
+        return profiled.then(Vec::new);
     }
     let (workers, grain, mode) = effective_policy();
     let workers = workers.min(n);
     if workers <= 1 || mode == DispatchMode::Sequential {
+        let started = profiled.then(Instant::now);
         for i in 0..n {
             f(i);
         }
-        return;
+        return started.map(|t0| {
+            vec![ParticipantStat {
+                blocks: n as u64,
+                claims: 1,
+                busy_ns: t0.elapsed().as_nanos() as u64,
+            }]
+        });
     }
     let grain = grain.unwrap_or_else(|| auto_grain(n, workers)).max(1);
     match mode {
-        DispatchMode::Pool => pooled_dispatch(n, workers, grain, &f),
-        DispatchMode::Spawn => spawn_chunked(n, workers, &f),
+        DispatchMode::Pool => pooled_dispatch(n, workers, grain, f, profiled),
+        DispatchMode::Spawn => spawn_chunked(n, workers, f, profiled),
         DispatchMode::Sequential => unreachable!("handled above"),
     }
 }
@@ -227,6 +271,11 @@ struct Job {
     func: &'static (dyn Fn(usize) + Sync),
     /// First panic payload observed while running blocks.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Per-participant stats when this dispatch is profiled. Each
+    /// claim's contribution is merged in *before* that claim's
+    /// `remaining` decrement, so by the time the job retires (and the
+    /// submitter wakes) every executed block is accounted for.
+    stats: Option<Mutex<Vec<ParticipantStat>>>,
     done: Mutex<bool>,
     done_cv: Condvar,
 }
@@ -272,12 +321,16 @@ impl PoolShared {
 
     /// Claims and runs ticket ranges of `job` until none remain.
     fn run_job(&self, job: &Arc<Job>) {
+        // Index of this thread's entry in `job.stats`, claimed lazily
+        // on its first executed ticket range.
+        let mut stat_slot: Option<usize> = None;
         loop {
             let start = job.next.fetch_add(job.grain, Ordering::Relaxed);
             if start >= job.n {
                 return;
             }
             let end = (start + job.grain).min(job.n);
+            let started = job.stats.as_ref().map(|_| Instant::now());
             for i in start..end {
                 // Panics must not kill the pooled worker: record the
                 // payload for the submitter and keep draining (the
@@ -291,6 +344,20 @@ impl PoolShared {
                 }
             }
             let finished = end - start;
+            if let (Some(stats), Some(t0)) = (&job.stats, started) {
+                // Merge before the `remaining` decrement below: the
+                // job can only retire (waking the submitter to read
+                // these stats) after every claim's decrement.
+                let busy = t0.elapsed().as_nanos() as u64;
+                let mut stats = stats.lock().unwrap_or_else(|e| e.into_inner());
+                let idx = *stat_slot.get_or_insert_with(|| {
+                    stats.push(ParticipantStat::default());
+                    stats.len() - 1
+                });
+                stats[idx].blocks += finished as u64;
+                stats[idx].claims += 1;
+                stats[idx].busy_ns += busy;
+            }
             if job.remaining.fetch_sub(finished, Ordering::AcqRel) == finished {
                 self.retire(job);
             }
@@ -325,7 +392,13 @@ fn worker_loop(p: &'static PoolShared) {
     }
 }
 
-fn pooled_dispatch(n: usize, workers: usize, grain: usize, f: &(dyn Fn(usize) + Sync)) {
+fn pooled_dispatch(
+    n: usize,
+    workers: usize,
+    grain: usize,
+    f: &(dyn Fn(usize) + Sync),
+    profiled: bool,
+) -> Option<Vec<ParticipantStat>> {
     let p = pool();
     p.ensure_workers(workers - 1);
     // SAFETY: the only thing this transmute changes is the reference
@@ -346,6 +419,7 @@ fn pooled_dispatch(n: usize, workers: usize, grain: usize, f: &(dyn Fn(usize) + 
         grain,
         func,
         panic: Mutex::new(None),
+        stats: profiled.then(|| Mutex::new(Vec::new())),
         done: Mutex::new(false),
         done_cv: Condvar::new(),
     });
@@ -366,22 +440,38 @@ fn pooled_dispatch(n: usize, workers: usize, grain: usize, f: &(dyn Fn(usize) + 
     if let Some(payload) = payload {
         resume_unwind(payload);
     }
+    job.stats.as_ref().map(|s| std::mem::take(&mut *s.lock().unwrap_or_else(|e| e.into_inner())))
 }
 
 /// The legacy engine: one contiguous chunk per worker, fresh scoped
 /// threads per call. This is the load-imbalance + launch-churn
 /// baseline the pool replaces; `bench_launch_overhead` measures the
 /// difference.
-fn spawn_chunked(n: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
+fn spawn_chunked(
+    n: usize,
+    workers: usize,
+    f: &(dyn Fn(usize) + Sync),
+    profiled: bool,
+) -> Option<Vec<ParticipantStat>> {
     let chunk = n.div_ceil(workers);
+    let stats = profiled.then(|| Mutex::new(Vec::new()));
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
             .take_while(|&(lo, hi)| lo < hi)
             .map(|(lo, hi)| {
+                let stats = stats.as_ref();
                 s.spawn(move || {
+                    let started = stats.map(|_| Instant::now());
                     for i in lo..hi {
                         f(i);
+                    }
+                    if let (Some(stats), Some(t0)) = (stats, started) {
+                        stats.lock().unwrap_or_else(|e| e.into_inner()).push(ParticipantStat {
+                            blocks: (hi - lo) as u64,
+                            claims: 1,
+                            busy_ns: t0.elapsed().as_nanos() as u64,
+                        });
                     }
                 })
             })
@@ -390,6 +480,7 @@ fn spawn_chunked(n: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
             h.join().expect("parallel worker panicked");
         }
     });
+    stats.map(Mutex::into_inner).map(|r| r.unwrap_or_else(|e| e.into_inner()))
 }
 
 #[cfg(test)]
@@ -477,6 +568,42 @@ mod tests {
         assert_eq!(auto_grain(15, 4), 1);
         assert_eq!(auto_grain(64, 4), 4);
         assert_eq!(auto_grain(1 << 20, 1), 256);
+    }
+
+    #[test]
+    fn profiled_dispatch_accounts_every_block() {
+        for policy in [
+            DispatchPolicy::sequential(),
+            DispatchPolicy::pooled(4),
+            DispatchPolicy::spawn_baseline(4),
+            DispatchPolicy { grain: Some(3), ..DispatchPolicy::pooled(8) },
+        ] {
+            let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+            let stats = with_policy(policy, || {
+                dispatch_profiled(hits.len(), |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                })
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{policy:?}");
+            let blocks: u64 = stats.iter().map(|s| s.blocks).sum();
+            assert_eq!(blocks, 257, "stats must account every block under {policy:?}");
+            assert!(!stats.is_empty());
+            assert!(stats.iter().all(|s| s.claims > 0), "{policy:?}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn profiled_dispatch_of_empty_grid() {
+        assert!(dispatch_profiled(0, |_| {}).is_empty());
+    }
+
+    #[test]
+    fn profiled_dispatch_measures_busy_time() {
+        let stats = with_policy(DispatchPolicy::sequential(), || {
+            dispatch_profiled(4, |_| std::thread::sleep(std::time::Duration::from_millis(2)))
+        });
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].busy_ns >= 4_000_000, "slept ~8ms, got {}ns", stats[0].busy_ns);
     }
 
     #[test]
