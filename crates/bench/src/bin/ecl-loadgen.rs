@@ -1,0 +1,126 @@
+//! `ecl-loadgen` — load generator for a running `ecl-serve` instance.
+//!
+//! ```text
+//! ecl-loadgen --target 127.0.0.1:PORT [--closed N | --open RATE]
+//!             [--duration-s S] [--algos cc,mis,gc] [--graph NAME]
+//!             [--scale F] [--seeds N] [--wait-ms MS] [--out FILE]
+//! ```
+//!
+//! Closed loop (`--closed N`) keeps `N` requests in flight; open loop
+//! (`--open RATE`) fires on a fixed arrival schedule regardless of
+//! completions, which is what actually exercises admission control.
+//! The report is `ecl-bench/2` JSON (written to `--out` or stdout), so
+//! `ecl-prof gate --metric modeled` can compare runs: the
+//! `modeled_time_units` samples are deterministic for a fixed job mix
+//! while the wall-latency metrics are informational.
+
+use std::time::Duration;
+
+use ecl_serve::jobs::Algo;
+use ecl_serve::loadgen::{run, LoadMode, LoadgenConfig};
+
+const USAGE: &str = "usage: ecl-loadgen --target HOST:PORT [--closed N | --open RATE] \
+[--duration-s S] [--algos cc,mis,gc] [--graph NAME] [--scale F] [--seeds N] \
+[--wait-ms MS] [--out FILE]";
+
+fn parse_config() -> Result<(LoadgenConfig, Option<String>), String> {
+    let mut config = LoadgenConfig::default();
+    let mut target: Option<String> = None;
+    let mut out: Option<String> = None;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--target" => target = Some(value(&mut i)?),
+            "--closed" => {
+                let n: usize = value(&mut i)?.parse().map_err(|e| format!("--closed: {e}"))?;
+                config.mode = LoadMode::Closed { concurrency: n.max(1) };
+            }
+            "--open" => {
+                let rate: f64 = value(&mut i)?.parse().map_err(|e| format!("--open: {e}"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err("--open rate must be positive".to_string());
+                }
+                config.mode = LoadMode::Open { rate };
+            }
+            "--duration-s" => {
+                let s: f64 = value(&mut i)?.parse().map_err(|e| format!("--duration-s: {e}"))?;
+                config.duration = Duration::from_secs_f64(s.max(0.0));
+            }
+            "--algos" => {
+                let mut algos = Vec::new();
+                for name in value(&mut i)?.split(',') {
+                    algos.push(
+                        Algo::from_name(name.trim())
+                            .ok_or_else(|| format!("unknown algorithm: {name}"))?,
+                    );
+                }
+                if algos.is_empty() {
+                    return Err("--algos needs at least one algorithm".to_string());
+                }
+                config.algos = algos;
+            }
+            "--graph" => config.graph = value(&mut i)?,
+            "--scale" => {
+                config.scale = value(&mut i)?.parse().map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--seeds" => {
+                let n: u64 = value(&mut i)?.parse().map_err(|e| format!("--seeds: {e}"))?;
+                config.distinct_seeds = n.max(1);
+            }
+            "--wait-ms" => {
+                config.wait_ms = value(&mut i)?.parse().map_err(|e| format!("--wait-ms: {e}"))?;
+            }
+            "--out" => out = Some(value(&mut i)?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    config.target = target.ok_or_else(|| format!("--target is required\n{USAGE}"))?;
+    Ok((config, out))
+}
+
+fn main() {
+    let (config, out) = match parse_config() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("ecl-loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = run(&config);
+    eprintln!(
+        "ecl-loadgen: {} requests in {:.2}s — {} ok, {} rejected (429), {} errors",
+        report.requests, report.wall_seconds, report.ok, report.rejected, report.errors
+    );
+    if report.latency_us.count > 0 {
+        eprintln!(
+            "ecl-loadgen: latency p50 {}us p99 {}us over {} completions",
+            report.latency_us.p50, report.latency_us.p99, report.latency_us.count
+        );
+    }
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("ecl-loadgen: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("ecl-loadgen: report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    // A run where nothing completed is a failed run: the gate would
+    // otherwise compare an empty metrics array and pass vacuously.
+    if report.ok == 0 {
+        std::process::exit(1);
+    }
+}

@@ -189,12 +189,16 @@ fn bench_json(path: &str) {
         bench.overhead_ns.pool,
         bench.overhead_ns.speedup()
     );
-    for (algo, input, pair) in &bench.end_to_end {
+    for e in &bench.end_to_end {
         eprintln!(
-            "bench: {algo} on {input}: {:.1} ms -> {:.1} ms ({:.2}x)",
-            pair.spawn * 1e3,
-            pair.pool * 1e3,
-            pair.speedup()
+            "bench: {} on {} ({} vertices, {} arcs): {:.1} ms -> {:.1} ms ({:.2}x)",
+            e.algo,
+            e.graph.name,
+            e.graph.vertices,
+            e.graph.arcs,
+            e.pair.spawn * 1e3,
+            e.pair.pool * 1e3,
+            e.pair.speedup()
         );
     }
     if let Err(e) = std::fs::write(path, bench.to_json()) {

@@ -1,0 +1,98 @@
+//! `ecl-serve` — the multi-tenant graph-analytics service.
+//!
+//! ```text
+//! ecl-serve [--listen 127.0.0.1:0] [--graphs-dir DIR] [--cache-bytes N]
+//!           [--max-queue N] [--max-concurrency N]
+//! ```
+//!
+//! Binds the listener (port 0 picks an ephemeral port), prints the
+//! resolved address on stdout as `listening on <addr>`, then serves
+//! until an operator posts `/v1/admin/shutdown`, at which point the
+//! process drains every admitted job and exits 0.
+//!
+//! ```text
+//! curl -s -X POST localhost:PORT/v1/jobs \
+//!   -d '{"algo": "cc", "graph": "internet", "wait_ms": 30000}'
+//! curl -s localhost:PORT/metrics
+//! curl -s -X POST localhost:PORT/v1/admin/shutdown
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ecl_serve::server::{ServeConfig, Server};
+
+const USAGE: &str = "usage: ecl-serve [--listen HOST:PORT] [--graphs-dir DIR] \
+[--cache-bytes N] [--max-queue N] [--max-concurrency N]";
+
+fn parse_config() -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => config.listen = value(&mut i)?,
+            "--graphs-dir" => config.catalog.graphs_dir = Some(PathBuf::from(value(&mut i)?)),
+            "--cache-bytes" => {
+                config.catalog.cache_bytes =
+                    value(&mut i)?.parse().map_err(|e| format!("--cache-bytes: {e}"))?;
+            }
+            "--max-queue" => {
+                config.scheduler.max_queue =
+                    value(&mut i)?.parse().map_err(|e| format!("--max-queue: {e}"))?;
+            }
+            "--max-concurrency" => {
+                let n: usize =
+                    value(&mut i)?.parse().map_err(|e| format!("--max-concurrency: {e}"))?;
+                if n == 0 {
+                    return Err("--max-concurrency must be at least 1".to_string());
+                }
+                config.scheduler.max_concurrency = n;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(config)
+}
+
+fn main() {
+    let config = match parse_config() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ecl-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (max_queue, max_concurrency) =
+        (config.scheduler.max_queue, config.scheduler.max_concurrency);
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ecl-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.addr());
+    println!("queue capacity {max_queue}, {max_concurrency} concurrent jobs");
+
+    // Serve until an operator starts a drain over HTTP, then complete
+    // it: join the workers so every admitted job reaches a terminal
+    // state before the process exits.
+    while !server.is_draining() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("ecl-serve: draining");
+    server.shutdown();
+    let jobs = server.jobs_snapshot();
+    let done = jobs.iter().filter(|j| j.state().is_terminal()).count();
+    eprintln!("ecl-serve: drained {done}/{} retained jobs, exiting", jobs.len());
+}

@@ -80,19 +80,18 @@ fn launch_overhead_ns(policy: DispatchPolicy) -> f64 {
     })
 }
 
-/// End-to-end seconds for one algorithm under `policy`.
-fn end_to_end_s(algo: &str, input: &str, policy: DispatchPolicy) -> f64 {
-    let spec = ecl_graphgen::registry::find(input).expect("registered input");
-    let g = spec.generate(SCALE, crate::DEFAULT_SEED);
+/// End-to-end seconds for one algorithm on a pre-generated graph
+/// under `policy`.
+fn end_to_end_s(algo: &str, g: &ecl_graph::Csr, policy: DispatchPolicy) -> f64 {
     with_policy(policy, || {
         let sample = || match algo {
             "cc" => {
                 let device = crate::scaled_device(SCALE);
-                std::hint::black_box(ecl_cc::run(&device, &g, &CcConfig::baseline()));
+                std::hint::black_box(ecl_cc::run(&device, g, &CcConfig::baseline()));
             }
             "scc" => {
                 let device = crate::scaled_device_min(SCALE, crate::SCC_MIN_SMS);
-                std::hint::black_box(ecl_scc::run(&device, &g, &SccConfig::with_block_size(256)));
+                std::hint::black_box(ecl_scc::run(&device, g, &SccConfig::with_block_size(256)));
             }
             other => panic!("unknown algo {other}"),
         };
@@ -121,13 +120,43 @@ impl Pair {
     }
 }
 
+/// The exact input a measurement ran on. Earlier revisions recorded
+/// only the registry name, which left `BENCH_PR3.json` ambiguous: the
+/// name resolves to different graphs at different scales/seeds.
+#[derive(Debug, Clone)]
+pub struct GraphSpec {
+    /// Registry name.
+    pub name: &'static str,
+    /// Generation scale (fraction of the paper's input size).
+    pub scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+    /// Vertices actually generated.
+    pub vertices: usize,
+    /// Stored arcs (2× edges for undirected graphs).
+    pub arcs: usize,
+    /// Whether the graph is directed.
+    pub directed: bool,
+}
+
+/// One end-to-end measurement: an algorithm on a fully specified graph.
+#[derive(Debug)]
+pub struct EndToEnd {
+    /// Algorithm short name.
+    pub algo: &'static str,
+    /// The input it ran on.
+    pub graph: GraphSpec,
+    /// Seconds per run, spawn vs. pool.
+    pub pair: Pair,
+}
+
 /// Full result set of the PR 3 benchmark.
 #[derive(Debug)]
 pub struct DispatchBench {
     /// ns per trivial launch, spawn vs. pool.
     pub overhead_ns: Pair,
-    /// (algo, input, seconds spawn vs. pool).
-    pub end_to_end: Vec<(&'static str, &'static str, Pair)>,
+    /// Per-algorithm end-to-end measurements.
+    pub end_to_end: Vec<EndToEnd>,
     /// Cores the host actually exposed (the engines force
     /// [`WORKERS`] workers regardless).
     pub host_cores: usize,
@@ -141,11 +170,19 @@ pub fn run() -> DispatchBench {
     let end_to_end = [("cc", "as-skitter"), ("scc", "star")]
         .into_iter()
         .map(|(algo, input)| {
-            let pair = Pair {
-                spawn: end_to_end_s(algo, input, spawn),
-                pool: end_to_end_s(algo, input, pool),
+            let spec = ecl_graphgen::registry::find(input).expect("registered input");
+            let g = spec.generate(SCALE, crate::DEFAULT_SEED);
+            let pair =
+                Pair { spawn: end_to_end_s(algo, &g, spawn), pool: end_to_end_s(algo, &g, pool) };
+            let graph = GraphSpec {
+                name: input,
+                scale: SCALE,
+                seed: crate::DEFAULT_SEED,
+                vertices: g.num_vertices(),
+                arcs: g.num_arcs(),
+                directed: g.is_directed(),
             };
-            (algo, input, pair)
+            EndToEnd { algo, graph, pair }
         })
         .collect();
     let host_cores =
@@ -175,13 +212,24 @@ impl DispatchBench {
         s.push_str(&format!("    \"speedup\": {:.2}\n", self.overhead_ns.speedup()));
         s.push_str("  },\n");
         s.push_str("  \"end_to_end\": [\n");
-        for (i, (algo, input, pair)) in self.end_to_end.iter().enumerate() {
+        for (i, e) in self.end_to_end.iter().enumerate() {
+            let g = &e.graph;
             s.push_str(&format!(
-                "    {{\"algo\": \"{algo}\", \"input\": \"{input}\", \
+                "    {{\"algo\": \"{}\", \"input\": \"{}\", \
+                 \"graph\": {{\"name\": \"{}\", \"scale\": {}, \"seed\": {}, \
+                 \"vertices\": {}, \"arcs\": {}, \"directed\": {}}}, \
                  \"spawn_s\": {:.6}, \"pool_s\": {:.6}, \"speedup\": {:.2}}}{}\n",
-                pair.spawn,
-                pair.pool,
-                pair.speedup(),
+                e.algo,
+                g.name,
+                g.name,
+                g.scale,
+                g.seed,
+                g.vertices,
+                g.arcs,
+                g.directed,
+                e.pair.spawn,
+                e.pair.pool,
+                e.pair.speedup(),
                 if i + 1 < self.end_to_end.len() { "," } else { "" }
             ));
         }
@@ -198,7 +246,18 @@ mod tests {
     fn json_is_well_formed_enough() {
         let b = DispatchBench {
             overhead_ns: Pair { spawn: 100.0, pool: 10.0 },
-            end_to_end: vec![("cc", "as-skitter", Pair { spawn: 0.2, pool: 0.1 })],
+            end_to_end: vec![EndToEnd {
+                algo: "cc",
+                graph: GraphSpec {
+                    name: "as-skitter",
+                    scale: 0.0005,
+                    seed: 42,
+                    vertices: 848,
+                    arcs: 11098,
+                    directed: false,
+                },
+                pair: Pair { spawn: 0.2, pool: 0.1 },
+            }],
             host_cores: 1,
         };
         let j = b.to_json();
@@ -207,6 +266,12 @@ mod tests {
         assert!(j.contains("\"dispatch\": {\"mode\": \"pool\""));
         assert!(j.contains("\"speedup\": 10.00"));
         assert!(j.contains("\"algo\": \"cc\""));
+        // Every record names the exact generated graph, not just the
+        // registry key.
+        assert!(j.contains(
+            "\"graph\": {\"name\": \"as-skitter\", \"scale\": 0.0005, \"seed\": 42, \
+             \"vertices\": 848, \"arcs\": 11098, \"directed\": false}"
+        ));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 

@@ -86,8 +86,9 @@ pub fn maximal_independent_set(device: &Device, g: &Csr, config: &MisConfig) -> 
                 let sv = stat[v].load();
                 if status::undecided(sv) {
                     had_work = true;
-                    let (decided, examined) =
-                        try_decide(device, g, &stat, v as u32, sv, &counters, t.global, profiling);
+                    let (decided, examined) = try_decide(
+                        device, g, &stat, v as u32, sv, config, &counters, t.global, profiling,
+                    );
                     pass_cost += examined + 1;
                     if !decided {
                         still_pending = true;
@@ -152,6 +153,7 @@ fn try_decide(
     stat: &[CountedU8],
     v: u32,
     sv: u8,
+    config: &MisConfig,
     counters: &MisCounters,
     tid: usize,
     profiling: bool,
@@ -168,7 +170,7 @@ fn try_decide(
             device.charge(CostKind::ThreadWork, examined);
             return (true, examined);
         }
-        if su != OUT && status::beats(su, u, sv, v) {
+        if su != OUT && status::beats_salted(config.tie_salt, su, u, sv, v) {
             // Short-circuit: a higher-priority undecided neighbor
             // blocks v for now.
             device.charge(CostKind::ThreadWork, examined);

@@ -36,11 +36,17 @@ pub struct MisConfig {
     pub mode: ProfileMode,
     /// Selection-priority policy (ECL-MIS default: degree-based).
     pub priority: status::PriorityPolicy,
+    /// Salt folded into the hashed-id tie-break
+    /// ([`status::beats_salted`]). 0 (the default) is the historical
+    /// permutation; a per-job seed maps to a salt so repeated requests
+    /// with the same seed are byte-identical while different seeds
+    /// explore different (equally valid) maximal sets.
+    pub tie_salt: u32,
 }
 
 impl Default for MisConfig {
     fn default() -> Self {
-        Self { mode: ProfileMode::On, priority: status::PriorityPolicy::DegreeBased }
+        Self { mode: ProfileMode::On, priority: status::PriorityPolicy::DegreeBased, tie_salt: 0 }
     }
 }
 
@@ -48,6 +54,13 @@ impl MisConfig {
     /// The ablation variant with the given priority policy.
     pub fn with_priority(priority: status::PriorityPolicy) -> Self {
         Self { priority, ..Self::default() }
+    }
+
+    /// The default policy with the tie-break permutation selected by a
+    /// 64-bit job seed (folded to a salt; seed 0 is the historical
+    /// permutation).
+    pub fn seeded(seed: u64) -> Self {
+        Self { tie_salt: (seed ^ (seed >> 32)) as u32, ..Self::default() }
     }
 }
 

@@ -81,7 +81,17 @@ impl PriorityPolicy {
 /// so the order is total and the resulting MIS unique.
 #[inline]
 pub fn beats(status_a: u8, a: u32, status_b: u8, b: u32) -> bool {
-    (status_a, hash_id(a), a) > (status_b, hash_id(b), b)
+    beats_salted(0, status_a, a, status_b, b)
+}
+
+/// [`beats`] with a permutation salt folded into the hashed tie-break.
+/// Salt 0 reproduces [`beats`] exactly; any other salt selects a
+/// different (still deterministic and total) tie-break permutation, so
+/// a job-level seed can be plumbed through to the selection order
+/// while identical `(input, seed)` requests stay byte-identical.
+#[inline]
+pub fn beats_salted(salt: u32, status_a: u8, a: u32, status_b: u8, b: u32) -> bool {
+    (status_a, hash_id(a ^ salt), a) > (status_b, hash_id(b ^ salt), b)
 }
 
 #[inline]
@@ -159,5 +169,42 @@ mod tests {
         let b = beats(100, 1, 100, 2);
         assert_eq!(a, b);
         assert_ne!(beats(100, 1, 100, 2), beats(100, 2, 100, 1));
+    }
+
+    #[test]
+    fn salt_zero_reproduces_unsalted_order() {
+        for a in 0u32..64 {
+            for b in 0u32..64 {
+                assert_eq!(
+                    beats_salted(0, 100, a, 100, b),
+                    beats(100, a, 100, b),
+                    "salt 0 must be the historical tie-break ({a} vs {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn salts_permute_but_stay_total() {
+        let mut differs = false;
+        for salt in [1u32, 0xDEAD_BEEF, 12345] {
+            for a in 0u32..48 {
+                for b in 0u32..48 {
+                    if a == b {
+                        continue;
+                    }
+                    // Still a strict total order under every salt.
+                    assert_ne!(
+                        beats_salted(salt, 100, a, 100, b),
+                        beats_salted(salt, 100, b, 100, a),
+                        "salt {salt}: ({a},{b}) not antisymmetric"
+                    );
+                    if beats_salted(salt, 100, a, 100, b) != beats(100, a, 100, b) {
+                        differs = true;
+                    }
+                }
+            }
+        }
+        assert!(differs, "a nonzero salt must select a different permutation");
     }
 }

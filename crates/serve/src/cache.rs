@@ -1,0 +1,153 @@
+//! Result cache: `(graph content hash, algorithm, params, seed)` →
+//! completed [`RunOutput`].
+//!
+//! Keying on the graph's *content hash* rather than its name makes the
+//! cache immune to catalog aliasing: a disk file shadowing a registry
+//! input, a regenerated graph at a different seed, or an operator
+//! swapping a file in place all change the hash and therefore miss.
+//! Because every run is deterministic (the job seed pins generation,
+//! weight synthesis, and MIS tie-breaking), a hit is guaranteed
+//! bit-identical to re-running — `tests/result_cache_equivalence.rs`
+//! checks that for all five algorithms.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::exec::RunOutput;
+use crate::jobs::JobSpec;
+
+/// Builds the cache key for `spec` run against the graph with
+/// `graph_hash`. The param key already encodes algorithm, scale bits,
+/// seed, and block size; deadline and fault are excluded (they do not
+/// affect what is computed).
+pub fn result_key(graph_hash: u64, spec: &JobSpec) -> String {
+    format!("{graph_hash:016x};{}", spec.param_key())
+}
+
+struct Slot {
+    output: Arc<RunOutput>,
+    last_used: u64,
+}
+
+/// Bounded LRU of completed results. Cheap to share.
+pub struct ResultCache {
+    slots: Mutex<HashMap<String, Slot>>,
+    max_entries: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache retaining at most `max_entries` results.
+    pub fn new(max_entries: usize) -> ResultCache {
+        ResultCache {
+            slots: Mutex::new(HashMap::new()),
+            max_entries: max_entries.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Slot>> {
+        self.slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks up a result, counting a hit or miss.
+    pub fn get(&self, key: &str) -> Option<Arc<RunOutput>> {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.lock();
+        match slots.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.output))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a completed result, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn put(&self, key: String, output: Arc<RunOutput>) {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.lock();
+        slots.insert(key, Slot { output, last_used: stamp });
+        while slots.len() > self.max_entries {
+            let Some(victim) =
+                slots.iter().min_by_key(|(_, s)| s.last_used).map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            slots.remove(&victim);
+        }
+    }
+
+    /// `(hits, misses, resident_entries)`.
+    pub fn stats(&self) -> (u64, u64, usize) {
+        let len = self.lock().len();
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed), len)
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when the cache has never been queried.
+    pub fn hit_ratio(&self) -> f64 {
+        let (h, m, _) = self.stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::jobs::Algo;
+
+    fn output(tag: u64) -> Arc<RunOutput> {
+        Arc::new(RunOutput {
+            algo: Algo::Cc,
+            graph: "g".into(),
+            graph_hash: tag,
+            vertices: 1,
+            arcs: 0,
+            aggregates: vec![("num_components", tag)],
+            modeled_time: 1.0,
+        })
+    }
+
+    #[test]
+    fn key_includes_graph_hash_and_params() {
+        let spec = JobSpec::new(Algo::Cc, "internet");
+        let a = result_key(1, &spec);
+        let b = result_key(2, &spec);
+        assert_ne!(a, b);
+        let mut spec2 = spec.clone();
+        spec2.seed = 9;
+        assert_ne!(result_key(1, &spec), result_key(1, &spec2));
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let cache = ResultCache::new(2);
+        assert!(cache.get("a").is_none());
+        cache.put("a".into(), output(1));
+        cache.put("b".into(), output(2));
+        assert_eq!(cache.get("a").unwrap().graph_hash, 1);
+        // Inserting "c" evicts "b" (least recently used).
+        cache.put("c".into(), output(3));
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        let (hits, misses, len) = cache.stats();
+        assert_eq!((hits, misses, len), (3, 2, 2));
+        assert!((cache.hit_ratio() - 3.0 / 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,522 @@
+//! Graph catalog: name → materialized CSR, with a byte-budgeted LRU.
+//!
+//! The catalog unifies two sources behind one namespace:
+//!
+//! * **Registry inputs** — the 22 synthetic Table-1 analogues from
+//!   [`ecl_graphgen::registry`], generated on demand at the job's
+//!   `(scale, seed)`.
+//! * **Disk graphs** — files in `--graphs-dir`: `<name>.ecl` (the
+//!   suite's binary format, directedness and weights from the header
+//!   flags) and `<name>.el` (text edge list, undirected).
+//!
+//! Every materialized graph gets an FNV-1a content hash over its full
+//! structure (offsets, neighbors, weights, directedness). That hash —
+//! not the name — keys the result cache, so renaming a file or
+//! regenerating at a different seed can never serve a stale result.
+//!
+//! Entries are cached under `(name, scale, seed, weighted)` and evicted
+//! least-recently-used once the resident bytes exceed the configured
+//! budget. A single oversized graph is still admitted (the budget
+//! bounds *retention*, not request size) but evicts everything else.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ecl_graph::csr::Csr;
+use ecl_graph::io as gio;
+use ecl_graph::weighted::WeightedCsr;
+use ecl_graphgen::registry;
+use ecl_graphgen::with_hashed_weights;
+
+/// Default max edge weight for weighted views of unweighted inputs
+/// (matches the bench harness).
+pub const DEFAULT_MAX_WEIGHT: u32 = 1 << 20;
+
+/// Catalog configuration.
+#[derive(Clone, Debug)]
+pub struct CatalogConfig {
+    /// Directory scanned for `.ecl` / `.el` files (optional).
+    pub graphs_dir: Option<PathBuf>,
+    /// Resident-bytes budget for cached graphs.
+    pub cache_bytes: usize,
+    /// Max weight used when synthesizing weights for MST.
+    pub max_weight: u32,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig { graphs_dir: None, cache_bytes: 256 << 20, max_weight: DEFAULT_MAX_WEIGHT }
+    }
+}
+
+/// Why a graph could not be resolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CatalogError {
+    /// Name matches neither a registry input nor a disk file.
+    NotFound(String),
+    /// Disk file exists but failed to load/parse.
+    Load(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::NotFound(n) => write!(f, "unknown graph {n:?}"),
+            CatalogError::Load(m) => write!(f, "graph load failed: {m}"),
+        }
+    }
+}
+
+/// A materialized, content-hashed graph ready for an algorithm run.
+#[derive(Debug)]
+pub struct ResolvedGraph {
+    /// Catalog name it resolved under.
+    pub name: String,
+    /// FNV-1a hash of the full structure (and weights, if present).
+    pub content_hash: u64,
+    /// Estimated resident bytes (used for the LRU budget).
+    pub bytes: usize,
+    /// The graph. Present for unweighted resolutions.
+    pub csr: Option<Arc<Csr>>,
+    /// The weighted graph. Present for weighted resolutions.
+    pub weighted: Option<Arc<WeightedCsr>>,
+}
+
+impl ResolvedGraph {
+    /// The underlying CSR regardless of weighting.
+    pub fn structure(&self) -> &Csr {
+        if let Some(c) = &self.csr {
+            c
+        } else if let Some(w) = &self.weighted {
+            w.csr()
+        } else {
+            unreachable!("resolved graph holds csr or weighted")
+        }
+    }
+}
+
+/// One row of `GET /v1/graphs`.
+#[derive(Clone, Debug)]
+pub struct CatalogRow {
+    /// Catalog name.
+    pub name: String,
+    /// `"registry"` or `"disk"`.
+    pub source: &'static str,
+    /// Table-1 type string for registry inputs, file extension for disk.
+    pub kind: String,
+    /// Whether the graph is directed.
+    pub directed: bool,
+    /// Registry: paper vertex count. Disk: 0 (unknown until loaded).
+    pub paper_vertices: usize,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CacheKey {
+    name: String,
+    scale_bits: u64,
+    seed: u64,
+    weighted: bool,
+}
+
+struct CacheSlot {
+    graph: Arc<ResolvedGraph>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheState {
+    slots: HashMap<CacheKey, CacheSlot>,
+    resident_bytes: usize,
+}
+
+/// The catalog. Cheap to share (`Arc<GraphCatalog>`).
+pub struct GraphCatalog {
+    config: CatalogConfig,
+    cache: Mutex<CacheState>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl GraphCatalog {
+    /// Creates a catalog with the given configuration.
+    pub fn new(config: CatalogConfig) -> GraphCatalog {
+        GraphCatalog {
+            config,
+            cache: Mutex::new(CacheState::default()),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// (hits, misses, evictions, resident_bytes) counters.
+    pub fn stats(&self) -> (u64, u64, u64, usize) {
+        let resident = self.lock().resident_bytes;
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            resident,
+        )
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Lists everything resolvable by name: all registry inputs plus
+    /// any `.ecl`/`.el` files in the graphs dir (sorted by name; disk
+    /// shadows registry on collision, matching [`Self::resolve`]).
+    pub fn list(&self) -> Vec<CatalogRow> {
+        let mut rows: Vec<CatalogRow> = Vec::new();
+        let disk = self.disk_names();
+        for spec in registry::all_inputs() {
+            if disk.iter().any(|(n, _)| n == spec.name) {
+                continue;
+            }
+            rows.push(CatalogRow {
+                name: spec.name.to_string(),
+                source: "registry",
+                kind: spec.graph_type.to_string(),
+                directed: spec.directed,
+                paper_vertices: spec.paper_vertices,
+            });
+        }
+        for (name, ext) in disk {
+            rows.push(CatalogRow {
+                name,
+                source: "disk",
+                kind: ext,
+                directed: false,
+                paper_vertices: 0,
+            });
+        }
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+
+    fn disk_names(&self) -> Vec<(String, String)> {
+        let Some(dir) = &self.config.graphs_dir else {
+            return Vec::new();
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut names = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let (Some(stem), Some(ext)) = (
+                path.file_stem().and_then(|s| s.to_str()),
+                path.extension().and_then(|s| s.to_str()),
+            ) else {
+                continue;
+            };
+            if ext == "ecl" || ext == "el" {
+                names.push((stem.to_string(), ext.to_string()));
+            }
+        }
+        names
+    }
+
+    fn disk_path(&self, name: &str) -> Option<PathBuf> {
+        // Reject path traversal in client-supplied names outright.
+        if name.contains('/') || name.contains('\\') || name.contains("..") {
+            return None;
+        }
+        let dir = self.config.graphs_dir.as_ref()?;
+        for ext in ["ecl", "el"] {
+            let p = dir.join(format!("{name}.{ext}"));
+            if p.is_file() {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Resolves `name` at `(scale, seed)`, materializing a weighted
+    /// view when `weighted` (MST). Disk graphs ignore `scale`; `seed`
+    /// still salts synthesized weights for unweighted disk graphs.
+    pub fn resolve(
+        &self,
+        name: &str,
+        scale: f64,
+        seed: u64,
+        weighted: bool,
+    ) -> Result<Arc<ResolvedGraph>, CatalogError> {
+        let key = CacheKey { name: name.to_string(), scale_bits: scale.to_bits(), seed, weighted };
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.lock().slots.get_mut(&key) {
+            slot.last_used = stamp;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&slot.graph));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        // Materialize outside the lock: generation can take a while
+        // and must not serialize unrelated requests. Concurrent misses
+        // on the same key may both build; last insert wins — wasteful
+        // but correct (both builds are deterministic and identical).
+        let graph = Arc::new(self.materialize(name, scale, seed, weighted)?);
+
+        let mut state = self.lock();
+        state.resident_bytes += graph.bytes;
+        state.slots.insert(key, CacheSlot { graph: Arc::clone(&graph), last_used: stamp });
+        // Evict LRU entries until under budget (never the one just
+        // inserted — a single oversized graph is admitted once).
+        while state.resident_bytes > self.config.cache_bytes && state.slots.len() > 1 {
+            let Some(victim) = state
+                .slots
+                .iter()
+                .filter(|(_, s)| !Arc::ptr_eq(&s.graph, &graph))
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(slot) = state.slots.remove(&victim) {
+                state.resident_bytes = state.resident_bytes.saturating_sub(slot.graph.bytes);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(graph)
+    }
+
+    fn materialize(
+        &self,
+        name: &str,
+        scale: f64,
+        seed: u64,
+        weighted: bool,
+    ) -> Result<ResolvedGraph, CatalogError> {
+        // Disk shadows registry: an operator dropping `internet.ecl`
+        // into the graphs dir deliberately overrides the synthetic.
+        if let Some(path) = self.disk_path(name) {
+            return self.load_disk(name, &path, seed, weighted);
+        }
+        let spec = registry::find(name).ok_or_else(|| CatalogError::NotFound(name.to_string()))?;
+        if scale <= 0.0 || !scale.is_finite() {
+            return Err(CatalogError::Load(format!("invalid scale {scale}")));
+        }
+        if weighted {
+            let g = spec.generate_weighted(scale, seed, self.config.max_weight);
+            Ok(finish(name, None, Some(g)))
+        } else {
+            let g = spec.generate(scale, seed);
+            Ok(finish(name, Some(g), None))
+        }
+    }
+
+    fn load_disk(
+        &self,
+        name: &str,
+        path: &Path,
+        seed: u64,
+        weighted: bool,
+    ) -> Result<ResolvedGraph, CatalogError> {
+        let err = |e: std::io::Error| CatalogError::Load(format!("{}: {e}", path.display()));
+        let is_el = path.extension().and_then(|s| s.to_str()) == Some("el");
+        let mut r = BufReader::new(File::open(path).map_err(err)?);
+        if weighted {
+            // Prefer on-disk weights; fall back to seed-salted
+            // synthesized weights for unweighted files.
+            let wg = if is_el {
+                gio::read_weighted_edge_list(&mut r, false).map_err(err)?
+            } else {
+                match gio::read_weighted(&mut r) {
+                    Ok(wg) => wg,
+                    Err(_) => {
+                        let mut r2 = BufReader::new(File::open(path).map_err(err)?);
+                        let g = gio::read_csr(&mut r2).map_err(err)?;
+                        with_hashed_weights(&g, self.config.max_weight, seed)
+                    }
+                }
+            };
+            Ok(finish(name, None, Some(wg)))
+        } else {
+            let g = if is_el {
+                gio::read_edge_list(&mut r, false).map_err(err)?
+            } else {
+                match gio::read_csr(&mut r) {
+                    Ok(g) => g,
+                    Err(_) => {
+                        // Weighted file requested unweighted: drop weights.
+                        let mut r2 = BufReader::new(File::open(path).map_err(err)?);
+                        let wg = gio::read_weighted(&mut r2).map_err(err)?;
+                        wg.csr().clone()
+                    }
+                }
+            };
+            Ok(finish(name, Some(g), None))
+        }
+    }
+}
+
+fn finish(name: &str, csr: Option<Csr>, weighted: Option<WeightedCsr>) -> ResolvedGraph {
+    let (hash, bytes) = match (&csr, &weighted) {
+        (Some(g), _) => (content_hash(g, None), graph_bytes(g, false)),
+        (_, Some(w)) => (content_hash(w.csr(), Some(w.weights())), graph_bytes(w.csr(), true)),
+        _ => unreachable!("finish called with a graph"),
+    };
+    ResolvedGraph {
+        name: name.to_string(),
+        content_hash: hash,
+        bytes,
+        csr: csr.map(Arc::new),
+        weighted: weighted.map(Arc::new),
+    }
+}
+
+fn graph_bytes(g: &Csr, weighted: bool) -> usize {
+    let arc_bytes = if weighted { 8 } else { 4 };
+    g.offsets().len() * 8 + g.num_arcs() * arc_bytes
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
+
+/// FNV-1a over the graph's logical content: directedness, vertex and
+/// arc counts, offsets, neighbors, and weights if present. Stable
+/// across platforms (explicit little-endian byte feed).
+pub fn content_hash(g: &Csr, weights: Option<&[u32]>) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(&[g.is_directed() as u8, weights.is_some() as u8]);
+    eat(&(g.num_vertices() as u64).to_le_bytes());
+    eat(&(g.num_arcs() as u64).to_le_bytes());
+    for &o in g.offsets() {
+        eat(&(o as u64).to_le_bytes());
+    }
+    for &v in g.neighbor_array() {
+        eat(&v.to_le_bytes());
+    }
+    for w in weights.unwrap_or(&[]) {
+        eat(&w.to_le_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn catalog_with_budget(bytes: usize) -> GraphCatalog {
+        GraphCatalog::new(CatalogConfig { cache_bytes: bytes, ..CatalogConfig::default() })
+    }
+
+    #[test]
+    fn registry_resolution_hits_cache() {
+        let cat = catalog_with_budget(64 << 20);
+        let a = cat.resolve("internet", 0.001, 42, false).unwrap();
+        let b = cat.resolve("internet", 0.001, 42, false).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second resolve must be the cached Arc");
+        let (hits, misses, _, resident) = cat.stats();
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(resident, a.bytes);
+    }
+
+    #[test]
+    fn seed_and_scale_key_the_cache_and_the_hash() {
+        let cat = catalog_with_budget(256 << 20);
+        // Scales above the 256-vertex generation floor, so scale
+        // actually changes the generated size.
+        let a = cat.resolve("internet", 0.01, 1, false).unwrap();
+        let b = cat.resolve("internet", 0.01, 2, false).unwrap();
+        let c = cat.resolve("internet", 0.02, 1, false).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.content_hash, b.content_hash, "seed must change content");
+        assert_ne!(a.content_hash, c.content_hash, "scale must change content");
+        // Same inputs → identical content hash (deterministic generation).
+        let a2 = GraphCatalog::new(CatalogConfig::default())
+            .resolve("internet", 0.01, 1, false)
+            .unwrap();
+        assert_eq!(a.content_hash, a2.content_hash);
+    }
+
+    #[test]
+    fn weighted_view_for_mst() {
+        let cat = catalog_with_budget(256 << 20);
+        let w = cat.resolve("USA-road-d.NY", 0.001, 7, true).unwrap();
+        assert!(w.weighted.is_some());
+        assert!(w.csr.is_none());
+        assert!(w.structure().num_vertices() >= 256);
+    }
+
+    #[test]
+    fn unknown_name_is_not_found() {
+        let cat = catalog_with_budget(1 << 20);
+        match cat.resolve("no-such-graph", 1.0, 0, false) {
+            Err(CatalogError::NotFound(n)) => assert_eq!(n, "no-such-graph"),
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        // Budget of 1 byte: every insert evicts the previous entry.
+        let cat = catalog_with_budget(1);
+        let a = cat.resolve("internet", 0.001, 1, false).unwrap();
+        assert!(a.bytes > 1);
+        cat.resolve("internet", 0.001, 2, false).unwrap();
+        let (_, misses, evictions, resident) = cat.stats();
+        assert_eq!(misses, 2);
+        assert_eq!(evictions, 1);
+        // Only the newest stays resident (oversized-but-admitted).
+        let b = cat.resolve("internet", 0.001, 2, false).unwrap();
+        assert_eq!(resident, b.bytes);
+        // First graph was evicted → resolving it again is a miss.
+        cat.resolve("internet", 0.001, 1, false).unwrap();
+        assert_eq!(cat.stats().1, 3);
+    }
+
+    #[test]
+    fn disk_loading_and_shadowing() {
+        let dir = std::env::temp_dir().join(format!("ecl-serve-cat-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A small edge list...
+        std::fs::write(dir.join("tiny.el"), "0 1\n1 2\n2 0\n").unwrap();
+        // ...and a binary file shadowing the registry name "internet".
+        let g = registry::find("internet").unwrap().generate(0.001, 99);
+        let mut buf = Vec::new();
+        gio::write_csr(&mut buf, &g).unwrap();
+        std::fs::write(dir.join("internet.ecl"), &buf).unwrap();
+
+        let cat = GraphCatalog::new(CatalogConfig {
+            graphs_dir: Some(dir.clone()),
+            ..CatalogConfig::default()
+        });
+        let tiny = cat.resolve("tiny", 1.0, 0, false).unwrap();
+        assert_eq!(tiny.structure().num_vertices(), 3);
+        assert_eq!(tiny.structure().num_edges(), 3);
+        // Weighted view of an unweighted disk graph synthesizes weights.
+        let wt = cat.resolve("tiny", 1.0, 5, true).unwrap();
+        assert!(wt.weighted.is_some());
+
+        // Shadowing: "internet" resolves to the seed-99 file content
+        // regardless of the requested (scale, seed).
+        let shadowed = cat.resolve("internet", 0.5, 1, false).unwrap();
+        assert_eq!(shadowed.content_hash, content_hash(&g, None));
+        // Path traversal is rejected, not resolved.
+        assert!(matches!(cat.resolve("../tiny", 1.0, 0, false), Err(CatalogError::NotFound(_))));
+        // Listing includes both sources, disk shadowing registry.
+        let rows = cat.list();
+        assert!(rows.iter().any(|r| r.name == "tiny" && r.source == "disk"));
+        let internet: Vec<_> = rows.iter().filter(|r| r.name == "internet").collect();
+        assert_eq!(internet.len(), 1);
+        assert_eq!(internet[0].source, "disk");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,353 @@
+//! A deliberately small, bounded HTTP/1.1 request parser and response
+//! writer over `std::io` streams — no external dependencies.
+//!
+//! The parser enforces hard size limits *while reading* (request line,
+//! header block, body), so a hostile or broken client can neither run
+//! the server out of memory nor wedge a connection thread on an
+//! unbounded read. Every malformed input maps to a typed
+//! [`HttpError`]; nothing in this module panics on untrusted bytes
+//! (proptested in `tests/http_proptests.rs`).
+//!
+//! Scope: exactly what `ecl-serve` needs. One request per connection
+//! (responses always carry `Connection: close`), `Content-Length`
+//! bodies only (no chunked encoding), no continuation lines.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+/// Size limits enforced during parsing.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum bytes of the request head (request line + headers +
+    /// terminating blank line).
+    pub max_head_bytes: usize,
+    /// Maximum bytes of the body (`Content-Length` beyond this is
+    /// rejected before any body byte is read).
+    pub max_body_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_head_bytes: 8 * 1024, max_body_bytes: 64 * 1024, max_headers: 64 }
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Head or body exceeded a [`Limits`] bound → 431/413.
+    TooLarge(&'static str),
+    /// Structurally invalid request → 400.
+    Malformed(&'static str),
+    /// The stream ended before a full request arrived (client went
+    /// away mid-request) → drop the connection silently.
+    Truncated,
+    /// Underlying transport error (timeouts land here) → drop.
+    Io(io::ErrorKind),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::Truncated => write!(f, "connection closed mid-request"),
+            HttpError::Io(kind) => write!(f, "io error: {kind:?}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof => HttpError::Truncated,
+            kind => HttpError::Io(kind),
+        }
+    }
+}
+
+/// A parsed request. Header names are lower-cased; the body is raw
+/// bytes (JSON decoding happens at the route layer).
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method token as sent (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Request target, percent-decoding *not* applied (the service's
+    /// names are ASCII identifiers; anything else 404s naturally).
+    pub path: String,
+    /// Lower-cased header name → value (last occurrence wins).
+    pub headers: BTreeMap<String, String>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+}
+
+/// Reads one byte, mapping EOF to [`HttpError::Truncated`].
+fn read_byte<R: Read>(r: &mut R) -> Result<u8, HttpError> {
+    let mut b = [0u8; 1];
+    match r.read(&mut b) {
+        Ok(0) => Err(HttpError::Truncated),
+        Ok(_) => Ok(b[0]),
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => read_byte(r),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Reads the head (everything through `\r\n\r\n`), enforcing
+/// `max_head_bytes` as it goes. Accepts bare-`\n` line endings too —
+/// robustness against sloppy clients; the paired tests exercise both.
+fn read_head<R: Read>(r: &mut R, limits: &Limits) -> Result<Vec<u8>, HttpError> {
+    let mut head = Vec::with_capacity(512);
+    loop {
+        if head.len() >= limits.max_head_bytes {
+            return Err(HttpError::TooLarge("head"));
+        }
+        let b = read_byte(r)?;
+        head.push(b);
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            return Ok(head);
+        }
+        // An empty first line would mean `\r\n` at the very start.
+        if head == b"\r\n" || head == b"\n" {
+            return Err(HttpError::Malformed("empty request line"));
+        }
+    }
+}
+
+fn is_token_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Parses one request from `r` under `limits`.
+pub fn read_request<R: Read>(r: &mut R, limits: &Limits) -> Result<Request, HttpError> {
+    let head = read_head(r, limits)?;
+    let text = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+
+    let request_line = lines.next().ok_or(HttpError::Malformed("missing request line"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().ok_or(HttpError::Malformed("missing request target"))?;
+    let version = parts.next().ok_or(HttpError::Malformed("missing HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra tokens in request line"));
+    }
+    if method.is_empty() || !method.bytes().all(is_token_char) {
+        return Err(HttpError::Malformed("bad method token"));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed("request target must be absolute path"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the blank terminator (and the tail after it)
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooLarge("header count"));
+        }
+        let (name, value) =
+            line.split_once(':').ok_or(HttpError::Malformed("header without colon"))?;
+        if name.is_empty() || !name.bytes().all(is_token_char) {
+            return Err(HttpError::Malformed("bad header name"));
+        }
+        headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let body = match headers.get("content-length") {
+        None => Vec::new(),
+        Some(v) => {
+            let len: usize =
+                v.parse().map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+            if len > limits.max_body_bytes {
+                return Err(HttpError::TooLarge("body"));
+            }
+            let mut body = vec![0u8; len];
+            r.read_exact(&mut body)?;
+            body
+        }
+    };
+
+    Ok(Request { method: method.to_string(), path: path.to_string(), headers, body })
+}
+
+/// Reason phrases for the status codes the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response (status + headers + body) and flushes.
+/// Always `Connection: close` — this server is one-request-per-
+/// connection by design.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// [`write_response`] for a JSON body.
+pub fn write_json<W: Write>(w: &mut W, status: u16, body: &str) -> io::Result<()> {
+    write_response(w, status, "application/json", body.as_bytes())
+}
+
+/// The status code an [`HttpError`] maps to, when a response can still
+/// be written (`None`: drop the connection without responding).
+pub fn error_status(e: &HttpError) -> Option<u16> {
+    match e {
+        HttpError::TooLarge("body") => Some(413),
+        HttpError::TooLarge(_) => Some(431),
+        HttpError::Malformed(_) => Some(400),
+        HttpError::Truncated | HttpError::Io(_) => None,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut io::Cursor::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn accepts_bare_lf_lines() {
+        let r = parse(b"GET / HTTP/1.1\nHost: y\n\n").unwrap();
+        assert_eq!(r.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn rejects_bad_request_lines() {
+        for bad in [
+            &b"GET /\r\n\r\n"[..],
+            b"GET  / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"G\x01T / HTTP/1.1\r\n\r\n",
+            b"GET relative HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(HttpError::Malformed(_))),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_header_without_colon() {
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nnocolonhere\r\n\r\n"),
+            Err(HttpError::Malformed("header without colon"))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_truncated_not_malformed() {
+        assert!(matches!(parse(b"GET / HTTP/1.1\r\nHost:"), Err(HttpError::Truncated)));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_rejected() {
+        let limits = Limits { max_head_bytes: 64, max_body_bytes: 8, max_headers: 4 };
+        let mut big = b"GET / HTTP/1.1\r\n".to_vec();
+        big.extend_from_slice(&[b'a'; 100]);
+        assert_eq!(
+            read_request(&mut io::Cursor::new(&big), &limits).err(),
+            Some(HttpError::TooLarge("head"))
+        );
+        let r = read_request(
+            &mut io::Cursor::new(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789"),
+            &limits,
+        );
+        assert_eq!(r.err(), Some(HttpError::TooLarge("body")));
+        let r = read_request(
+            &mut io::Cursor::new(b"GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\nd: 4\r\ne: 5\r\n\r\n"),
+            &limits,
+        );
+        assert_eq!(r.err(), Some(HttpError::TooLarge("header count")));
+    }
+
+    #[test]
+    fn huge_content_length_rejected_before_allocation() {
+        // Claims 100 TB: must fail on the limit check, not allocate.
+        let r = parse(b"POST / HTTP/1.1\r\nContent-Length: 109951162777600\r\n\r\n");
+        assert_eq!(r.err(), Some(HttpError::TooLarge("body")));
+    }
+
+    #[test]
+    fn error_statuses() {
+        assert_eq!(error_status(&HttpError::TooLarge("body")), Some(413));
+        assert_eq!(error_status(&HttpError::TooLarge("head")), Some(431));
+        assert_eq!(error_status(&HttpError::Malformed("x")), Some(400));
+        assert_eq!(error_status(&HttpError::Truncated), None);
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_json(&mut out, 202, "{\"id\":1}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"));
+        assert!(text.contains("Content-Length: 8\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"id\":1}"));
+    }
+}

@@ -1,0 +1,388 @@
+//! Load generator for `ecl-serve`: closed- and open-loop drivers, a
+//! tiny blocking HTTP client, and an `ecl-bench/2` JSON report that
+//! `ecl-prof gate` can regression-gate.
+//!
+//! **Closed loop** (`concurrency = N`): N workers each keep exactly
+//! one request in flight (submit with `wait_ms`, measure, repeat) —
+//! the latency you get when clients back off under load.
+//!
+//! **Open loop** (`rate_per_sec = R`): arrivals are paced on a fixed
+//! schedule regardless of completions — the latency you get when
+//! demand does not care how the server is doing, including 429s once
+//! the admission queue fills.
+//!
+//! The report separates *wall* latency (scheduling noise, gate it
+//! locally if you like) from *modeled* GPU time (deterministic given
+//! the job mix, so CI gates it across machines — see the `serve-smoke`
+//! workflow job).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ecl_prof::json::{self, Value};
+use ecl_profiling::{LogSketch, SketchSnapshot};
+
+use crate::jobs::Algo;
+
+/// Arrival discipline.
+#[derive(Clone, Copy, Debug)]
+pub enum LoadMode {
+    /// `N` workers, one request in flight each.
+    Closed {
+        /// Concurrent in-flight requests.
+        concurrency: usize,
+    },
+    /// Fixed arrival schedule of `rate` requests/second.
+    Open {
+        /// Arrivals per second.
+        rate: f64,
+    },
+}
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// `host:port` of the server.
+    pub target: String,
+    /// Arrival discipline.
+    pub mode: LoadMode,
+    /// How long to generate load for.
+    pub duration: Duration,
+    /// Algorithms, round-robined per request.
+    pub algos: Vec<Algo>,
+    /// Catalog graph each job runs on.
+    pub graph: String,
+    /// Job scale.
+    pub scale: f64,
+    /// Jobs rotate through seeds `0..distinct_seeds` — 1 makes every
+    /// request after the first a result-cache hit; larger values mix
+    /// misses in.
+    pub distinct_seeds: u64,
+    /// Per-request `wait_ms` (closed-loop completion bound).
+    pub wait_ms: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            target: "127.0.0.1:0".to_string(),
+            mode: LoadMode::Closed { concurrency: 2 },
+            duration: Duration::from_secs(2),
+            algos: vec![Algo::Cc, Algo::Mis, Algo::Gc],
+            graph: "internet".to_string(),
+            scale: 0.001,
+            distinct_seeds: 4,
+            wait_ms: 30_000,
+        }
+    }
+}
+
+/// Outcome of a run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub requests: u64,
+    /// Jobs that reached `done` within the wait.
+    pub ok: u64,
+    /// 429 admission rejections.
+    pub rejected: u64,
+    /// Transport failures, 5xx, failed/timed-out jobs.
+    pub errors: u64,
+    /// End-to-end request latency (µs), successful requests only.
+    pub latency_us: SketchSnapshot,
+    /// Deterministic modeled GPU time per completed job (cost units).
+    pub modeled_times: Vec<f64>,
+    /// Wall-clock span of the run.
+    pub wall_seconds: f64,
+    /// Echo of the generating config (for the report header).
+    pub config: LoadgenConfig,
+}
+
+/// Minimal blocking HTTP/1.1 exchange: one request, `Connection:
+/// close`, whole response read to EOF. Returns `(status, body)`.
+pub fn http_call(
+    target: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(target).map_err(|e| format!("connect {target}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(150)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {target}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 =
+        text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            format!("unparseable response: {:?}", text.get(..64).unwrap_or(&text))
+        })?;
+    let body_start = text.find("\r\n\r\n").map(|i| i + 4).unwrap_or(text.len());
+    Ok((status, text[body_start..].to_string()))
+}
+
+struct Tally {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    latency_us: LogSketch,
+    modeled: Mutex<Vec<f64>>,
+}
+
+impl Tally {
+    fn new() -> Tally {
+        Tally {
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency_us: LogSketch::new(),
+            modeled: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+fn job_request_body(config: &LoadgenConfig, request_index: u64) -> String {
+    let algo = config.algos[(request_index as usize) % config.algos.len()];
+    let seed = request_index % config.distinct_seeds.max(1);
+    format!(
+        "{{\"algo\": \"{}\", \"graph\": \"{}\", \"scale\": {}, \"seed\": {}, \"wait_ms\": {}}}",
+        algo.name(),
+        config.graph,
+        config.scale,
+        seed,
+        config.wait_ms
+    )
+}
+
+/// Issues one job request and folds the outcome into `tally`.
+fn fire(config: &LoadgenConfig, request_index: u64, tally: &Tally) {
+    let body = job_request_body(config, request_index);
+    tally.requests.fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
+    match http_call(&config.target, "POST", "/v1/jobs", Some(&body)) {
+        Ok((200, response)) => {
+            let v = json::parse(&response).unwrap_or(Value::Null);
+            let state = v.get("state").and_then(Value::as_str).unwrap_or("");
+            if state == "done" {
+                tally.ok.fetch_add(1, Ordering::Relaxed);
+                tally.latency_us.record(t0.elapsed().as_micros() as u64);
+                if let Some(m) =
+                    v.get("result").and_then(|r| r.get("modeled_time")).and_then(Value::as_f64)
+                {
+                    tally.modeled.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(m);
+                }
+            } else {
+                tally.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok((429, _)) => {
+            tally.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((_, _)) | Err(_) => {
+            tally.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs the configured load and collects a report.
+pub fn run(config: &LoadgenConfig) -> LoadReport {
+    assert!(!config.algos.is_empty(), "loadgen needs at least one algorithm");
+    let tally = Arc::new(Tally::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let next_index = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+
+    let handles: Vec<std::thread::JoinHandle<()>> = match config.mode {
+        LoadMode::Closed { concurrency } => (0..concurrency.max(1))
+            .map(|_| {
+                let (config, tally, stop, next) = (
+                    config.clone(),
+                    Arc::clone(&tally),
+                    Arc::clone(&stop),
+                    Arc::clone(&next_index),
+                );
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        fire(&config, i, &tally);
+                    }
+                })
+            })
+            .collect(),
+        LoadMode::Open { rate } => {
+            assert!(rate > 0.0, "open-loop rate must be positive");
+            let interval = Duration::from_secs_f64(1.0 / rate);
+            let mut shooters = Vec::new();
+            let mut next_arrival = t0;
+            while t0.elapsed() < config.duration {
+                let now = Instant::now();
+                if now < next_arrival {
+                    std::thread::sleep(next_arrival - now);
+                }
+                next_arrival += interval;
+                let i = next_index.fetch_add(1, Ordering::Relaxed);
+                let (config, tally) = (config.clone(), Arc::clone(&tally));
+                shooters.push(std::thread::spawn(move || fire(&config, i, &tally)));
+            }
+            shooters
+        }
+    };
+    if matches!(config.mode, LoadMode::Closed { .. }) {
+        std::thread::sleep(config.duration);
+        stop.store(true, Ordering::Release);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let r = Ordering::Relaxed;
+    let mut modeled =
+        tally.modeled.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+    modeled.sort_by(f64::total_cmp);
+    LoadReport {
+        requests: tally.requests.load(r),
+        ok: tally.ok.load(r),
+        rejected: tally.rejected.load(r),
+        errors: tally.errors.load(r),
+        latency_us: tally.latency_us.snapshot(),
+        modeled_times: modeled,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        config: config.clone(),
+    }
+}
+
+impl LoadReport {
+    /// Serializes in the `ecl-bench/2` shape `ecl-prof gate` consumes:
+    /// a manifest-style `metrics` array. Wall-latency metrics are
+    /// machine-dependent; `modeled_time_units` is deterministic for a
+    /// fixed job mix and is what CI gates (`--metric modeled`).
+    pub fn to_json(&self) -> String {
+        let mode = match self.config.mode {
+            LoadMode::Closed { concurrency } => format!("closed/{concurrency}"),
+            LoadMode::Open { rate } => format!("open/{rate}"),
+        };
+        let algos: Vec<&str> = self.config.algos.iter().map(|a| a.name()).collect();
+        let mut metrics: Vec<String> = Vec::new();
+        let metric = |name: &str, unit: &str, direction: &str, samples: &[f64]| {
+            let vals: Vec<String> = samples.iter().map(|v| json::num(*v)).collect();
+            format!(
+                "    {{\"name\": \"{name}\", \"unit\": \"{unit}\", \
+                 \"direction\": \"{direction}\", \"samples\": [{}]}}",
+                vals.join(", ")
+            )
+        };
+        let l = &self.latency_us;
+        if l.count > 0 {
+            metrics.push(metric("request_latency_p50_us", "us", "lower", &[l.p50 as f64]));
+            metrics.push(metric("request_latency_p99_us", "us", "lower", &[l.p99 as f64]));
+        }
+        if !self.modeled_times.is_empty() {
+            // One sample per distinct job, not per completion: cache
+            // hits repeat the same modeled time, and how often each
+            // job completes varies run to run, which would skew the
+            // gate's median. The deduplicated set is a pure function
+            // of the job mix.
+            let mut distinct: Vec<f64> = self.modeled_times.clone();
+            distinct.dedup_by(|a, b| a.to_bits() == b.to_bits());
+            metrics.push(metric("modeled_time_units", "units", "lower", &distinct));
+        }
+        metrics.push(metric(
+            "throughput_ok_per_sec",
+            "1/s",
+            "higher",
+            &[self.ok as f64 / self.wall_seconds.max(1e-9)],
+        ));
+        format!(
+            "{{\n  \"schema\": \"ecl-bench/2\",\n  \"benchmark\": \"ecl-loadgen\",\n  \
+             \"git_sha\": \"{}\",\n  \"mode\": \"{mode}\",\n  \"graph\": \"{}\",\n  \
+             \"scale\": {},\n  \"distinct_seeds\": {},\n  \"algos\": [{}],\n  \
+             \"requests\": {},\n  \"ok\": {},\n  \"rejected\": {},\n  \"errors\": {},\n  \
+             \"wall_seconds\": {},\n  \"latency_us\": {{\"count\": {}, \"p50\": {}, \
+             \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \"metrics\": [\n{}\n  ]\n}}\n",
+            ecl_prof::git_sha(),
+            json::escape(&self.config.graph),
+            self.config.scale,
+            self.config.distinct_seeds,
+            algos.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(", "),
+            self.requests,
+            self.ok,
+            self.rejected,
+            self.errors,
+            json::num(self.wall_seconds),
+            l.count,
+            l.p50,
+            l.p90,
+            l.p99,
+            l.max,
+            metrics.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_gateable() {
+        let report = LoadReport {
+            requests: 10,
+            ok: 8,
+            rejected: 1,
+            errors: 1,
+            latency_us: {
+                let s = LogSketch::new();
+                s.record(1000);
+                s.record(2000);
+                s.snapshot()
+            },
+            modeled_times: vec![5.0, 5.0, 7.0],
+            wall_seconds: 2.0,
+            config: LoadgenConfig::default(),
+        };
+        let text = report.to_json();
+        // Parses as JSON and looks like a gateable manifest: string
+        // schema + a metrics array with direction-tagged samples.
+        let v = json::parse(&text).unwrap();
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some("ecl-bench/2"));
+        let metrics = v.get("metrics").and_then(Value::as_arr).unwrap();
+        assert!(metrics.iter().any(|m| {
+            // The duplicated 5.0 (a cache-hit completion) collapses.
+            m.get("name").and_then(Value::as_str) == Some("modeled_time_units")
+                && m.get("samples").and_then(Value::as_arr).is_some_and(|s| s.len() == 2)
+        }));
+        let manifest = ecl_prof::Manifest::from_value(&v).unwrap();
+        assert!(manifest
+            .metrics
+            .iter()
+            .any(|m| m.name == "modeled_time_units" && m.direction == ecl_prof::Direction::Lower));
+    }
+
+    #[test]
+    fn request_bodies_round_robin_algos_and_seeds() {
+        let config = LoadgenConfig {
+            algos: vec![Algo::Cc, Algo::Scc],
+            distinct_seeds: 2,
+            ..LoadgenConfig::default()
+        };
+        let b0 = job_request_body(&config, 0);
+        let b1 = job_request_body(&config, 1);
+        let b2 = job_request_body(&config, 2);
+        assert!(b0.contains("\"cc\"") && b0.contains("\"seed\": 0"));
+        assert!(b1.contains("\"scc\"") && b1.contains("\"seed\": 1"));
+        assert!(b2.contains("\"cc\"") && b2.contains("\"seed\": 0"));
+    }
+}

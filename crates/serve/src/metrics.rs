@@ -1,0 +1,257 @@
+//! Service metrics: lifecycle counters, per-algorithm latency
+//! sketches, and the `GET /metrics` Prometheus rendering.
+//!
+//! The rendering reuses [`ecl_prof::to_prometheus`] for everything a
+//! run manifest can express — per-algorithm queue/run latency
+//! distributions (as summary-quantile series) and per-kernel launch
+//! stats from the installed profiling collector — and appends the
+//! service-specific gauges (queue depth, admission rejections, cache
+//! hit ratios) in plain exposition format.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ecl_prof::{git_sha, to_prometheus, Collector, DispatchInfo, Manifest};
+use ecl_profiling::LogSketch;
+
+use crate::cache::ResultCache;
+use crate::catalog::GraphCatalog;
+use crate::jobs::Algo;
+
+/// Monotonic counters and latency sketches for the service. Shared as
+/// `Arc<ServeMetrics>` between the scheduler and the HTTP surface.
+#[derive(Default)]
+pub struct ServeMetrics {
+    /// Jobs admitted to the queue.
+    pub jobs_admitted: AtomicU64,
+    /// Jobs rejected at admission (queue full → HTTP 429).
+    pub admission_rejections: AtomicU64,
+    /// Jobs that finished in `done`.
+    pub jobs_done: AtomicU64,
+    /// Jobs that finished in `failed` (including contained panics).
+    pub jobs_failed: AtomicU64,
+    /// Contained job panics (subset of `jobs_failed`).
+    pub jobs_panicked: AtomicU64,
+    /// Jobs cancelled while queued.
+    pub jobs_cancelled: AtomicU64,
+    /// Jobs that missed their start deadline.
+    pub jobs_deadline_exceeded: AtomicU64,
+    /// Results served from the result cache.
+    pub result_cache_serves: AtomicU64,
+    /// HTTP requests accepted (parsed successfully).
+    pub http_requests: AtomicU64,
+    /// HTTP requests answered with a 4xx/5xx status.
+    pub http_errors: AtomicU64,
+    /// Malformed/oversized requests rejected by the parser.
+    pub http_malformed: AtomicU64,
+    queue_us: [LogSketch; Algo::ALL.len()],
+    run_us: [LogSketch; Algo::ALL.len()],
+}
+
+fn algo_index(algo: Algo) -> usize {
+    match algo {
+        Algo::Cc => 0,
+        Algo::Gc => 1,
+        Algo::Mis => 2,
+        Algo::Mst => 3,
+        Algo::Scc => 4,
+    }
+}
+
+impl ServeMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Arc<ServeMetrics> {
+        Arc::new(ServeMetrics::default())
+    }
+
+    /// Records a finished job's queue wait and run time (µs).
+    pub fn record_latency(&self, algo: Algo, queue_us: u64, run_us: u64) {
+        let i = algo_index(algo);
+        self.queue_us[i].record(queue_us);
+        self.run_us[i].record(run_us);
+    }
+
+    /// Total terminal jobs.
+    pub fn jobs_finished(&self) -> u64 {
+        self.jobs_done.load(Ordering::Relaxed)
+            + self.jobs_failed.load(Ordering::Relaxed)
+            + self.jobs_cancelled.load(Ordering::Relaxed)
+            + self.jobs_deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Renders the full `/metrics` payload. `queue_depth`/`running`
+    /// are instantaneous scheduler gauges; `collector` contributes
+    /// per-kernel series when profiling is installed.
+    pub fn render_prometheus(
+        &self,
+        catalog: &GraphCatalog,
+        results: &ResultCache,
+        queue_depth: usize,
+        running: usize,
+        collector: Option<&Collector>,
+    ) -> String {
+        // Per-algorithm latency distributions + kernel stats ride the
+        // manifest exposition.
+        let mut manifest = Manifest {
+            schema: "ecl-serve/1".to_string(),
+            git_sha: git_sha(),
+            dispatch: DispatchInfo {
+                mode: "pool".to_string(),
+                workers: ecl_gpusim::pool::effective_workers() as u64,
+                grain: None,
+            },
+            context: vec![("service".to_string(), "ecl-serve".to_string())],
+            metrics: Vec::new(),
+            kernels: collector.map(|c| c.snapshot()).unwrap_or_default(),
+            distributions: Vec::new(),
+        };
+        for algo in Algo::ALL {
+            let i = algo_index(algo);
+            if self.run_us[i].count() > 0 {
+                manifest
+                    .distributions
+                    .push((format!("job_run_us/{}", algo.name()), self.run_us[i].snapshot()));
+                manifest
+                    .distributions
+                    .push((format!("job_queue_us/{}", algo.name()), self.queue_us[i].snapshot()));
+            }
+        }
+        let mut out = to_prometheus(&manifest);
+
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, v: f64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"));
+        };
+
+        gauge(&mut out, "ecl_serve_queue_depth", "Jobs waiting for a slot.", queue_depth as f64);
+        gauge(&mut out, "ecl_serve_jobs_running", "Jobs currently executing.", running as f64);
+        let r = Ordering::Relaxed;
+        counter(
+            &mut out,
+            "ecl_serve_jobs_admitted_total",
+            "Jobs admitted to the queue.",
+            self.jobs_admitted.load(r),
+        );
+        counter(
+            &mut out,
+            "ecl_serve_admission_rejections_total",
+            "Jobs rejected with 429 because the queue was full.",
+            self.admission_rejections.load(r),
+        );
+        for (name, v) in [
+            ("done", self.jobs_done.load(r)),
+            ("failed", self.jobs_failed.load(r)),
+            ("cancelled", self.jobs_cancelled.load(r)),
+            ("deadline_exceeded", self.jobs_deadline_exceeded.load(r)),
+        ] {
+            out.push_str(&format!("ecl_serve_jobs_finished_total{{state=\"{name}\"}} {v}\n"));
+        }
+        counter(
+            &mut out,
+            "ecl_serve_jobs_panicked_total",
+            "Job bodies that panicked and were contained.",
+            self.jobs_panicked.load(r),
+        );
+        counter(
+            &mut out,
+            "ecl_serve_http_requests_total",
+            "HTTP requests parsed.",
+            self.http_requests.load(r),
+        );
+        counter(
+            &mut out,
+            "ecl_serve_http_errors_total",
+            "HTTP responses with a 4xx/5xx status.",
+            self.http_errors.load(r),
+        );
+        counter(
+            &mut out,
+            "ecl_serve_http_malformed_total",
+            "Requests rejected by the parser (malformed or oversized).",
+            self.http_malformed.load(r),
+        );
+
+        let (gh, gm, gev, gbytes) = catalog.stats();
+        counter(&mut out, "ecl_serve_graph_cache_hits_total", "Graph catalog cache hits.", gh);
+        counter(&mut out, "ecl_serve_graph_cache_misses_total", "Graph catalog cache misses.", gm);
+        counter(&mut out, "ecl_serve_graph_cache_evictions_total", "Graph LRU evictions.", gev);
+        gauge(
+            &mut out,
+            "ecl_serve_graph_cache_resident_bytes",
+            "Bytes held by cached graphs.",
+            gbytes as f64,
+        );
+
+        let (rh, rm, rlen) = results.stats();
+        counter(&mut out, "ecl_serve_result_cache_hits_total", "Result cache hits.", rh);
+        counter(&mut out, "ecl_serve_result_cache_misses_total", "Result cache misses.", rm);
+        gauge(&mut out, "ecl_serve_result_cache_entries", "Resident cached results.", rlen as f64);
+        gauge(
+            &mut out,
+            "ecl_serve_result_cache_hit_ratio",
+            "Result cache hit ratio in [0,1].",
+            results.hit_ratio(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+
+    #[test]
+    fn prometheus_rendering_contains_required_series() {
+        let m = ServeMetrics::new();
+        m.jobs_admitted.store(5, Ordering::Relaxed);
+        m.admission_rejections.store(2, Ordering::Relaxed);
+        m.jobs_done.store(4, Ordering::Relaxed);
+        m.record_latency(Algo::Cc, 120, 4500);
+        m.record_latency(Algo::Cc, 90, 5100);
+        let catalog = GraphCatalog::new(CatalogConfig::default());
+        let results = ResultCache::new(4);
+        assert!(results.get("k").is_none()); // one miss, for a 0.5 ratio
+        results.put(
+            "k".into(),
+            Arc::new(crate::exec::RunOutput {
+                algo: Algo::Cc,
+                graph: "g".into(),
+                graph_hash: 1,
+                vertices: 1,
+                arcs: 0,
+                aggregates: vec![],
+                modeled_time: 0.0,
+            }),
+        );
+        results.get("k").unwrap();
+
+        let text = m.render_prometheus(&catalog, &results, 3, 2, None);
+        for needle in [
+            "ecl_serve_queue_depth 3",
+            "ecl_serve_jobs_running 2",
+            "ecl_serve_jobs_admitted_total 5",
+            "ecl_serve_admission_rejections_total 2",
+            "ecl_serve_jobs_finished_total{state=\"done\"} 4",
+            "ecl_serve_result_cache_hit_ratio 0.5",
+            "ecl_distribution{name=\"job_run_us/cc\"",
+            "quantile=\"0.99\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn latency_sketches_are_per_algorithm() {
+        let m = ServeMetrics::new();
+        m.record_latency(Algo::Mis, 1, 1000);
+        let catalog = GraphCatalog::new(CatalogConfig::default());
+        let results = ResultCache::new(1);
+        let text = m.render_prometheus(&catalog, &results, 0, 0, None);
+        assert!(text.contains("job_run_us/mis"));
+        assert!(!text.contains("job_run_us/cc"), "cc has no samples");
+    }
+}

@@ -1,0 +1,465 @@
+//! Job scheduler: bounded admission, a fixed worker pool, deadlines,
+//! cancellation, panic containment, and drain-on-shutdown.
+//!
+//! Admission is **reject, not queue**: once the queue holds
+//! `max_queue` jobs, `submit` fails immediately (the HTTP layer maps
+//! that to 429) instead of building unbounded backlog. Concurrency is
+//! sized against the simulator's own parallelism — each job run
+//! saturates [`ecl_gpusim::pool::effective_workers`] OS threads, so
+//! running more than `available_parallelism / effective_workers` jobs
+//! at once just thrashes.
+//!
+//! Shutdown is a drain: no new admissions (503), but every job already
+//! admitted runs to a terminal state before `shutdown()` returns. The
+//! e2e tests assert the "zero dropped in-flight jobs" half of that
+//! contract.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::cache::{result_key, ResultCache};
+use crate::catalog::GraphCatalog;
+use crate::exec::execute;
+use crate::jobs::{Algo, Fault, JobEnd, JobRecord, JobSpec, JobState};
+use crate::metrics::ServeMetrics;
+
+/// Scheduler sizing.
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// Queue capacity; submissions beyond it are rejected.
+    pub max_queue: usize,
+    /// Concurrent job executions (worker threads).
+    pub max_concurrency: usize,
+    /// Terminal jobs retained for status queries.
+    pub max_history: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig { max_queue: 64, max_concurrency: default_concurrency(), max_history: 4096 }
+    }
+}
+
+/// Concurrency that avoids oversubscription: host parallelism divided
+/// by the threads one simulated-device run already uses.
+pub fn default_concurrency() -> usize {
+    let host = std::thread::available_parallelism().map_or(4, |n| n.get());
+    (host / ecl_gpusim::pool::effective_workers().max(1)).max(1)
+}
+
+/// Why a submission was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity (HTTP 429).
+    QueueFull,
+    /// The scheduler is draining for shutdown (HTTP 503).
+    ShuttingDown,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<JobRecord>>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    running: AtomicUsize,
+    jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
+    next_id: AtomicU64,
+    config: SchedulerConfig,
+    catalog: Arc<GraphCatalog>,
+    results: Arc<ResultCache>,
+    metrics: Arc<ServeMetrics>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The scheduler. Construct with [`Scheduler::start`]; call
+/// [`Scheduler::shutdown`] to drain (also runs on drop).
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Starts `config.max_concurrency` workers.
+    pub fn start(
+        config: SchedulerConfig,
+        catalog: Arc<GraphCatalog>,
+        results: Arc<ResultCache>,
+        metrics: Arc<ServeMetrics>,
+    ) -> Scheduler {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            running: AtomicUsize::new(0),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            config: config.clone(),
+            catalog,
+            results,
+            metrics,
+        });
+        let workers = (0..config.max_concurrency.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ecl-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Scheduler { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Admits a job or rejects it. Never blocks.
+    pub fn submit(&self, spec: JobSpec) -> Result<Arc<JobRecord>, SubmitError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut queue = lock(&self.shared.queue);
+        if queue.len() >= self.shared.config.max_queue {
+            self.shared.metrics.admission_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull);
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(JobRecord::new(id, spec));
+        queue.push_back(Arc::clone(&job));
+        drop(queue);
+        self.shared.metrics.jobs_admitted.fetch_add(1, Ordering::Relaxed);
+        self.retain_history();
+        lock(&self.shared.jobs).insert(id, Arc::clone(&job));
+        self.shared.work_ready.notify_one();
+        Ok(job)
+    }
+
+    /// Looks up a job by id.
+    pub fn job(&self, id: u64) -> Option<Arc<JobRecord>> {
+        lock(&self.shared.jobs).get(&id).cloned()
+    }
+
+    /// All known jobs (admitted and retained terminal).
+    pub fn jobs_snapshot(&self) -> Vec<Arc<JobRecord>> {
+        lock(&self.shared.jobs).values().cloned().collect()
+    }
+
+    /// Cancels a queued job. Returns `false` if the job already
+    /// started (running jobs are not preemptible).
+    pub fn cancel(&self, job: &JobRecord) -> bool {
+        job.request_cancel();
+        let cancelled = job
+            .transition(JobState::Cancelled, Some(JobEnd::Message("cancelled by client".into())));
+        if cancelled {
+            self.shared.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        cancelled
+    }
+
+    /// Jobs waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.queue).len()
+    }
+
+    /// Jobs currently executing.
+    pub fn running(&self) -> usize {
+        self.shared.running.load(Ordering::Relaxed)
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Begins draining without blocking: stops admissions and wakes
+    /// idle workers (they exit once the queue empties). Used by the
+    /// HTTP shutdown route, which must answer before the drain ends;
+    /// [`Scheduler::shutdown`] still performs the join.
+    pub fn begin_drain(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Drains: stops admissions, lets every admitted job reach a
+    /// terminal state, joins the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.begin_drain();
+        let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Evicts oldest terminal jobs beyond the history cap.
+    fn retain_history(&self) {
+        let mut jobs = lock(&self.shared.jobs);
+        if jobs.len() < self.shared.config.max_history {
+            return;
+        }
+        let mut terminal: Vec<u64> =
+            jobs.iter().filter(|(_, j)| j.state().is_terminal()).map(|(&id, _)| id).collect();
+        terminal.sort_unstable();
+        let excess = jobs.len().saturating_sub(self.shared.config.max_history / 2);
+        for id in terminal.into_iter().take(excess) {
+            jobs.remove(&id);
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .work_ready
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        shared.running.fetch_add(1, Ordering::Relaxed);
+        run_one(shared, &job);
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Takes one admitted job to a terminal state.
+fn run_one(shared: &Shared, job: &Arc<JobRecord>) {
+    // Client cancellation won the race: the record is already terminal.
+    if job.state().is_terminal() {
+        return;
+    }
+    // Start-deadline check: a job that waited too long never runs.
+    if let Some(deadline) = job.deadline() {
+        if Instant::now() >= deadline {
+            // Counted before the transition so a waiter woken by the
+            // terminal state always observes the metric; undone on the
+            // rare lost race with a concurrent cancellation.
+            shared.metrics.jobs_deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            if !job.transition(
+                JobState::DeadlineExceeded,
+                Some(JobEnd::Message("start deadline exceeded while queued".into())),
+            ) {
+                shared.metrics.jobs_deadline_exceeded.fetch_sub(1, Ordering::Relaxed);
+            }
+            return;
+        }
+    }
+    if !job.transition(JobState::Running, None) {
+        return; // Lost a race with cancellation.
+    }
+
+    let spec = job.spec.clone();
+    // Result-cache probe. Resolving the graph here is not wasted work:
+    // the catalog memoizes it, so a subsequent miss-path execute() gets
+    // a cache hit. Faulted jobs bypass the cache — they exist to
+    // exercise the execution path.
+    let key = if spec.fault == Fault::None {
+        shared
+            .catalog
+            .resolve(&spec.graph, spec.scale, spec.seed, spec.algo == Algo::Mst)
+            .ok()
+            .map(|g| result_key(g.content_hash, &spec))
+    } else {
+        None
+    };
+    if let Some(k) = &key {
+        if let Some(hit) = shared.results.get(k) {
+            job.mark_cached();
+            shared.metrics.result_cache_serves.fetch_add(1, Ordering::Relaxed);
+            finish(shared, job, JobState::Done, JobEnd::Output(Box::new((*hit).clone())));
+            return;
+        }
+    }
+
+    // Per-request trace span: the algorithm's own kernel/phase events
+    // (recorded through the same installed tracer) nest inside it, so
+    // an exported timeline shows which request drove which launches.
+    let span = format!("serve.job/{}", spec.algo.name());
+    ecl_trace::sink::phase_start(&span);
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(&spec, &shared.catalog)));
+    ecl_trace::sink::phase_end(&span);
+    match outcome {
+        Ok(Ok(output)) => {
+            if let Some(k) = key {
+                shared.results.put(k, Arc::new(output.clone()));
+            }
+            finish(shared, job, JobState::Done, JobEnd::Output(Box::new(output)));
+        }
+        Ok(Err(message)) => {
+            finish(shared, job, JobState::Failed, JobEnd::Message(message));
+        }
+        Err(panic) => {
+            shared.metrics.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            finish(shared, job, JobState::Failed, JobEnd::Message(format!("job panicked: {msg}")));
+        }
+    }
+}
+
+fn finish(shared: &Shared, job: &Arc<JobRecord>, state: JobState, end: JobEnd) {
+    if !job.transition(state, Some(end)) {
+        return;
+    }
+    match state {
+        JobState::Done => shared.metrics.jobs_done.fetch_add(1, Ordering::Relaxed),
+        JobState::Failed => shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed),
+        _ => 0,
+    };
+    let st = job.status();
+    shared.metrics.record_latency(
+        job.spec.algo,
+        (st.queue_ms * 1e3) as u64,
+        (st.run_ms * 1e3) as u64,
+    );
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use std::time::Duration;
+
+    fn harness(config: SchedulerConfig) -> (Scheduler, Arc<ServeMetrics>) {
+        let metrics = ServeMetrics::new();
+        let sched = Scheduler::start(
+            config,
+            Arc::new(GraphCatalog::new(CatalogConfig::default())),
+            Arc::new(ResultCache::new(64)),
+            Arc::clone(&metrics),
+        );
+        (sched, metrics)
+    }
+
+    fn quick_spec() -> JobSpec {
+        JobSpec::new(Algo::Cc, "internet")
+    }
+
+    #[test]
+    fn submit_run_and_cache_hit() {
+        let (sched, metrics) = harness(SchedulerConfig::default());
+        let a = sched.submit(quick_spec()).unwrap();
+        assert_eq!(a.wait_terminal(Duration::from_secs(60)), JobState::Done);
+        let b = sched.submit(quick_spec()).unwrap();
+        assert_eq!(b.wait_terminal(Duration::from_secs(60)), JobState::Done);
+        assert!(b.status().cached, "identical resubmission must hit the result cache");
+        let (na, nb) =
+            (a.with_output(|o| o.clone()).unwrap(), b.with_output(|o| o.clone()).unwrap());
+        assert_eq!(na, nb, "cache hit must be bit-identical");
+        assert_eq!(metrics.result_cache_serves.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn queue_overflow_rejects() {
+        let (sched, metrics) =
+            harness(SchedulerConfig { max_queue: 2, max_concurrency: 1, max_history: 64 });
+        // Stall the single worker with a long delay job.
+        let mut slow = quick_spec();
+        slow.fault = Fault::DelayMs(300);
+        let stalled = sched.submit(slow).unwrap();
+        // Wait until the worker picked it up (queue empty again).
+        let t0 = Instant::now();
+        while sched.running() == 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::yield_now();
+        }
+        // Fill the queue, then overflow.
+        sched.submit(quick_spec()).unwrap();
+        sched.submit(quick_spec()).unwrap();
+        assert!(matches!(sched.submit(quick_spec()), Err(SubmitError::QueueFull)));
+        assert_eq!(metrics.admission_rejections.load(Ordering::Relaxed), 1);
+        assert_eq!(stalled.wait_terminal(Duration::from_secs(60)), JobState::Done);
+    }
+
+    #[test]
+    fn panic_is_contained_and_worker_survives() {
+        let (sched, metrics) =
+            harness(SchedulerConfig { max_queue: 8, max_concurrency: 1, max_history: 64 });
+        let mut bad = quick_spec();
+        bad.fault = Fault::Panic;
+        let b = sched.submit(bad).unwrap();
+        assert_eq!(b.wait_terminal(Duration::from_secs(30)), JobState::Failed);
+        assert!(b.end_message().unwrap().contains("panicked"));
+        assert_eq!(metrics.jobs_panicked.load(Ordering::Relaxed), 1);
+        // The same (single) worker must still process new jobs.
+        let ok = sched.submit(quick_spec()).unwrap();
+        assert_eq!(ok.wait_terminal(Duration::from_secs(60)), JobState::Done);
+    }
+
+    #[test]
+    fn cancellation_and_deadline_while_queued() {
+        let (sched, metrics) =
+            harness(SchedulerConfig { max_queue: 8, max_concurrency: 1, max_history: 64 });
+        let mut slow = quick_spec();
+        slow.fault = Fault::DelayMs(400);
+        sched.submit(slow).unwrap();
+        // Cancel a queued job before the worker reaches it.
+        let c = sched.submit(quick_spec()).unwrap();
+        assert!(sched.cancel(&c));
+        assert_eq!(c.state(), JobState::Cancelled);
+        // A 1ms start deadline behind a 400ms job always expires.
+        let mut dead = quick_spec();
+        dead.deadline_ms = Some(1);
+        let d = sched.submit(dead).unwrap();
+        assert_eq!(d.wait_terminal(Duration::from_secs(30)), JobState::DeadlineExceeded);
+        assert_eq!(metrics.jobs_cancelled.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.jobs_deadline_exceeded.load(Ordering::Relaxed), 1);
+        // Cancelling a terminal job reports false.
+        assert!(!sched.cancel(&d));
+    }
+
+    #[test]
+    fn shutdown_drains_every_admitted_job() {
+        let (sched, _) =
+            harness(SchedulerConfig { max_queue: 32, max_concurrency: 2, max_history: 64 });
+        let jobs: Vec<_> = (0..6)
+            .map(|i| {
+                let mut s = quick_spec();
+                s.fault = Fault::DelayMs(30 + i);
+                sched.submit(s).unwrap()
+            })
+            .collect();
+        sched.shutdown();
+        for j in &jobs {
+            assert_eq!(j.state(), JobState::Done, "job {} dropped by shutdown", j.id);
+        }
+        assert!(matches!(sched.submit(quick_spec()), Err(SubmitError::ShuttingDown)));
+    }
+
+    #[test]
+    fn jobs_record_per_request_trace_spans() {
+        let tracer = Arc::new(ecl_trace::Tracer::with_clock(ecl_trace::ClockMode::Wall));
+        ecl_trace::sink::install(Arc::clone(&tracer));
+        let (sched, _) =
+            harness(SchedulerConfig { max_queue: 8, max_concurrency: 1, max_history: 64 });
+        let job = sched.submit(quick_spec()).unwrap();
+        assert_eq!(job.wait_terminal(Duration::from_secs(60)), JobState::Done);
+        sched.shutdown();
+        ecl_trace::sink::uninstall();
+        let snap = tracer.snapshot();
+        assert!(
+            snap.strings.iter().any(|s| s == "serve.job/cc"),
+            "no serve.job span interned: {:?}",
+            snap.strings
+        );
+    }
+}

@@ -1,0 +1,406 @@
+//! The HTTP surface: a thread-per-connection `std::net` server wiring
+//! the catalog, scheduler, result cache, and metrics together.
+//!
+//! Routes:
+//!
+//! | Route                  | Meaning                                   |
+//! |------------------------|-------------------------------------------|
+//! | `GET  /healthz`        | liveness (also reports draining)          |
+//! | `GET  /v1/graphs`      | catalog listing                           |
+//! | `POST /v1/jobs`        | submit (202, or 429/503 on backpressure)  |
+//! | `GET  /v1/jobs/:id`    | status + result                           |
+//! | `DELETE /v1/jobs/:id`  | cancel a queued job                       |
+//! | `GET  /metrics`        | Prometheus exposition                     |
+//! | `POST /v1/admin/shutdown` | begin graceful drain                   |
+//!
+//! Connections are `Connection: close` — one request each. That keeps
+//! the parser state machine trivial and makes graceful shutdown exact:
+//! drain = join the scheduler, then join the finite set of live
+//! connection threads.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ecl_prof::json::{self, escape, num, Value};
+use ecl_prof::Collector;
+
+use crate::cache::ResultCache;
+use crate::catalog::{CatalogConfig, GraphCatalog};
+use crate::http::{self, Limits, Request};
+use crate::jobs::{Algo, Fault, JobRecord, JobSpec};
+use crate::metrics::ServeMetrics;
+use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
+
+/// Longest `wait_ms` a submission may block for (closed-loop clients).
+const MAX_WAIT_MS: u64 = 120_000;
+
+/// Full server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub listen: String,
+    /// Graph catalog settings.
+    pub catalog: CatalogConfig,
+    /// Scheduler sizing.
+    pub scheduler: SchedulerConfig,
+    /// Result-cache entry cap.
+    pub result_entries: usize,
+    /// HTTP parser limits.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            catalog: CatalogConfig::default(),
+            scheduler: SchedulerConfig::default(),
+            result_entries: 256,
+            limits: Limits::default(),
+        }
+    }
+}
+
+struct ServerShared {
+    catalog: Arc<GraphCatalog>,
+    results: Arc<ResultCache>,
+    metrics: Arc<ServeMetrics>,
+    scheduler: Scheduler,
+    collector: Arc<Collector>,
+    limits: Limits,
+    stopping: AtomicBool,
+    live_connections: AtomicUsize,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`])
+/// drains gracefully.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds and starts serving. Installs a profiling collector so
+    /// `/metrics` carries per-kernel series.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        let catalog = Arc::new(GraphCatalog::new(config.catalog.clone()));
+        let results = Arc::new(ResultCache::new(config.result_entries));
+        let metrics = ServeMetrics::new();
+        let scheduler = Scheduler::start(
+            config.scheduler.clone(),
+            Arc::clone(&catalog),
+            Arc::clone(&results),
+            Arc::clone(&metrics),
+        );
+        let collector = Arc::new(Collector::new());
+        ecl_prof::sink::install(Arc::clone(&collector));
+        // Wall-clock tracer for per-request spans (`serve.job/<algo>`
+        // phases emitted by the scheduler, kernel events from the
+        // simulator nesting inside them). Flushed on shutdown.
+        ecl_trace::sink::install(Arc::new(ecl_trace::Tracer::with_clock(
+            ecl_trace::ClockMode::Wall,
+        )));
+
+        let shared = Arc::new(ServerShared {
+            catalog,
+            results,
+            metrics,
+            scheduler,
+            collector,
+            limits: config.limits,
+            stopping: AtomicBool::new(false),
+            live_connections: AtomicUsize::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("ecl-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Server { addr, shared, accept_thread: Mutex::new(Some(accept_thread)) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// All retained jobs (admitted + terminal). Valid before and after
+    /// shutdown — the drain tests use it to assert that no admitted
+    /// job was dropped.
+    pub fn jobs_snapshot(&self) -> Vec<Arc<JobRecord>> {
+        self.shared.scheduler.jobs_snapshot()
+    }
+
+    /// True once a drain has begun (`POST /v1/admin/shutdown` or
+    /// [`Server::shutdown`]). The `ecl-serve` binary polls this to
+    /// know when an operator asked the process to exit.
+    pub fn is_draining(&self) -> bool {
+        self.shared.scheduler.is_shutting_down()
+    }
+
+    /// Graceful drain: stop accepting, finish live connections, let
+    /// every admitted job reach a terminal state, flush the profiling
+    /// sink. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.stopping.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let handle =
+            self.accept_thread.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        // Connections decrement on exit; spin briefly until quiet.
+        // (Each serves exactly one request, so this terminates.)
+        while self.shared.live_connections.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.shared.scheduler.shutdown();
+        ecl_prof::sink::uninstall();
+        // Flush the trace sink after the last job has finished so no
+        // span is cut mid-record; the snapshot is discarded here —
+        // callers who want the capture install their own tracer first.
+        ecl_trace::sink::uninstall();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(shared);
+        conn_shared.live_connections.fetch_add(1, Ordering::AcqRel);
+        let spawned =
+            std::thread::Builder::new().name("ecl-serve-conn".to_string()).spawn(move || {
+                handle_connection(stream, &conn_shared);
+                conn_shared.live_connections.fetch_sub(1, Ordering::AcqRel);
+            });
+        if spawned.is_err() {
+            shared.live_connections.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let request = match http::read_request(&mut stream, &shared.limits) {
+        Ok(req) => req,
+        Err(e) => {
+            shared.metrics.http_malformed.fetch_add(1, Ordering::Relaxed);
+            if let Some(status) = http::error_status(&e) {
+                shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
+                let body = format!("{{\"error\": \"{}\"}}", escape(&format!("{e:?}")));
+                let _ = http::write_json(&mut stream, status, &body);
+            }
+            return;
+        }
+    };
+    shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+    let (status, content_type, body) = route(&request, shared);
+    if status >= 400 {
+        shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = http::write_response(&mut stream, status, content_type, body.as_bytes());
+    let _ = stream.flush();
+}
+
+type Response = (u16, &'static str, String);
+
+const JSON: &str = "application/json";
+const PROM: &str = "text/plain; version=0.0.4";
+
+fn route(req: &Request, shared: &Arc<ServerShared>) -> Response {
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let draining = shared.scheduler.is_shutting_down();
+            (200, JSON, format!("{{\"ok\": true, \"draining\": {draining}}}"))
+        }
+        ("GET", "/v1/graphs") => graphs_body(shared),
+        ("POST", "/v1/jobs") => submit_job(req, shared),
+        ("GET", p) if p.starts_with("/v1/jobs/") => match parse_id(p) {
+            Some(id) => match shared.scheduler.job(id) {
+                Some(job) => (200, JSON, job_body(&job)),
+                None => (404, JSON, "{\"error\": \"no such job\"}".to_string()),
+            },
+            None => (400, JSON, "{\"error\": \"bad job id\"}".to_string()),
+        },
+        ("DELETE", p) if p.starts_with("/v1/jobs/") => match parse_id(p) {
+            Some(id) => match shared.scheduler.job(id) {
+                Some(job) => {
+                    if shared.scheduler.cancel(&job) {
+                        (200, JSON, job_body(&job))
+                    } else {
+                        (
+                            409,
+                            JSON,
+                            format!(
+                                "{{\"error\": \"job is {} and cannot be cancelled\"}}",
+                                job.state().name()
+                            ),
+                        )
+                    }
+                }
+                None => (404, JSON, "{\"error\": \"no such job\"}".to_string()),
+            },
+            None => (400, JSON, "{\"error\": \"bad job id\"}".to_string()),
+        },
+        ("GET", "/metrics") => {
+            let body = shared.metrics.render_prometheus(
+                &shared.catalog,
+                &shared.results,
+                shared.scheduler.queue_depth(),
+                shared.scheduler.running(),
+                Some(&shared.collector),
+            );
+            (200, PROM, body)
+        }
+        ("POST", "/v1/admin/shutdown") => {
+            // Flip the scheduler to draining; the process owner (the
+            // binary's main) notices via healthz/is_shutting_down and
+            // completes the full server shutdown.
+            shared.scheduler.begin_drain();
+            (202, JSON, "{\"draining\": true}".to_string())
+        }
+        _ => (404, JSON, "{\"error\": \"no such route\"}".to_string()),
+    }
+}
+
+fn parse_id(path: &str) -> Option<u64> {
+    path.strip_prefix("/v1/jobs/")?.parse().ok()
+}
+
+fn graphs_body(shared: &Arc<ServerShared>) -> Response {
+    let rows: Vec<String> = shared
+        .catalog
+        .list()
+        .into_iter()
+        .map(|r| {
+            format!(
+                "{{\"name\": \"{}\", \"source\": \"{}\", \"kind\": \"{}\", \
+                 \"directed\": {}, \"paper_vertices\": {}}}",
+                escape(&r.name),
+                r.source,
+                escape(&r.kind),
+                r.directed,
+                r.paper_vertices
+            )
+        })
+        .collect();
+    (200, JSON, format!("{{\"graphs\": [{}]}}", rows.join(", ")))
+}
+
+/// Parses a submission body into a spec, or an error message.
+fn parse_job_spec(body: &[u8]) -> Result<(JobSpec, Option<u64>), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let v = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let algo_name = v
+        .get("algo")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing required field \"algo\"".to_string())?;
+    let algo = Algo::from_name(algo_name)
+        .ok_or_else(|| format!("unknown algo {algo_name:?} (cc|gc|mis|mst|scc)"))?;
+    let graph = v
+        .get("graph")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing required field \"graph\"".to_string())?
+        .to_string();
+    let scale = v.get("scale").and_then(Value::as_f64).unwrap_or(0.001);
+    if scale <= 0.0 || !scale.is_finite() || scale > 1.0 {
+        return Err(format!("scale must be in (0, 1], got {scale}"));
+    }
+    let seed = v.get("seed").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+    let block_size = v.get("block_size").and_then(Value::as_f64).map(|b| b as usize);
+    if let Some(bs) = block_size {
+        if bs == 0 || bs > 1024 {
+            return Err(format!("block_size must be in [1, 1024], got {bs}"));
+        }
+    }
+    let deadline_ms = v.get("deadline_ms").and_then(Value::as_f64).map(|d| d as u64);
+    let wait_ms = v.get("wait_ms").and_then(Value::as_f64).map(|w| (w as u64).min(MAX_WAIT_MS));
+    let fault = match v.get("fault").and_then(Value::as_str) {
+        Some("panic") => Fault::Panic,
+        Some(other) => return Err(format!("unknown fault {other:?}")),
+        None => match v.get("delay_ms").and_then(Value::as_f64) {
+            Some(ms) if (0.0..=60_000.0).contains(&ms) => Fault::DelayMs(ms as u32),
+            Some(ms) => return Err(format!("delay_ms out of range: {ms}")),
+            None => Fault::None,
+        },
+    };
+    Ok((JobSpec { algo, graph, scale, seed, block_size, deadline_ms, fault }, wait_ms))
+}
+
+fn submit_job(req: &Request, shared: &Arc<ServerShared>) -> Response {
+    let (spec, wait_ms) = match parse_job_spec(&req.body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return (400, JSON, format!("{{\"error\": \"{}\"}}", escape(&msg))),
+    };
+    match shared.scheduler.submit(spec) {
+        Ok(job) => {
+            if let Some(ms) = wait_ms {
+                job.wait_terminal(Duration::from_millis(ms));
+                (200, JSON, job_body(&job))
+            } else {
+                (202, JSON, job_body(&job))
+            }
+        }
+        Err(SubmitError::QueueFull) => {
+            (429, JSON, "{\"error\": \"queue full\", \"retry\": true}".to_string())
+        }
+        Err(SubmitError::ShuttingDown) => {
+            (503, JSON, "{\"error\": \"server is draining\", \"retry\": false}".to_string())
+        }
+    }
+}
+
+/// Renders a job's full status document.
+fn job_body(job: &Arc<JobRecord>) -> String {
+    let st = job.status();
+    let mut out = format!(
+        "{{\"id\": {}, \"state\": \"{}\", \"algo\": \"{}\", \"graph\": \"{}\", \
+         \"seed\": {}, \"cached\": {}, \"queue_ms\": {}, \"run_ms\": {}",
+        job.id,
+        st.state.name(),
+        job.spec.algo.name(),
+        escape(&job.spec.graph),
+        job.spec.seed,
+        st.cached,
+        num(st.queue_ms),
+        num(st.run_ms),
+    );
+    if let Some(result) = job.with_output(|o| {
+        let aggs: Vec<String> = o.aggregates.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        format!(
+            "{{\"graph_hash\": \"{:016x}\", \"vertices\": {}, \"arcs\": {}, \
+             \"modeled_time\": {}, \"aggregates\": {{{}}}}}",
+            o.graph_hash,
+            o.vertices,
+            o.arcs,
+            num(o.modeled_time),
+            aggs.join(", ")
+        )
+    }) {
+        out.push_str(&format!(", \"result\": {result}"));
+    }
+    if let Some(msg) = job.end_message() {
+        out.push_str(&format!(", \"error\": \"{}\"", escape(&msg)));
+    }
+    out.push('}');
+    out
+}

@@ -1,0 +1,115 @@
+//! Property tests for the bounded HTTP/1.1 parser: no input — random
+//! garbage, truncated prefixes of valid requests, oversized heads and
+//! bodies — may panic the parser or make it exceed its configured
+//! limits, and well-formed requests round-trip exactly.
+
+#![allow(clippy::unwrap_used)]
+
+use ecl_serve::http::{read_request, HttpError, Limits, Request};
+use proptest::prelude::*;
+
+fn parse_with(bytes: &[u8], limits: &Limits) -> Result<Request, HttpError> {
+    read_request(&mut std::io::Cursor::new(bytes), limits)
+}
+
+/// Letters for generated tokens (method/path/header segments).
+fn token(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| (b'a' + (b % 26)) as char).collect()
+}
+
+/// Builds a well-formed request from generated parts.
+fn well_formed(method: &str, path: &str, headers: &[(String, String)], body: &[u8]) -> Vec<u8> {
+    let mut s = format!("{method} /{path} HTTP/1.1\r\n");
+    for (k, v) in headers {
+        s.push_str(&format!("x-{k}: {v}\r\n"));
+    }
+    s.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    let mut bytes = s.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Arbitrary bytes: the parser returns, never panics, and any
+    // accepted request respects the configured limits.
+    #[test]
+    fn random_bytes_never_panic_and_respect_limits(
+        bytes in proptest::collection::vec(0u8..255, 0..2048),
+        max_head in 64usize..512,
+        max_body in 0usize..256,
+    ) {
+        let limits = Limits { max_head_bytes: max_head, max_body_bytes: max_body, max_headers: 8 };
+        if let Ok(req) = parse_with(&bytes, &limits) {
+            prop_assert!(req.body.len() <= max_body);
+            prop_assert!(req.headers.len() <= 8);
+            prop_assert!(!req.method.is_empty());
+            prop_assert!(req.path.starts_with('/'));
+        }
+    }
+
+    // Any strict prefix of a valid request parses as Truncated or
+    // Malformed — never Ok, never a panic.
+    #[test]
+    fn truncated_prefixes_never_succeed(
+        path in proptest::collection::vec(0u8..255, 1..12),
+        body in proptest::collection::vec(0u8..255, 1..64),
+        cut_seed in 0u64..10_000,
+    ) {
+        let full = well_formed("POST", &token(&path), &[], &body);
+        let cut = (cut_seed as usize) % (full.len() - 1); // strict prefix
+        let result = parse_with(&full[..cut], &Limits::default());
+        prop_assert!(result.is_err(), "prefix of length {cut} parsed: {result:?}");
+    }
+
+    // Well-formed requests round-trip: method, path, headers, body.
+    #[test]
+    fn well_formed_requests_round_trip(
+        m in 0usize..4,
+        path in proptest::collection::vec(0u8..255, 0..24),
+        header_parts in proptest::collection::vec((0u8..255, 0u8..255), 0..6),
+        body in proptest::collection::vec(0u8..255, 0..512),
+    ) {
+        let method = ["GET", "POST", "DELETE", "PUT"][m];
+        let headers: Vec<(String, String)> = header_parts
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, v))| (format!("{}{i}", token(&[k])), token(&[v])))
+            .collect();
+        let bytes = well_formed(method, &token(&path), &headers, &body);
+        let req = parse_with(&bytes, &Limits::default()).unwrap();
+        prop_assert_eq!(req.method.as_str(), method);
+        prop_assert_eq!(req.path.as_str(), &format!("/{}", token(&path)));
+        prop_assert_eq!(&req.body, &body);
+        for (k, v) in &headers {
+            prop_assert_eq!(req.header(&format!("x-{k}")), Some(v.as_str()));
+        }
+    }
+
+    // Declared Content-Length beyond the body limit is rejected
+    // without the parser ever buffering the payload.
+    #[test]
+    fn oversized_declared_bodies_rejected(
+        declared in 1_000_000u64..u64::MAX / 2,
+    ) {
+        let head = format!("POST /j HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        let limits = Limits { max_body_bytes: 65_536, ..Limits::default() };
+        let result = parse_with(head.as_bytes(), &limits);
+        prop_assert!(
+            matches!(result, Err(HttpError::TooLarge(_))),
+            "declared {declared}: {result:?}"
+        );
+    }
+
+    // Heads that exceed the head budget are cut off at the budget.
+    #[test]
+    fn oversized_heads_rejected(
+        pad in 512usize..4096,
+    ) {
+        let limits = Limits { max_head_bytes: 256, ..Limits::default() };
+        let head = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(pad));
+        let result = parse_with(head.as_bytes(), &limits);
+        prop_assert!(matches!(result, Err(HttpError::TooLarge(_))), "{result:?}");
+    }
+}

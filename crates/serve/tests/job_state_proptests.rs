@@ -1,0 +1,104 @@
+//! Property test of the job lifecycle state machine: no sequence of
+//! scheduler-shaped events can drive a [`JobRecord`] through an
+//! illegal transition, and the record always agrees with a reference
+//! model evolved by the declared transition relation.
+
+#![allow(clippy::unwrap_used)]
+
+use ecl_serve::jobs::{Algo, JobRecord, JobSpec, JobState};
+use proptest::prelude::*;
+
+const STATES: [JobState; 6] = [
+    JobState::Queued,
+    JobState::Running,
+    JobState::Done,
+    JobState::Failed,
+    JobState::Cancelled,
+    JobState::DeadlineExceeded,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Drive a record with an arbitrary event sequence; the record
+    // must accept exactly the transitions `can_become` allows, and
+    // the resulting path must always be `queued [→ running] [→
+    // terminal]` with terminal states absorbing.
+    #[test]
+    fn arbitrary_event_sequences_respect_the_relation(
+        events in proptest::collection::vec(0usize..6, 0..24),
+    ) {
+        let job = JobRecord::new(1, JobSpec::new(Algo::Cc, "internet"));
+        let mut model = JobState::Queued;
+        let mut seen_terminal = false;
+        for &e in &events {
+            let target = STATES[e];
+            let expect = model.can_become(target);
+            let applied = job.transition(target, None);
+            prop_assert!(
+                applied == expect,
+                "from {:?} to {:?}: record {} but relation says {}",
+                model, target, applied, expect
+            );
+            if applied {
+                prop_assert!(!seen_terminal, "terminal state was not absorbing");
+                model = target;
+            }
+            seen_terminal = model.is_terminal();
+            prop_assert_eq!(job.state(), model);
+        }
+        // Whatever happened, the final state is reachable from Queued
+        // by the declared relation (or is Queued itself).
+        let legal_finals = [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::DeadlineExceeded,
+        ];
+        prop_assert!(legal_finals.contains(&job.state()));
+    }
+
+    // The relation itself: exactly the six documented edges, nothing
+    // else — checked exhaustively per random pair to keep the edge
+    // list and `can_become` from drifting apart.
+    #[test]
+    fn relation_matches_documented_edges(a in 0usize..6, b in 0usize..6) {
+        use JobState::*;
+        let (from, to) = (STATES[a], STATES[b]);
+        let documented = matches!(
+            (from, to),
+            (Queued, Running)
+                | (Queued, Cancelled)
+                | (Queued, DeadlineExceeded)
+                | (Running, Done)
+                | (Running, Failed)
+                | (Running, DeadlineExceeded)
+        );
+        prop_assert_eq!(from.can_become(to), documented);
+        // Structural corollaries.
+        if from.is_terminal() {
+            prop_assert!(!from.can_become(to), "terminal {from:?} must be a sink");
+        }
+        if from.can_become(to) {
+            prop_assert!(from != to, "no self-loops");
+        }
+    }
+
+    // Cancellation requests only succeed from `queued`, and a
+    // cancelled job can never have run.
+    #[test]
+    fn cancel_only_from_queued(run_first in 0usize..2) {
+        let job = JobRecord::new(9, JobSpec::new(Algo::Mis, "internet"));
+        if run_first == 1 {
+            job.transition(JobState::Running, None);
+            prop_assert!(!job.request_cancel());
+            prop_assert!(!job.transition(JobState::Cancelled, None));
+        } else {
+            prop_assert!(job.request_cancel());
+            prop_assert!(job.transition(JobState::Cancelled, None));
+            prop_assert_eq!(job.status().run_ms, 0.0);
+        }
+    }
+}

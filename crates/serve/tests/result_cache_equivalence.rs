@@ -1,0 +1,94 @@
+//! Result-cache equivalence: for each of the five algorithms, a job
+//! served from the result cache returns **bit-identical** aggregates
+//! to a cold direct run — same counts, same solution-vector
+//! checksums, same modeled-time bit pattern.
+//!
+//! The chain being validated: deterministic generation (seeded),
+//! deterministic weight synthesis, deterministic MIS tie-break salt,
+//! content-hash cache keying, and the scheduler's hit path cloning the
+//! stored output unchanged.
+
+#![allow(clippy::unwrap_used)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ecl_serve::cache::ResultCache;
+use ecl_serve::catalog::{CatalogConfig, GraphCatalog};
+use ecl_serve::exec::execute;
+use ecl_serve::jobs::{Algo, JobSpec, JobState};
+use ecl_serve::metrics::ServeMetrics;
+use ecl_serve::scheduler::{Scheduler, SchedulerConfig};
+
+/// A representative (undirected or directed, as required) input per
+/// algorithm, at a scale small enough for the full five-way sweep.
+fn spec_for(algo: Algo) -> JobSpec {
+    let graph = match algo {
+        Algo::Scc => "star",          // directed mesh
+        Algo::Mst => "USA-road-d.NY", // weighted view
+        _ => "internet",
+    };
+    let mut spec = JobSpec::new(algo, graph);
+    spec.scale = 0.002;
+    spec.seed = 1234;
+    spec
+}
+
+#[test]
+fn cache_hits_are_bit_identical_for_all_five_algorithms() {
+    let catalog = Arc::new(GraphCatalog::new(CatalogConfig::default()));
+    let scheduler = Scheduler::start(
+        SchedulerConfig { max_queue: 16, max_concurrency: 2, max_history: 64 },
+        Arc::clone(&catalog),
+        Arc::new(ResultCache::new(32)),
+        ServeMetrics::new(),
+    );
+
+    for algo in Algo::ALL {
+        let spec = spec_for(algo);
+
+        // Cold run through the scheduler (fills the cache).
+        let cold = scheduler.submit(spec.clone()).unwrap();
+        assert_eq!(
+            cold.wait_terminal(Duration::from_secs(120)),
+            JobState::Done,
+            "{} cold run failed: {:?}",
+            algo.name(),
+            cold.end_message()
+        );
+        assert!(!cold.status().cached, "{}: first run must be a miss", algo.name());
+        let cold_out = cold.with_output(|o| o.clone()).unwrap();
+
+        // Same spec again: must be served from the cache...
+        let warm = scheduler.submit(spec.clone()).unwrap();
+        assert_eq!(warm.wait_terminal(Duration::from_secs(120)), JobState::Done);
+        assert!(warm.status().cached, "{}: identical resubmission must hit", algo.name());
+        let warm_out = warm.with_output(|o| o.clone()).unwrap();
+
+        // ...and bit-identical to an independent direct execution.
+        let direct = execute(&spec, &catalog).unwrap();
+        assert_eq!(warm_out, cold_out, "{}: hit differs from cold run", algo.name());
+        assert_eq!(direct, cold_out, "{}: direct run differs from scheduler run", algo.name());
+        assert_eq!(
+            warm_out.modeled_time.to_bits(),
+            direct.modeled_time.to_bits(),
+            "{}: modeled time must match to the bit",
+            algo.name()
+        );
+        assert!(!warm_out.aggregates.is_empty());
+
+        // A different seed is a different key: no false sharing.
+        let mut other = spec.clone();
+        other.seed = 4321;
+        let fresh = scheduler.submit(other).unwrap();
+        assert_eq!(fresh.wait_terminal(Duration::from_secs(120)), JobState::Done);
+        assert!(!fresh.status().cached, "{}: new seed must miss", algo.name());
+        if algo != Algo::Gc {
+            // GC's color count can coincide across inputs; every other
+            // algorithm's checksummed output must differ across seeds.
+            let fresh_out = fresh.with_output(|o| o.clone()).unwrap();
+            assert_ne!(fresh_out, cold_out, "{}: seeds must not collide", algo.name());
+        }
+    }
+    scheduler.shutdown();
+}

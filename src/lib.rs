@@ -55,3 +55,7 @@ pub use ecl_mst as mst;
 
 /// ECL-SCC: strongly connected components ([`ecl_scc`]).
 pub use ecl_scc as scc;
+
+/// Multi-tenant graph-analytics service: catalog, scheduler, result
+/// cache, HTTP surface, load generator ([`ecl_serve`]).
+pub use ecl_serve as serve;
