@@ -39,6 +39,32 @@ struct Args {
     check: bool,
     profile: Option<String>,
     repeats: usize,
+    /// `--tuned <manifest>`: apply the best-known schedule for
+    /// (algo, input family) from an `ecl-tune/1` manifest. Overrides
+    /// the toggle flags; an explicit `--block-size` still wins.
+    tuned: Option<ecl_tune::TuneManifest>,
+}
+
+/// Looks up the manifest schedule matching `algo` and the generated
+/// graph's family fingerprint; announces the match on stderr.
+fn tuned_schedule(a: &Args, algo: &str, g: &ecl_graph::Csr) -> Option<ecl_gpusim::Schedule> {
+    let manifest = a.tuned.as_ref()?;
+    let family = ecl_graph::Fingerprint::of(g).family_key();
+    match manifest.lookup(algo, &family) {
+        Some(e) => {
+            eprintln!(
+                "tuned: {algo} matched family {family} (tuned on {}, {:.2}x): {}",
+                e.input,
+                e.speedup(),
+                e.schedule.to_json()
+            );
+            Some(e.schedule.clone())
+        }
+        None => {
+            eprintln!("tuned: no {algo} entry for family {family}; running defaults");
+            None
+        }
+    }
 }
 
 /// Writes the `.etr` capture when the run finishes — on drop, so the
@@ -81,6 +107,7 @@ fn usage() -> ! {
         "usage: ecl-run --algo <cc|gc|mis|mst|scc> --input <name> \
          [--scale f] [--seed n] [--block-size n]\n\
          \x20      [--optimized] [--fixed-launch] [--no-shortcuts] [--trim] [--histogram] [--kernels]\n\
+         \x20      [--tuned <manifest.json>]  (apply the ecl-tune/1 schedule for this input's family)\n\
          \x20      [--trace <path>]  (record a .etr event capture; see the ecl-trace binary)\n\
          \x20      [--profile <dir>] [--repeats n]  (write manifest.json/metrics.prom/flame.* \n\
          \x20                                        profiling artifacts; see the ecl-prof binary)\n\
@@ -107,6 +134,7 @@ fn parse() -> Args {
         check: false,
         profile: None,
         repeats: 3,
+        tuned: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -146,6 +174,20 @@ fn parse() -> Args {
             }
             "--trace" if i + 1 < argv.len() => {
                 a.trace = Some(argv[i + 1].clone());
+                i += 1;
+            }
+            "--tuned" if i + 1 < argv.len() => {
+                let path = &argv[i + 1];
+                let loaded = std::fs::read_to_string(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| ecl_tune::TuneManifest::from_json(&t));
+                match loaded {
+                    Ok(m) => a.tuned = Some(m),
+                    Err(e) => {
+                        eprintln!("--tuned {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
                 i += 1;
             }
             "--profile" if i + 1 < argv.len() => {
@@ -284,11 +326,14 @@ fn run_algo(a: &Args, spec: &ecl_graphgen::InputSpec, device: &ecl_gpusim::Devic
     match a.algo.as_str() {
         "cc" => {
             let g = spec.generate(a.scale, a.seed);
-            let cfg = if a.optimized {
+            let mut cfg = if a.optimized {
                 ecl_cc::CcConfig::optimized()
             } else {
                 ecl_cc::CcConfig::baseline()
             };
+            if let Some(s) = tuned_schedule(a, "cc", &g) {
+                cfg.apply_schedule(&s);
+            }
             if a.kernels {
                 let ((r, profile), secs) =
                     ecl_gpusim::run_timed(|| ecl_cc::run_profiled(device, &g, &cfg));
@@ -321,7 +366,10 @@ fn run_algo(a: &Args, spec: &ecl_graphgen::InputSpec, device: &ecl_gpusim::Devic
         }
         "mis" => {
             let g = spec.generate(a.scale, a.seed);
-            let cfg = ecl_mis::MisConfig::default();
+            let mut cfg = ecl_mis::MisConfig::default();
+            if let Some(s) = tuned_schedule(a, "mis", &g) {
+                cfg.apply_schedule(&s);
+            }
             let (r, secs) = ecl_gpusim::run_timed(|| ecl_mis::run(device, &g, &cfg));
             println!("\nECL-MIS: {} selected in {} rounds ({secs:.3}s)", r.set_size(), r.rounds);
             for (name, counter) in [
@@ -343,11 +391,14 @@ fn run_algo(a: &Args, spec: &ecl_graphgen::InputSpec, device: &ecl_gpusim::Devic
         }
         "gc" => {
             let g = spec.generate(a.scale, a.seed);
-            let cfg = if a.no_shortcuts {
+            let mut cfg = if a.no_shortcuts {
                 ecl_gc::GcConfig::no_shortcuts()
             } else {
                 ecl_gc::GcConfig::default()
             };
+            if let Some(s) = tuned_schedule(a, "gc", &g) {
+                cfg.apply_schedule(&s);
+            }
             let (r, secs) = ecl_gpusim::run_timed(|| ecl_gc::run(device, &g, &cfg));
             println!(
                 "\nECL-GC{}: {} colors in {} rounds ({secs:.3}s)",
@@ -370,11 +421,14 @@ fn run_algo(a: &Args, spec: &ecl_graphgen::InputSpec, device: &ecl_gpusim::Devic
         }
         "mst" => {
             let g = spec.generate_weighted(a.scale, a.seed, 1 << 20);
-            let cfg = if a.fixed_launch {
+            let mut cfg = if a.fixed_launch {
                 ecl_mst::MstConfig::fixed()
             } else {
                 ecl_mst::MstConfig::baseline()
             };
+            if let Some(s) = tuned_schedule(a, "mst", g.csr()) {
+                cfg.apply_schedule(&s);
+            }
             let (r, secs) = ecl_gpusim::run_timed(|| ecl_mst::run(device, &g, &cfg));
             println!(
                 "\nECL-MST{}: {} edges, weight {}, {} trees ({secs:.3}s)",
@@ -398,10 +452,14 @@ fn run_algo(a: &Args, spec: &ecl_graphgen::InputSpec, device: &ecl_gpusim::Devic
             }
             let g = spec.generate(a.scale, a.seed);
             let mut cfg = ecl_scc::SccConfig::original();
+            cfg.trim = a.trim;
+            if let Some(s) = tuned_schedule(a, "scc", &g) {
+                cfg.apply_schedule(&s);
+            }
+            // An explicit flag still beats the manifest.
             if let Some(bs) = a.block_size {
                 cfg.block_size = bs;
             }
-            cfg.trim = a.trim;
             let (r, secs) = ecl_gpusim::run_timed(|| ecl_scc::run(device, &g, &cfg));
             println!(
                 "\nECL-SCC (block {}{}): {} SCCs in {} outer iterations ({secs:.3}s)",

@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! ecl-serve [--listen 127.0.0.1:0] [--graphs-dir DIR] [--cache-bytes N]
-//!           [--max-queue N] [--max-concurrency N]
+//!           [--max-queue N] [--max-concurrency N] [--tuned manifest.json]
 //! ```
+//!
+//! `--tuned` loads an `ecl-tune/1` schedule manifest (see the
+//! `ecl-tune` binary); the catalog then attaches the best-known
+//! schedule to each graph at registration and jobs run tuned
+//! automatically, labeled `tuned=true` in `/metrics` and trace spans.
 //!
 //! Binds the listener (port 0 picks an ephemeral port), prints the
 //! resolved address on stdout as `listening on <addr>`, then serves
@@ -23,7 +28,7 @@ use std::time::Duration;
 use ecl_serve::server::{ServeConfig, Server};
 
 const USAGE: &str = "usage: ecl-serve [--listen HOST:PORT] [--graphs-dir DIR] \
-[--cache-bytes N] [--max-queue N] [--max-concurrency N]";
+[--cache-bytes N] [--max-queue N] [--max-concurrency N] [--tuned manifest.json]";
 
 fn parse_config() -> Result<ServeConfig, String> {
     let mut config = ServeConfig::default();
@@ -52,6 +57,20 @@ fn parse_config() -> Result<ServeConfig, String> {
                     return Err("--max-concurrency must be at least 1".to_string());
                 }
                 config.scheduler.max_concurrency = n;
+            }
+            "--tuned" => {
+                let path = value(&mut i)?;
+                let text =
+                    std::fs::read_to_string(&path).map_err(|e| format!("--tuned {path}: {e}"))?;
+                let manifest = ecl_tune::TuneManifest::from_json(&text)
+                    .map_err(|e| format!("--tuned {path}: {e}"))?;
+                manifest.validate().map_err(|e| format!("--tuned {path}: {e}"))?;
+                eprintln!(
+                    "ecl-serve: tuned schedules from {path}: {} entries (git {})",
+                    manifest.entries.len(),
+                    manifest.git_sha
+                );
+                config.catalog.tune = Some(std::sync::Arc::new(manifest));
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

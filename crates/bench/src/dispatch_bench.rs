@@ -146,6 +146,15 @@ pub struct EndToEnd {
     pub algo: &'static str,
     /// The input it ran on.
     pub graph: GraphSpec,
+    /// Worker count both engines were forced to. Earlier revisions
+    /// recorded this only at the top level, which made records
+    /// ambiguous once tuned runs (which may force a different count)
+    /// entered the same comparison set.
+    pub workers: usize,
+    /// Fixed claim grain, or `None` for auto-sizing
+    /// ([`ecl_gpusim::pool::auto_grain`], `blocks / (workers * 4)`
+    /// clamped to `1..=256`, resolved per launch).
+    pub grain: Option<usize>,
     /// Seconds per run, spawn vs. pool.
     pub pair: Pair,
 }
@@ -182,7 +191,7 @@ pub fn run() -> DispatchBench {
                 arcs: g.num_arcs(),
                 directed: g.is_directed(),
             };
-            EndToEnd { algo, graph, pair }
+            EndToEnd { algo, graph, workers: WORKERS, grain: pool.grain, pair }
         })
         .collect();
     let host_cores =
@@ -214,10 +223,15 @@ impl DispatchBench {
         s.push_str("  \"end_to_end\": [\n");
         for (i, e) in self.end_to_end.iter().enumerate() {
             let g = &e.graph;
+            // `grain: null` means the engine auto-sized claims per
+            // launch; a tuned run that forces a grain records the
+            // number, so mixed result sets stay distinguishable.
+            let grain = e.grain.map_or("null".to_string(), |n| n.to_string());
             s.push_str(&format!(
                 "    {{\"algo\": \"{}\", \"input\": \"{}\", \
                  \"graph\": {{\"name\": \"{}\", \"scale\": {}, \"seed\": {}, \
                  \"vertices\": {}, \"arcs\": {}, \"directed\": {}}}, \
+                 \"workers\": {}, \"grain\": {}, \
                  \"spawn_s\": {:.6}, \"pool_s\": {:.6}, \"speedup\": {:.2}}}{}\n",
                 e.algo,
                 g.name,
@@ -227,6 +241,8 @@ impl DispatchBench {
                 g.vertices,
                 g.arcs,
                 g.directed,
+                e.workers,
+                grain,
                 e.pair.spawn,
                 e.pair.pool,
                 e.pair.speedup(),
@@ -246,18 +262,36 @@ mod tests {
     fn json_is_well_formed_enough() {
         let b = DispatchBench {
             overhead_ns: Pair { spawn: 100.0, pool: 10.0 },
-            end_to_end: vec![EndToEnd {
-                algo: "cc",
-                graph: GraphSpec {
-                    name: "as-skitter",
-                    scale: 0.0005,
-                    seed: 42,
-                    vertices: 848,
-                    arcs: 11098,
-                    directed: false,
+            end_to_end: vec![
+                EndToEnd {
+                    algo: "cc",
+                    graph: GraphSpec {
+                        name: "as-skitter",
+                        scale: 0.0005,
+                        seed: 42,
+                        vertices: 848,
+                        arcs: 11098,
+                        directed: false,
+                    },
+                    workers: 4,
+                    grain: None,
+                    pair: Pair { spawn: 0.2, pool: 0.1 },
                 },
-                pair: Pair { spawn: 0.2, pool: 0.1 },
-            }],
+                EndToEnd {
+                    algo: "scc",
+                    graph: GraphSpec {
+                        name: "star",
+                        scale: 0.0005,
+                        seed: 42,
+                        vertices: 500,
+                        arcs: 998,
+                        directed: true,
+                    },
+                    workers: 8,
+                    grain: Some(32),
+                    pair: Pair { spawn: 0.4, pool: 0.2 },
+                },
+            ],
             host_cores: 1,
         };
         let j = b.to_json();
@@ -267,11 +301,14 @@ mod tests {
         assert!(j.contains("\"speedup\": 10.00"));
         assert!(j.contains("\"algo\": \"cc\""));
         // Every record names the exact generated graph, not just the
-        // registry key.
+        // registry key, and carries the dispatch policy it ran under.
         assert!(j.contains(
             "\"graph\": {\"name\": \"as-skitter\", \"scale\": 0.0005, \"seed\": 42, \
-             \"vertices\": 848, \"arcs\": 11098, \"directed\": false}"
+             \"vertices\": 848, \"arcs\": 11098, \"directed\": false}, \
+             \"workers\": 4, \"grain\": null"
         ));
+        // A forced claim grain renders as its number, not null.
+        assert!(j.contains("\"workers\": 8, \"grain\": 32"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 

@@ -82,6 +82,24 @@ impl CcConfig {
     pub fn optimized() -> Self {
         Self { optimized_init: true, ..Self::default() }
     }
+
+    /// Overrides fields named in a tuning [`Schedule`]
+    /// (`block_size`, `optimized_init`, `low_bin`, `medium_bin`);
+    /// absent knobs leave the current value untouched.
+    pub fn apply_schedule(&mut self, s: &ecl_gpusim::Schedule) {
+        if let Some(bs) = s.int_knob("block_size") {
+            self.block_size = bs.max(1) as usize;
+        }
+        if let Some(opt) = s.bool_knob("optimized_init") {
+            self.optimized_init = opt;
+        }
+        if let Some(low) = s.int_knob("low_bin") {
+            self.bins.low_below = low.max(1) as usize;
+        }
+        if let Some(med) = s.int_knob("medium_bin") {
+            self.bins.medium_below = med.max(1) as usize;
+        }
+    }
 }
 
 /// Result of an ECL-CC run.

@@ -59,6 +59,21 @@ impl GcConfig {
     pub fn no_shortcuts() -> Self {
         Self { shortcut1: false, shortcut2: false, ..Self::default() }
     }
+
+    /// Overrides fields named in a tuning [`Schedule`]
+    /// (`block_size`, `shortcut1`, `shortcut2`); absent knobs leave
+    /// the current value untouched.
+    pub fn apply_schedule(&mut self, s: &ecl_gpusim::Schedule) {
+        if let Some(bs) = s.int_knob("block_size") {
+            self.block_size = bs.max(1) as usize;
+        }
+        if let Some(s1) = s.bool_knob("shortcut1") {
+            self.shortcut1 = s1;
+        }
+        if let Some(s2) = s.bool_knob("shortcut2") {
+            self.shortcut2 = s2;
+        }
+    }
 }
 
 /// Result of an ECL-GC run.

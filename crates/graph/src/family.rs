@@ -1,0 +1,220 @@
+//! Graph-family fingerprinting for schedule-manifest buckets.
+//!
+//! The paper's §6 findings are all conditional on graph family: the
+//! ECL-CC first-neighbor optimization pays off on low-diameter inputs,
+//! the best ECL-SCC block size differs between meshes, and ECL-MST's
+//! fixed launch configuration only wins where worklists stay large.
+//! `ecl-tune` therefore keys its manifest not by concrete input name
+//! but by a coarse *family fingerprint* — degree-skew class, diameter
+//! class, directedness — so a schedule tuned on one representative
+//! generalizes to structurally similar graphs the catalog has never
+//! profiled.
+
+use crate::csr::Csr;
+use crate::stats::{pseudo_diameter, DegreeStats};
+
+/// Degree-skew classes, split on the coefficient of variation of the
+/// degree distribution. Roadmaps and meshes are near-regular
+/// (cv < 0.5), synthetic/co-occurrence graphs spread wider, and
+/// preferential-attachment inputs have heavy tails (cv ≥ 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SkewClass {
+    /// Near-regular degree distribution (meshes, roadmaps).
+    Uniform,
+    /// Moderate spread (random and small-world graphs).
+    Spread,
+    /// Heavy-tailed (power-law / preferential attachment).
+    PowerLaw,
+}
+
+impl SkewClass {
+    /// Classifies a degree coefficient of variation.
+    pub fn of_cv(cv: f64) -> SkewClass {
+        if cv < 0.5 {
+            SkewClass::Uniform
+        } else if cv < 2.0 {
+            SkewClass::Spread
+        } else {
+            SkewClass::PowerLaw
+        }
+    }
+
+    /// Stable wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SkewClass::Uniform => "uniform",
+            SkewClass::Spread => "spread",
+            SkewClass::PowerLaw => "powerlaw",
+        }
+    }
+}
+
+/// Diameter classes, relative to `log2(n)`: small-world graphs sit at
+/// a small multiple of `log n`, meshes and roadmaps far above it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiameterClass {
+    /// Pseudo-diameter ≤ 3·log2(n): small-world / power-law.
+    Low,
+    /// Up to 12·log2(n): in between.
+    Mid,
+    /// Beyond that: meshes, roadmaps, long paths.
+    High,
+}
+
+impl DiameterClass {
+    /// Classifies a pseudo-diameter measured on an `n`-vertex graph.
+    pub fn of(diameter: usize, n: usize) -> DiameterClass {
+        let log_n = (n.max(2) as f64).log2();
+        let d = diameter as f64;
+        if d <= 3.0 * log_n {
+            DiameterClass::Low
+        } else if d <= 12.0 * log_n {
+            DiameterClass::Mid
+        } else {
+            DiameterClass::High
+        }
+    }
+
+    /// Stable wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiameterClass::Low => "low",
+            DiameterClass::Mid => "mid",
+            DiameterClass::High => "high",
+        }
+    }
+}
+
+/// The structural fingerprint of one concrete graph, with both the
+/// raw measurements (served via `GET /v1/graphs`) and the coarse
+/// classes forming the manifest bucket key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fingerprint {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of stored arcs.
+    pub arcs: usize,
+    /// Whether the graph is directed.
+    pub directed: bool,
+    /// Average degree.
+    pub d_avg: f64,
+    /// Maximum degree.
+    pub d_max: usize,
+    /// Coefficient of variation of the degree distribution.
+    pub degree_cv: f64,
+    /// `d_max / d_avg`.
+    pub skew: f64,
+    /// Double-sweep BFS pseudo-diameter from vertex 0.
+    pub pseudo_diameter: usize,
+}
+
+impl Fingerprint {
+    /// Measures `g`. Cost is two BFS sweeps plus one degree pass —
+    /// cheap enough to run at catalog-registration time.
+    pub fn of(g: &Csr) -> Fingerprint {
+        let stats = DegreeStats::of(g);
+        let diam = if g.num_vertices() == 0 { 0 } else { pseudo_diameter(g, 0) };
+        Fingerprint {
+            vertices: stats.num_vertices,
+            arcs: stats.num_arcs,
+            directed: g.is_directed(),
+            d_avg: stats.d_avg,
+            d_max: stats.d_max,
+            degree_cv: stats.cv,
+            skew: stats.skew,
+            pseudo_diameter: diam,
+        }
+    }
+
+    /// The degree-skew class.
+    pub fn skew_class(&self) -> SkewClass {
+        SkewClass::of_cv(self.degree_cv)
+    }
+
+    /// The diameter class.
+    pub fn diameter_class(&self) -> DiameterClass {
+        DiameterClass::of(self.pseudo_diameter, self.vertices)
+    }
+
+    /// The manifest bucket key, e.g. `"skew=powerlaw;diam=low;directed=false"`.
+    /// Scale-invariant by construction: both classes are ratios, so a
+    /// graph generated at 0.002 scale lands in the same bucket as its
+    /// full-size counterpart with the same structure.
+    pub fn family_key(&self) -> String {
+        format!(
+            "skew={};diam={};directed={}",
+            self.skew_class().name(),
+            self.diameter_class().name(),
+            self.directed
+        )
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path(n: usize) -> Csr {
+        let mut b = GraphBuilder::new_undirected(n);
+        for v in 0..(n as u32 - 1) {
+            b.add_edge(v, v + 1);
+        }
+        b.build()
+    }
+
+    fn star(n: usize) -> Csr {
+        let mut b = GraphBuilder::new_undirected(n);
+        for v in 1..n as u32 {
+            b.add_edge(0, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_is_uniform_high_diameter() {
+        let f = Fingerprint::of(&path(256));
+        assert_eq!(f.skew_class(), SkewClass::Uniform);
+        assert_eq!(f.diameter_class(), DiameterClass::High);
+        assert_eq!(f.family_key(), "skew=uniform;diam=high;directed=false");
+    }
+
+    #[test]
+    fn star_is_skewed_low_diameter() {
+        let f = Fingerprint::of(&star(256));
+        // Degrees: one 255, rest 1 → enormous cv.
+        assert_eq!(f.skew_class(), SkewClass::PowerLaw);
+        assert_eq!(f.diameter_class(), DiameterClass::Low);
+        assert_eq!(f.pseudo_diameter, 2);
+        assert!(f.degree_cv > 2.0);
+        assert!(!f.directed);
+    }
+
+    #[test]
+    fn directedness_is_part_of_the_key() {
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let f = Fingerprint::of(&b.build());
+        assert!(f.directed);
+        assert!(f.family_key().ends_with("directed=true"));
+    }
+
+    #[test]
+    fn empty_graph_fingerprints_cleanly() {
+        let f = Fingerprint::of(&Csr::empty(0, false));
+        assert_eq!(f.vertices, 0);
+        assert_eq!(f.pseudo_diameter, 0);
+        assert_eq!(f.skew_class(), SkewClass::Uniform);
+    }
+
+    #[test]
+    fn family_key_is_scale_invariant_for_paths() {
+        assert_eq!(
+            Fingerprint::of(&path(256)).family_key(),
+            Fingerprint::of(&path(2048)).family_key()
+        );
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod family;
 pub mod io;
 pub mod stats;
 pub mod validate;
@@ -29,5 +30,6 @@ pub mod weighted;
 
 pub use builder::GraphBuilder;
 pub use csr::{Csr, VertexId};
+pub use family::{DiameterClass, Fingerprint, SkewClass};
 pub use stats::DegreeStats;
 pub use weighted::{EdgeId, WeightedCsr};

@@ -19,6 +19,12 @@ pub struct DegreeStats {
     pub d_min: usize,
     /// `d_max / d_avg`; high values indicate power-law-like skew.
     pub skew: f64,
+    /// Coefficient of variation of the degree distribution
+    /// (stddev / mean; 0 for regular or empty graphs). Unlike `skew`
+    /// it reacts to the whole distribution rather than the single
+    /// largest vertex, which makes it the more stable family
+    /// discriminator for tuning-manifest buckets.
+    pub cv: f64,
 }
 
 impl DegreeStats {
@@ -28,17 +34,25 @@ impl DegreeStats {
         let m = g.num_arcs();
         let mut d_max = 0usize;
         let mut d_min = usize::MAX;
+        let mut sum_sq = 0.0f64;
         for v in 0..n as u32 {
             let d = g.degree(v);
             d_max = d_max.max(d);
             d_min = d_min.min(d);
+            sum_sq += (d * d) as f64;
         }
         if n == 0 {
             d_min = 0;
         }
         let d_avg = if n == 0 { 0.0 } else { m as f64 / n as f64 };
         let skew = if d_avg > 0.0 { d_max as f64 / d_avg } else { 0.0 };
-        Self { num_vertices: n, num_arcs: m, d_avg, d_max, d_min, skew }
+        let cv = if d_avg > 0.0 {
+            let variance = (sum_sq / n as f64 - d_avg * d_avg).max(0.0);
+            variance.sqrt() / d_avg
+        } else {
+            0.0
+        };
+        Self { num_vertices: n, num_arcs: m, d_avg, d_max, d_min, skew, cv }
     }
 }
 
@@ -165,6 +179,8 @@ mod tests {
         assert_eq!(s.d_min, 1);
         assert!((s.d_avg - 1.6).abs() < 1e-12);
         assert!((s.skew - 2.5).abs() < 1e-12);
+        // Degrees 4,1,1,1,1: E[d²]=4, var=4-1.6²=1.44, cv=1.2/1.6.
+        assert!((s.cv - 0.75).abs() < 1e-12);
     }
 
     #[test]
@@ -174,6 +190,7 @@ mod tests {
         assert_eq!(s.d_max, 0);
         assert_eq!(s.d_min, 0);
         assert_eq!(s.d_avg, 0.0);
+        assert_eq!(s.cv, 0.0);
     }
 
     #[test]
@@ -254,5 +271,6 @@ mod tests {
         let s = DegreeStats::of(&b.build());
         assert!((s.skew - 1.0).abs() < 1e-12);
         assert_eq!(s.d_min, s.d_max);
+        assert_eq!(s.cv, 0.0, "regular graph has zero degree variance");
     }
 }

@@ -62,6 +62,23 @@ impl MisConfig {
     pub fn seeded(seed: u64) -> Self {
         Self { tie_salt: (seed ^ (seed >> 32)) as u32, ..Self::default() }
     }
+
+    /// Overrides fields named in a tuning [`Schedule`] (`priority`:
+    /// degree|random|id, `tie_salt`); absent knobs leave the current
+    /// value untouched. Callers that derive the salt from a job seed
+    /// should apply the schedule first and the seed after, so the seed
+    /// keeps result-cache semantics.
+    pub fn apply_schedule(&mut self, s: &ecl_gpusim::Schedule) {
+        match s.str_knob("priority") {
+            Some("degree") => self.priority = status::PriorityPolicy::DegreeBased,
+            Some("random") => self.priority = status::PriorityPolicy::RandomPermutation,
+            Some("id") => self.priority = status::PriorityPolicy::IdOrder,
+            _ => {}
+        }
+        if let Some(salt) = s.int_knob("tie_salt") {
+            self.tie_salt = salt as u32;
+        }
+    }
 }
 
 /// Per-thread counters of the main kernel (Table 2).

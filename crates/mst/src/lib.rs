@@ -65,6 +65,21 @@ impl MstConfig {
     pub fn fixed() -> Self {
         Self { fixed_launch: true, ..Self::default() }
     }
+
+    /// Overrides fields named in a tuning [`Schedule`]
+    /// (`block_size`, `fixed_launch`, `light_fraction`); absent knobs
+    /// leave the current value untouched.
+    pub fn apply_schedule(&mut self, s: &ecl_gpusim::Schedule) {
+        if let Some(bs) = s.int_knob("block_size") {
+            self.block_size = bs.max(1) as usize;
+        }
+        if let Some(fixed) = s.bool_knob("fixed_launch") {
+            self.fixed_launch = fixed;
+        }
+        if let Some(frac) = s.float_knob("light_fraction") {
+            self.light_fraction = frac.clamp(0.0, 1.0);
+        }
+    }
 }
 
 /// Counters of the main computation kernel (Figure 2 plus cumulative

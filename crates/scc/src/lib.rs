@@ -67,6 +67,17 @@ impl SccConfig {
     pub fn trimmed() -> Self {
         Self { trim: true, ..Self::default() }
     }
+
+    /// Overrides fields named in a tuning [`Schedule`] (`block_size`,
+    /// `trim`); absent knobs leave the current value untouched.
+    pub fn apply_schedule(&mut self, s: &ecl_gpusim::Schedule) {
+        if let Some(bs) = s.int_knob("block_size") {
+            self.block_size = bs.max(1) as usize;
+        }
+        if let Some(trim) = s.bool_knob("trim") {
+            self.trim = trim;
+        }
+    }
 }
 
 /// Result of an ECL-SCC run.

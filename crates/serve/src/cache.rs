@@ -120,6 +120,7 @@ mod tests {
             arcs: 0,
             aggregates: vec![("num_components", tag)],
             modeled_time: 1.0,
+            tuned: false,
         })
     }
 

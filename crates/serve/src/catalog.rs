@@ -26,11 +26,15 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use ecl_gpusim::schedule::ALGOS;
+use ecl_gpusim::Schedule;
 use ecl_graph::csr::Csr;
 use ecl_graph::io as gio;
 use ecl_graph::weighted::WeightedCsr;
+use ecl_graph::Fingerprint;
 use ecl_graphgen::registry;
 use ecl_graphgen::with_hashed_weights;
+use ecl_tune::TuneManifest;
 
 /// Default max edge weight for weighted views of unweighted inputs
 /// (matches the bench harness).
@@ -45,11 +49,21 @@ pub struct CatalogConfig {
     pub cache_bytes: usize,
     /// Max weight used when synthesizing weights for MST.
     pub max_weight: u32,
+    /// Tuned-schedule manifest (`ecl-tune/1`). When present, every
+    /// graph materialized by the catalog gets the best-known schedule
+    /// per algorithm attached at registration (matched by family
+    /// fingerprint), and jobs on it run tuned automatically.
+    pub tune: Option<Arc<TuneManifest>>,
 }
 
 impl Default for CatalogConfig {
     fn default() -> Self {
-        CatalogConfig { graphs_dir: None, cache_bytes: 256 << 20, max_weight: DEFAULT_MAX_WEIGHT }
+        CatalogConfig {
+            graphs_dir: None,
+            cache_bytes: 256 << 20,
+            max_weight: DEFAULT_MAX_WEIGHT,
+            tune: None,
+        }
     }
 }
 
@@ -84,6 +98,12 @@ pub struct ResolvedGraph {
     pub csr: Option<Arc<Csr>>,
     /// The weighted graph. Present for weighted resolutions.
     pub weighted: Option<Arc<WeightedCsr>>,
+    /// Structural family fingerprint, computed once at registration.
+    pub fingerprint: Fingerprint,
+    /// Best-known tuned schedule per algorithm wire name, attached
+    /// from the configured manifest at registration. Empty without a
+    /// manifest or a family match — jobs then run defaults.
+    pub schedules: Vec<(&'static str, Schedule)>,
 }
 
 impl ResolvedGraph {
@@ -96,6 +116,12 @@ impl ResolvedGraph {
         } else {
             unreachable!("resolved graph holds csr or weighted")
         }
+    }
+
+    /// The attached tuned schedule for `algo` (wire name), if the
+    /// manifest had an entry for this graph's family.
+    pub fn schedule_for(&self, algo: &str) -> Option<&Schedule> {
+        self.schedules.iter().find(|(a, _)| *a == algo).map(|(_, s)| s)
     }
 }
 
@@ -112,6 +138,10 @@ pub struct CatalogRow {
     pub directed: bool,
     /// Registry: paper vertex count. Disk: 0 (unknown until loaded).
     pub paper_vertices: usize,
+    /// Fingerprint of the most recently used cached materialization,
+    /// if any is resident. Tells operators which manifest family
+    /// bucket the graph resolved to. `None` until first resolved.
+    pub fingerprint: Option<Fingerprint>,
 }
 
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -187,6 +217,7 @@ impl GraphCatalog {
                 kind: spec.graph_type.to_string(),
                 directed: spec.directed,
                 paper_vertices: spec.paper_vertices,
+                fingerprint: None,
             });
         }
         for (name, ext) in disk {
@@ -196,7 +227,29 @@ impl GraphCatalog {
                 kind: ext,
                 directed: false,
                 paper_vertices: 0,
+                fingerprint: None,
             });
+        }
+        // Attach the most recently used resident fingerprint per name
+        // (a name may be cached at several (scale, seed) points; the
+        // freshest one is what operators are currently running).
+        {
+            let state = self.lock();
+            let mut freshest: HashMap<&str, (u64, &Fingerprint)> = HashMap::new();
+            for (key, slot) in state.slots.iter() {
+                let entry = freshest
+                    .entry(key.name.as_str())
+                    .or_insert((slot.last_used, &slot.graph.fingerprint));
+                if slot.last_used >= entry.0 {
+                    *entry = (slot.last_used, &slot.graph.fingerprint);
+                }
+            }
+            for row in &mut rows {
+                if let Some((_, fp)) = freshest.get(row.name.as_str()) {
+                    row.fingerprint = Some((*fp).clone());
+                    row.directed = fp.directed;
+                }
+            }
         }
         rows.sort_by(|a, b| a.name.cmp(&b.name));
         rows
@@ -304,12 +357,13 @@ impl GraphCatalog {
         if scale <= 0.0 || !scale.is_finite() {
             return Err(CatalogError::Load(format!("invalid scale {scale}")));
         }
+        let tune = self.config.tune.as_deref();
         if weighted {
             let g = spec.generate_weighted(scale, seed, self.config.max_weight);
-            Ok(finish(name, None, Some(g)))
+            Ok(finish(name, None, Some(g), tune))
         } else {
             let g = spec.generate(scale, seed);
-            Ok(finish(name, Some(g), None))
+            Ok(finish(name, Some(g), None, tune))
         }
     }
 
@@ -322,6 +376,7 @@ impl GraphCatalog {
     ) -> Result<ResolvedGraph, CatalogError> {
         let err = |e: std::io::Error| CatalogError::Load(format!("{}: {e}", path.display()));
         let is_el = path.extension().and_then(|s| s.to_str()) == Some("el");
+        let tune = self.config.tune.as_deref();
         let mut r = BufReader::new(File::open(path).map_err(err)?);
         if weighted {
             // Prefer on-disk weights; fall back to seed-salted
@@ -338,7 +393,7 @@ impl GraphCatalog {
                     }
                 }
             };
-            Ok(finish(name, None, Some(wg)))
+            Ok(finish(name, None, Some(wg), tune))
         } else {
             let g = if is_el {
                 gio::read_edge_list(&mut r, false).map_err(err)?
@@ -353,23 +408,47 @@ impl GraphCatalog {
                     }
                 }
             };
-            Ok(finish(name, Some(g), None))
+            Ok(finish(name, Some(g), None, tune))
         }
     }
 }
 
-fn finish(name: &str, csr: Option<Csr>, weighted: Option<WeightedCsr>) -> ResolvedGraph {
-    let (hash, bytes) = match (&csr, &weighted) {
-        (Some(g), _) => (content_hash(g, None), graph_bytes(g, false)),
-        (_, Some(w)) => (content_hash(w.csr(), Some(w.weights())), graph_bytes(w.csr(), true)),
+fn finish(
+    name: &str,
+    csr: Option<Csr>,
+    weighted: Option<WeightedCsr>,
+    tune: Option<&TuneManifest>,
+) -> ResolvedGraph {
+    let (hash, bytes, fingerprint) = match (&csr, &weighted) {
+        (Some(g), _) => (content_hash(g, None), graph_bytes(g, false), Fingerprint::of(g)),
+        (_, Some(w)) => (
+            content_hash(w.csr(), Some(w.weights())),
+            graph_bytes(w.csr(), true),
+            Fingerprint::of(w.csr()),
+        ),
         _ => unreachable!("finish called with a graph"),
     };
+    // Registration-time schedule attachment: one manifest lookup per
+    // algorithm against the graph's family bucket. The manifest is
+    // fixed for the catalog's lifetime, so the (graph, algo) →
+    // schedule mapping is stable and result-cache-safe.
+    let family = fingerprint.family_key();
+    let schedules = tune
+        .map(|m| {
+            ALGOS
+                .iter()
+                .filter_map(|&algo| m.lookup(algo, &family).map(|e| (algo, e.schedule.clone())))
+                .collect()
+        })
+        .unwrap_or_default();
     ResolvedGraph {
         name: name.to_string(),
         content_hash: hash,
         bytes,
         csr: csr.map(Arc::new),
         weighted: weighted.map(Arc::new),
+        fingerprint,
+        schedules,
     }
 }
 
@@ -479,6 +558,76 @@ mod tests {
         // First graph was evicted → resolving it again is a miss.
         cat.resolve("internet", 0.001, 1, false).unwrap();
         assert_eq!(cat.stats().1, 3);
+    }
+
+    fn one_entry_manifest(algo: &str, family: &str, fp: &Fingerprint) -> TuneManifest {
+        let sketch = ecl_profiling::LogSketch::new();
+        sketch.record(1);
+        TuneManifest::new(vec![ecl_tune::TuneEntry {
+            algo: algo.to_string(),
+            input: "internet".into(),
+            family: family.to_string(),
+            fingerprint: fp.clone(),
+            scale: 0.002,
+            seed: 7,
+            method: "exhaustive".into(),
+            evaluations: 1,
+            space: 1,
+            default_time: 2.0,
+            tuned_time: 1.0,
+            eval_sketch: sketch.snapshot(),
+            schedule: ecl_gpusim::schedule::default_schedule(algo)
+                .with("optimized_init", ecl_gpusim::KnobValue::Bool(true)),
+        }])
+    }
+
+    #[test]
+    fn manifest_attaches_schedules_by_family() {
+        // No manifest → fingerprint present, no schedules.
+        let plain = catalog_with_budget(64 << 20);
+        let g = plain.resolve("internet", 0.002, 7, false).unwrap();
+        assert!(g.schedules.is_empty(), "no manifest, no schedules");
+        assert_eq!(g.fingerprint.vertices, g.structure().num_vertices());
+        let family = g.fingerprint.family_key();
+
+        // Same graph through a manifest-bearing catalog → attached.
+        let cat = GraphCatalog::new(CatalogConfig {
+            tune: Some(Arc::new(one_entry_manifest("cc", &family, &g.fingerprint))),
+            ..CatalogConfig::default()
+        });
+        let tuned = cat.resolve("internet", 0.002, 7, false).unwrap();
+        let s = tuned.schedule_for("cc").expect("cc schedule attached at registration");
+        assert_eq!(s.bool_knob("optimized_init"), Some(true));
+        assert!(tuned.schedule_for("scc").is_none(), "no scc entry in the manifest");
+
+        // A family mismatch falls back to defaults (no attachment).
+        let other = GraphCatalog::new(CatalogConfig {
+            tune: Some(Arc::new(one_entry_manifest(
+                "cc",
+                "skew=uniform;diam=high;directed=true",
+                &g.fingerprint,
+            ))),
+            ..CatalogConfig::default()
+        });
+        let miss = other.resolve("internet", 0.002, 7, false).unwrap();
+        assert!(miss.schedule_for("cc").is_none(), "family mismatch must fall back");
+    }
+
+    #[test]
+    fn listing_surfaces_resident_fingerprints() {
+        let cat = catalog_with_budget(64 << 20);
+        let before = cat.list();
+        let row = before.iter().find(|r| r.name == "internet").unwrap();
+        assert!(row.fingerprint.is_none(), "nothing resident yet");
+
+        let g = cat.resolve("internet", 0.002, 7, false).unwrap();
+        let rows = cat.list();
+        let row = rows.iter().find(|r| r.name == "internet").unwrap();
+        let fp = row.fingerprint.as_ref().expect("resident graph must expose its fingerprint");
+        assert_eq!(fp.family_key(), g.fingerprint.family_key());
+        assert_eq!(fp.vertices, g.fingerprint.vertices);
+        // Unresolved names stay bare.
+        assert!(rows.iter().any(|r| r.fingerprint.is_none()));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use ecl_gpusim::pool::with_policy;
 use ecl_gpusim::{Device, DeviceConfig};
 
 use crate::catalog::{CatalogError, GraphCatalog};
@@ -47,6 +48,9 @@ pub struct RunOutput {
     pub aggregates: Vec<(&'static str, u64)>,
     /// Deterministic modeled GPU time in cost units.
     pub modeled_time: f64,
+    /// Whether a manifest schedule (attached to the resolved graph at
+    /// catalog registration) was applied to this run.
+    pub tuned: bool,
 }
 
 impl RunOutput {
@@ -100,67 +104,103 @@ pub fn execute(spec: &JobSpec, catalog: &Arc<GraphCatalog>) -> Result<RunOutput,
     let min_sms = if spec.algo == Algo::Scc { SCC_MIN_SMS } else { 1 };
     let device = scaled_device(spec.scale, min_sms);
 
-    let aggregates: Vec<(&'static str, u64)> = match spec.algo {
-        Algo::Cc => {
-            let g = resolved.csr.as_ref().ok_or("internal: unweighted view missing")?;
-            let r = ecl_cc::run(&device, g, &ecl_cc::CcConfig::baseline());
-            vec![
-                ("num_components", r.num_components() as u64),
-                ("labels_checksum", checksum_u32(&r.labels)),
-            ]
-        }
-        Algo::Gc => {
-            let g = resolved.csr.as_ref().ok_or("internal: unweighted view missing")?;
-            let mut cfg = ecl_gc::GcConfig::default();
-            if let Some(bs) = spec.block_size {
-                cfg.block_size = bs;
+    // Tuned-schedule attachment: the catalog pinned the best-known
+    // manifest schedule to this graph at registration. Precedence is
+    // schedule < explicit spec overrides — a client-supplied
+    // block_size or seed always wins over the manifest.
+    let schedule = resolved.schedule_for(spec.algo.name());
+    let tuned = schedule.is_some();
+
+    let run = || -> Result<Vec<(&'static str, u64)>, String> {
+        Ok(match spec.algo {
+            Algo::Cc => {
+                let g = resolved.csr.as_ref().ok_or("internal: unweighted view missing")?;
+                let mut cfg = ecl_cc::CcConfig::baseline();
+                if let Some(s) = schedule {
+                    cfg.apply_schedule(s);
+                }
+                let r = ecl_cc::run(&device, g, &cfg);
+                vec![
+                    ("num_components", r.num_components() as u64),
+                    ("labels_checksum", checksum_u32(&r.labels)),
+                ]
             }
-            let r = ecl_gc::run(&device, g, &cfg);
-            vec![
-                ("num_colors", r.num_colors() as u64),
-                ("rounds", r.rounds as u64),
-                ("colors_checksum", checksum_u32(&r.colors)),
-            ]
-        }
-        Algo::Mis => {
-            let g = resolved.csr.as_ref().ok_or("internal: unweighted view missing")?;
-            // The job seed salts the tie-break permutation, so two
-            // seeds explore genuinely different (still deterministic)
-            // independent sets.
-            let cfg = ecl_mis::MisConfig::seeded(spec.seed);
-            let r = ecl_mis::run(&device, g, &cfg);
-            let set: Vec<u32> = r.in_set.iter().map(|&b| b as u32).collect();
-            vec![
-                ("set_size", r.set_size() as u64),
-                ("rounds", r.rounds as u64),
-                ("set_checksum", checksum_u32(&set)),
-            ]
-        }
-        Algo::Mst => {
-            let g = resolved.weighted.as_ref().ok_or("internal: weighted view missing")?;
-            let r = ecl_mst::run(&device, g, &ecl_mst::MstConfig::baseline());
-            let mut edges: Vec<u32> = r.edges.iter().map(|&e| e as u32).collect();
-            edges.sort_unstable();
-            vec![
-                ("total_weight", r.total_weight),
-                ("num_trees", r.num_trees as u64),
-                ("num_mst_edges", r.edges.len() as u64),
-                ("edges_checksum", checksum_u32(&edges)),
-            ]
-        }
-        Algo::Scc => {
-            let g = resolved.csr.as_ref().ok_or("internal: unweighted view missing")?;
-            let mut cfg = ecl_scc::SccConfig::default();
-            if let Some(bs) = spec.block_size {
-                cfg.block_size = bs;
+            Algo::Gc => {
+                let g = resolved.csr.as_ref().ok_or("internal: unweighted view missing")?;
+                let mut cfg = ecl_gc::GcConfig::default();
+                if let Some(s) = schedule {
+                    cfg.apply_schedule(s);
+                }
+                if let Some(bs) = spec.block_size {
+                    cfg.block_size = bs;
+                }
+                let r = ecl_gc::run(&device, g, &cfg);
+                vec![
+                    ("num_colors", r.num_colors() as u64),
+                    ("rounds", r.rounds as u64),
+                    ("colors_checksum", checksum_u32(&r.colors)),
+                ]
             }
-            let r = ecl_scc::run(&device, g, &cfg);
-            vec![
-                ("num_sccs", r.num_sccs() as u64),
-                ("outer_iterations", r.outer_iterations as u64),
-                ("labels_checksum", checksum_u32(&r.labels)),
-            ]
-        }
+            Algo::Mis => {
+                let g = resolved.csr.as_ref().ok_or("internal: unweighted view missing")?;
+                // The job seed salts the tie-break permutation, so two
+                // seeds explore genuinely different (still
+                // deterministic) independent sets. The seed is applied
+                // *after* the schedule: result-cache keys include the
+                // seed, so it must keep full authority over the salt.
+                let mut cfg = ecl_mis::MisConfig::default();
+                if let Some(s) = schedule {
+                    cfg.apply_schedule(s);
+                }
+                cfg.tie_salt = ecl_mis::MisConfig::seeded(spec.seed).tie_salt;
+                let r = ecl_mis::run(&device, g, &cfg);
+                let set: Vec<u32> = r.in_set.iter().map(|&b| b as u32).collect();
+                vec![
+                    ("set_size", r.set_size() as u64),
+                    ("rounds", r.rounds as u64),
+                    ("set_checksum", checksum_u32(&set)),
+                ]
+            }
+            Algo::Mst => {
+                let g = resolved.weighted.as_ref().ok_or("internal: weighted view missing")?;
+                let mut cfg = ecl_mst::MstConfig::baseline();
+                if let Some(s) = schedule {
+                    cfg.apply_schedule(s);
+                }
+                let r = ecl_mst::run(&device, g, &cfg);
+                let mut edges: Vec<u32> = r.edges.iter().map(|&e| e as u32).collect();
+                edges.sort_unstable();
+                vec![
+                    ("total_weight", r.total_weight),
+                    ("num_trees", r.num_trees as u64),
+                    ("num_mst_edges", r.edges.len() as u64),
+                    ("edges_checksum", checksum_u32(&edges)),
+                ]
+            }
+            Algo::Scc => {
+                let g = resolved.csr.as_ref().ok_or("internal: unweighted view missing")?;
+                let mut cfg = ecl_scc::SccConfig::default();
+                if let Some(s) = schedule {
+                    cfg.apply_schedule(s);
+                }
+                if let Some(bs) = spec.block_size {
+                    cfg.block_size = bs;
+                }
+                let r = ecl_scc::run(&device, g, &cfg);
+                vec![
+                    ("num_sccs", r.num_sccs() as u64),
+                    ("outer_iterations", r.outer_iterations as u64),
+                    ("labels_checksum", checksum_u32(&r.labels)),
+                ]
+            }
+        })
+    };
+    // Tuned runs also honor the schedule's dispatch knobs (engine,
+    // workers, claim grain). These are cost-neutral by scheduler
+    // determinism, so they can never change aggregates or modeled time.
+    let aggregates = match schedule {
+        Some(s) => with_policy(s.dispatch_policy(), run)?,
+        None => run()?,
     };
 
     Ok(RunOutput {
@@ -171,6 +211,7 @@ pub fn execute(spec: &JobSpec, catalog: &Arc<GraphCatalog>) -> Result<RunOutput,
         arcs: structure.num_arcs(),
         aggregates,
         modeled_time: device.modeled_time(),
+        tuned,
     })
 }
 
@@ -249,6 +290,83 @@ mod tests {
             out.aggregate("num_mst_edges").unwrap() + out.aggregate("num_trees").unwrap(),
             out.vertices as u64,
             "spanning forest invariant: edges + trees == vertices"
+        );
+    }
+
+    fn manifest_for(
+        algo: &str,
+        fp: &ecl_graph::Fingerprint,
+        schedule: ecl_gpusim::Schedule,
+    ) -> ecl_tune::TuneManifest {
+        let sketch = ecl_profiling::LogSketch::new();
+        sketch.record(1);
+        ecl_tune::TuneManifest::new(vec![ecl_tune::TuneEntry {
+            algo: algo.to_string(),
+            input: "internet".into(),
+            family: fp.family_key(),
+            fingerprint: fp.clone(),
+            scale: 0.001,
+            seed: 0,
+            method: "exhaustive".into(),
+            evaluations: 1,
+            space: 1,
+            default_time: 2.0,
+            tuned_time: 1.0,
+            eval_sketch: sketch.snapshot(),
+            schedule,
+        }])
+    }
+
+    #[test]
+    fn manifest_schedule_applies_and_labels_tuned() {
+        let plain = catalog();
+        let spec = JobSpec::new(Algo::Cc, "internet");
+        let base = execute(&spec, &plain).unwrap();
+        assert!(!base.tuned, "no manifest → defaults");
+
+        let g = plain.resolve("internet", spec.scale, spec.seed, false).unwrap();
+        let schedule = ecl_gpusim::schedule::default_schedule("cc")
+            .with("optimized_init", ecl_gpusim::KnobValue::Bool(true));
+        let cat = Arc::new(GraphCatalog::new(CatalogConfig {
+            tune: Some(Arc::new(manifest_for("cc", &g.fingerprint, schedule))),
+            ..CatalogConfig::default()
+        }));
+        let tuned = execute(&spec, &cat).unwrap();
+        assert!(tuned.tuned, "manifest match → tuned run");
+        assert_eq!(
+            tuned.aggregate("num_components"),
+            base.aggregate("num_components"),
+            "schedule changes cost, never the answer"
+        );
+        assert_ne!(
+            tuned.modeled_time.to_bits(),
+            base.modeled_time.to_bits(),
+            "optimized init must change the modeled cost"
+        );
+    }
+
+    #[test]
+    fn job_seed_overrides_manifest_tie_salt() {
+        let plain = catalog();
+        let mut spec = JobSpec::new(Algo::Mis, "internet");
+        spec.seed = 5;
+        let base = execute(&spec, &plain).unwrap();
+
+        // Manifest pins a nonzero MIS tie salt; the job seed must
+        // still control the salt (result-cache keys include the seed).
+        let g = plain.resolve("internet", spec.scale, spec.seed, false).unwrap();
+        let schedule = ecl_gpusim::schedule::default_schedule("mis")
+            .with("tie_salt", ecl_gpusim::KnobValue::Int(0x9E37));
+        let cat = Arc::new(GraphCatalog::new(CatalogConfig {
+            tune: Some(Arc::new(manifest_for("mis", &g.fingerprint, schedule))),
+            ..CatalogConfig::default()
+        }));
+        let tuned = execute(&spec, &cat).unwrap();
+        assert!(tuned.tuned);
+        assert_eq!(
+            tuned.aggregate("set_checksum"),
+            base.aggregate("set_checksum"),
+            "seed-derived salt must win over the manifest salt"
         );
     }
 

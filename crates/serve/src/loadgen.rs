@@ -87,6 +87,10 @@ pub struct LoadReport {
     pub requests: u64,
     /// Jobs that reached `done` within the wait.
     pub ok: u64,
+    /// Subset of `ok` whose result ran under a manifest schedule
+    /// (`result.tuned` in the job body) — distinguishes a run against
+    /// a `--tuned` server from a default-config run.
+    pub tuned_ok: u64,
     /// 429 admission rejections.
     pub rejected: u64,
     /// Transport failures, 5xx, failed/timed-out jobs.
@@ -134,6 +138,7 @@ pub fn http_call(
 struct Tally {
     requests: AtomicU64,
     ok: AtomicU64,
+    tuned_ok: AtomicU64,
     rejected: AtomicU64,
     errors: AtomicU64,
     latency_us: LogSketch,
@@ -145,6 +150,7 @@ impl Tally {
         Tally {
             requests: AtomicU64::new(0),
             ok: AtomicU64::new(0),
+            tuned_ok: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             latency_us: LogSketch::new(),
@@ -178,8 +184,11 @@ fn fire(config: &LoadgenConfig, request_index: u64, tally: &Tally) {
             if state == "done" {
                 tally.ok.fetch_add(1, Ordering::Relaxed);
                 tally.latency_us.record(t0.elapsed().as_micros() as u64);
-                if let Some(m) =
-                    v.get("result").and_then(|r| r.get("modeled_time")).and_then(Value::as_f64)
+                let result = v.get("result");
+                if matches!(result.and_then(|r| r.get("tuned")), Some(Value::Bool(true))) {
+                    tally.tuned_ok.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(m) = result.and_then(|r| r.get("modeled_time")).and_then(Value::as_f64)
                 {
                     tally.modeled.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(m);
                 }
@@ -254,6 +263,7 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
     LoadReport {
         requests: tally.requests.load(r),
         ok: tally.ok.load(r),
+        tuned_ok: tally.tuned_ok.load(r),
         rejected: tally.rejected.load(r),
         errors: tally.errors.load(r),
         latency_us: tally.latency_us.snapshot(),
@@ -308,7 +318,8 @@ impl LoadReport {
             "{{\n  \"schema\": \"ecl-bench/2\",\n  \"benchmark\": \"ecl-loadgen\",\n  \
              \"git_sha\": \"{}\",\n  \"mode\": \"{mode}\",\n  \"graph\": \"{}\",\n  \
              \"scale\": {},\n  \"distinct_seeds\": {},\n  \"algos\": [{}],\n  \
-             \"requests\": {},\n  \"ok\": {},\n  \"rejected\": {},\n  \"errors\": {},\n  \
+             \"requests\": {},\n  \"ok\": {},\n  \"tuned_ok\": {},\n  \"rejected\": {},\n  \
+             \"errors\": {},\n  \
              \"wall_seconds\": {},\n  \"latency_us\": {{\"count\": {}, \"p50\": {}, \
              \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \"metrics\": [\n{}\n  ]\n}}\n",
             ecl_prof::git_sha(),
@@ -318,6 +329,7 @@ impl LoadReport {
             algos.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(", "),
             self.requests,
             self.ok,
+            self.tuned_ok,
             self.rejected,
             self.errors,
             json::num(self.wall_seconds),
@@ -341,6 +353,7 @@ mod tests {
         let report = LoadReport {
             requests: 10,
             ok: 8,
+            tuned_ok: 3,
             rejected: 1,
             errors: 1,
             latency_us: {
@@ -358,6 +371,8 @@ mod tests {
         // schema + a metrics array with direction-tagged samples.
         let v = json::parse(&text).unwrap();
         assert_eq!(v.get("schema").and_then(Value::as_str), Some("ecl-bench/2"));
+        // Tuned-vs-default runs are distinguishable from the report.
+        assert_eq!(v.get("tuned_ok").and_then(Value::as_f64), Some(3.0));
         let metrics = v.get("metrics").and_then(Value::as_arr).unwrap();
         assert!(metrics.iter().any(|m| {
             // The duplicated 5.0 (a cache-hit completion) collapses.

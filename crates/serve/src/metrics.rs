@@ -38,6 +38,11 @@ pub struct ServeMetrics {
     pub jobs_deadline_exceeded: AtomicU64,
     /// Results served from the result cache.
     pub result_cache_serves: AtomicU64,
+    /// Completed jobs whose result ran with a manifest schedule
+    /// (subset of `jobs_done`; includes cache hits of tuned results).
+    pub jobs_tuned: AtomicU64,
+    /// Completed jobs whose result ran with default configs.
+    pub jobs_untuned: AtomicU64,
     /// HTTP requests accepted (parsed successfully).
     pub http_requests: AtomicU64,
     /// HTTP requests answered with a 4xx/5xx status.
@@ -148,6 +153,17 @@ impl ServeMetrics {
         ] {
             out.push_str(&format!("ecl_serve_jobs_finished_total{{state=\"{name}\"}} {v}\n"));
         }
+        out.push_str(
+            "# HELP ecl_serve_jobs_done_by_schedule_total Completed jobs by schedule source \
+             (tuned = manifest schedule attached at graph registration).\n\
+             # TYPE ecl_serve_jobs_done_by_schedule_total counter\n",
+        );
+        for (label, v) in [("true", self.jobs_tuned.load(r)), ("false", self.jobs_untuned.load(r))]
+        {
+            out.push_str(&format!(
+                "ecl_serve_jobs_done_by_schedule_total{{tuned=\"{label}\"}} {v}\n"
+            ));
+        }
         counter(
             &mut out,
             "ecl_serve_jobs_panicked_total",
@@ -210,6 +226,8 @@ mod tests {
         m.jobs_admitted.store(5, Ordering::Relaxed);
         m.admission_rejections.store(2, Ordering::Relaxed);
         m.jobs_done.store(4, Ordering::Relaxed);
+        m.jobs_tuned.store(3, Ordering::Relaxed);
+        m.jobs_untuned.store(1, Ordering::Relaxed);
         m.record_latency(Algo::Cc, 120, 4500);
         m.record_latency(Algo::Cc, 90, 5100);
         let catalog = GraphCatalog::new(CatalogConfig::default());
@@ -225,6 +243,7 @@ mod tests {
                 arcs: 0,
                 aggregates: vec![],
                 modeled_time: 0.0,
+                tuned: false,
             }),
         );
         results.get("k").unwrap();
@@ -236,6 +255,8 @@ mod tests {
             "ecl_serve_jobs_admitted_total 5",
             "ecl_serve_admission_rejections_total 2",
             "ecl_serve_jobs_finished_total{state=\"done\"} 4",
+            "ecl_serve_jobs_done_by_schedule_total{tuned=\"true\"} 3",
+            "ecl_serve_jobs_done_by_schedule_total{tuned=\"false\"} 1",
             "ecl_serve_result_cache_hit_ratio 0.5",
             "ecl_distribution{name=\"job_run_us/cc\"",
             "quantile=\"0.99\"",

@@ -269,15 +269,12 @@ fn run_one(shared: &Shared, job: &Arc<JobRecord>) {
     // the catalog memoizes it, so a subsequent miss-path execute() gets
     // a cache hit. Faulted jobs bypass the cache — they exist to
     // exercise the execution path.
-    let key = if spec.fault == Fault::None {
-        shared
-            .catalog
-            .resolve(&spec.graph, spec.scale, spec.seed, spec.algo == Algo::Mst)
-            .ok()
-            .map(|g| result_key(g.content_hash, &spec))
+    let resolved = if spec.fault == Fault::None {
+        shared.catalog.resolve(&spec.graph, spec.scale, spec.seed, spec.algo == Algo::Mst).ok()
     } else {
         None
     };
+    let key = resolved.as_ref().map(|g| result_key(g.content_hash, &spec));
     if let Some(k) = &key {
         if let Some(hit) = shared.results.get(k) {
             job.mark_cached();
@@ -290,7 +287,14 @@ fn run_one(shared: &Shared, job: &Arc<JobRecord>) {
     // Per-request trace span: the algorithm's own kernel/phase events
     // (recorded through the same installed tracer) nest inside it, so
     // an exported timeline shows which request drove which launches.
-    let span = format!("serve.job/{}", spec.algo.name());
+    // Tuned jobs (manifest schedule attached to the resolved graph)
+    // get a `/tuned` suffix so timelines separate the two populations.
+    let tuned = resolved.as_ref().is_some_and(|g| g.schedule_for(spec.algo.name()).is_some());
+    let span = if tuned {
+        format!("serve.job/{}/tuned", spec.algo.name())
+    } else {
+        format!("serve.job/{}", spec.algo.name())
+    };
     ecl_trace::sink::phase_start(&span);
     let outcome = catch_unwind(AssertUnwindSafe(|| execute(&spec, &shared.catalog)));
     ecl_trace::sink::phase_end(&span);
@@ -317,14 +321,30 @@ fn run_one(shared: &Shared, job: &Arc<JobRecord>) {
 }
 
 fn finish(shared: &Shared, job: &Arc<JobRecord>, state: JobState, end: JobEnd) {
+    // Counted before the transition so a waiter woken by the terminal
+    // state always observes the metrics; undone on the rare lost race
+    // with a concurrent cancellation. The tuned=true/false split
+    // includes cache-served results — the cached output remembers how
+    // it was computed.
+    let state_ctr = match state {
+        JobState::Done => Some(&shared.metrics.jobs_done),
+        JobState::Failed => Some(&shared.metrics.jobs_failed),
+        _ => None,
+    };
+    let tuned_ctr = match &end {
+        JobEnd::Output(o) if o.tuned => Some(&shared.metrics.jobs_tuned),
+        JobEnd::Output(_) => Some(&shared.metrics.jobs_untuned),
+        JobEnd::Message(_) => None,
+    };
+    for ctr in [state_ctr, tuned_ctr].into_iter().flatten() {
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
     if !job.transition(state, Some(end)) {
+        for ctr in [state_ctr, tuned_ctr].into_iter().flatten() {
+            ctr.fetch_sub(1, Ordering::Relaxed);
+        }
         return;
     }
-    match state {
-        JobState::Done => shared.metrics.jobs_done.fetch_add(1, Ordering::Relaxed),
-        JobState::Failed => shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed),
-        _ => 0,
-    };
     let st = job.status();
     shared.metrics.record_latency(
         job.spec.algo,
@@ -445,6 +465,35 @@ mod tests {
         assert!(matches!(sched.submit(quick_spec()), Err(SubmitError::ShuttingDown)));
     }
 
+    /// A catalog whose manifest pins an optimized-init CC schedule to
+    /// the family of `quick_spec()`'s graph at its (scale, seed).
+    fn tuned_catalog() -> Arc<GraphCatalog> {
+        let plain = GraphCatalog::new(CatalogConfig::default());
+        let g = plain.resolve("internet", 0.001, 0, false).unwrap();
+        let sketch = ecl_profiling::LogSketch::new();
+        sketch.record(1);
+        let manifest = ecl_tune::TuneManifest::new(vec![ecl_tune::TuneEntry {
+            algo: "cc".into(),
+            input: "internet".into(),
+            family: g.fingerprint.family_key(),
+            fingerprint: g.fingerprint.clone(),
+            scale: 0.001,
+            seed: 0,
+            method: "exhaustive".into(),
+            evaluations: 1,
+            space: 1,
+            default_time: 2.0,
+            tuned_time: 1.0,
+            eval_sketch: sketch.snapshot(),
+            schedule: ecl_gpusim::schedule::default_schedule("cc")
+                .with("optimized_init", ecl_gpusim::KnobValue::Bool(true)),
+        }]);
+        Arc::new(GraphCatalog::new(CatalogConfig {
+            tune: Some(Arc::new(manifest)),
+            ..CatalogConfig::default()
+        }))
+    }
+
     #[test]
     fn jobs_record_per_request_trace_spans() {
         let tracer = Arc::new(ecl_trace::Tracer::with_clock(ecl_trace::ClockMode::Wall));
@@ -454,6 +503,18 @@ mod tests {
         let job = sched.submit(quick_spec()).unwrap();
         assert_eq!(job.wait_terminal(Duration::from_secs(60)), JobState::Done);
         sched.shutdown();
+        // Same tracer, second scheduler with a manifest-bearing
+        // catalog: the span gains the /tuned suffix.
+        let metrics = ServeMetrics::new();
+        let tuned_sched = Scheduler::start(
+            SchedulerConfig { max_queue: 8, max_concurrency: 1, max_history: 64 },
+            tuned_catalog(),
+            Arc::new(ResultCache::new(64)),
+            Arc::clone(&metrics),
+        );
+        let job = tuned_sched.submit(quick_spec()).unwrap();
+        assert_eq!(job.wait_terminal(Duration::from_secs(60)), JobState::Done);
+        tuned_sched.shutdown();
         ecl_trace::sink::uninstall();
         let snap = tracer.snapshot();
         assert!(
@@ -461,5 +522,35 @@ mod tests {
             "no serve.job span interned: {:?}",
             snap.strings
         );
+        assert!(
+            snap.strings.iter().any(|s| s == "serve.job/cc/tuned"),
+            "no tuned serve.job span interned: {:?}",
+            snap.strings
+        );
+    }
+
+    #[test]
+    fn tuned_jobs_split_the_done_counters() {
+        let metrics = ServeMetrics::new();
+        let sched = Scheduler::start(
+            SchedulerConfig { max_queue: 8, max_concurrency: 1, max_history: 64 },
+            tuned_catalog(),
+            Arc::new(ResultCache::new(64)),
+            Arc::clone(&metrics),
+        );
+        // CC hits the manifest; MIS has no entry and runs defaults.
+        let a = sched.submit(quick_spec()).unwrap();
+        let b = sched.submit(JobSpec::new(Algo::Mis, "internet")).unwrap();
+        assert_eq!(a.wait_terminal(Duration::from_secs(60)), JobState::Done);
+        assert_eq!(b.wait_terminal(Duration::from_secs(60)), JobState::Done);
+        assert!(a.with_output(|o| o.tuned).unwrap());
+        assert!(!b.with_output(|o| o.tuned).unwrap());
+        assert_eq!(metrics.jobs_tuned.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.jobs_untuned.load(Ordering::Relaxed), 1);
+        // A cache hit of the tuned result still counts as tuned.
+        let c = sched.submit(quick_spec()).unwrap();
+        assert_eq!(c.wait_terminal(Duration::from_secs(60)), JobState::Done);
+        assert!(c.status().cached);
+        assert_eq!(metrics.jobs_tuned.load(Ordering::Relaxed), 2);
     }
 }

@@ -292,15 +292,31 @@ fn graphs_body(shared: &Arc<ServerShared>) -> Response {
         .list()
         .into_iter()
         .map(|r| {
-            format!(
+            let mut row = format!(
                 "{{\"name\": \"{}\", \"source\": \"{}\", \"kind\": \"{}\", \
-                 \"directed\": {}, \"paper_vertices\": {}}}",
+                 \"directed\": {}, \"paper_vertices\": {}",
                 escape(&r.name),
                 r.source,
                 escape(&r.kind),
                 r.directed,
                 r.paper_vertices
-            )
+            );
+            // Family fingerprint of the resident materialization, so
+            // operators can see which manifest bucket the graph
+            // resolves to. Absent until the graph is first resolved.
+            if let Some(fp) = &r.fingerprint {
+                row.push_str(&format!(
+                    ", \"fingerprint\": {{\"vertices\": {}, \"arcs\": {}, \
+                     \"directed\": {}, \"degree_cv\": {}, \"family\": \"{}\"}}",
+                    fp.vertices,
+                    fp.arcs,
+                    fp.directed,
+                    num(fp.degree_cv),
+                    escape(&fp.family_key())
+                ));
+            }
+            row.push('}');
+            row
         })
         .collect();
     (200, JSON, format!("{{\"graphs\": [{}]}}", rows.join(", ")))
@@ -388,11 +404,12 @@ fn job_body(job: &Arc<JobRecord>) -> String {
         let aggs: Vec<String> = o.aggregates.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
         format!(
             "{{\"graph_hash\": \"{:016x}\", \"vertices\": {}, \"arcs\": {}, \
-             \"modeled_time\": {}, \"aggregates\": {{{}}}}}",
+             \"modeled_time\": {}, \"tuned\": {}, \"aggregates\": {{{}}}}}",
             o.graph_hash,
             o.vertices,
             o.arcs,
             num(o.modeled_time),
+            o.tuned,
             aggs.join(", ")
         )
     }) {

@@ -36,6 +36,7 @@ pub mod device;
 pub mod launch;
 pub mod pool;
 pub mod profile;
+pub mod schedule;
 pub mod timing;
 
 pub use atomics::{CountedU32, CountedU64, CountedU8};
@@ -49,4 +50,5 @@ pub use launch::{
 };
 pub use pool::{DispatchMode, DispatchPolicy};
 pub use profile::{KernelProfile, KernelRecord};
+pub use schedule::{default_schedule, knob_registry, KnobDomain, KnobSpec, KnobValue, Schedule};
 pub use timing::run_timed;
