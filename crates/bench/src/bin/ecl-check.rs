@@ -2,7 +2,7 @@
 //! the generated-graph suite and fail on any unexpected finding.
 //!
 //! ```text
-//! ecl-check [--scale f] [--verbose]
+//! ecl-check [--scale f] [--json PATH] [--verbose]
 //! ecl-check --list
 //! ```
 //!
@@ -12,21 +12,63 @@
 //! the paper's §6.2 findings are regression canaries for the checker
 //! itself), allowed rules may fire, anything else — above all an
 //! unsuppressed data race — fails the run. Exit status 1 when any
-//! entry fails; this is what the CI `check` job gates on.
+//! entry fails; this is what the CI `check` job gates on. `--json`
+//! additionally writes a versioned `ecl-check/1` document (schema +
+//! git SHA envelope per the `ecl-prof/1` conventions) for artifact
+//! upload.
 
-use ecl_bench::check_suite::{run_entry, suite};
+use std::fmt::Write as _;
+
+use ecl_bench::check_suite::{run_entry, suite, EntryOutcome};
+use ecl_prof::json;
 use ecl_profiling::table::Table;
+
+/// Schema identifier of the JSON document `--json` writes.
+const SCHEMA: &str = "ecl-check/1";
+
+fn check_json(scale: f64, outcomes: &[EntryOutcome]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"git_sha\": \"{}\",", json::escape(&ecl_prof::git_sha()));
+    let _ = writeln!(out, "  \"scale\": {},", json::num(scale));
+    out.push_str("  \"entries\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let missing: Vec<String> = o.missing.iter().map(|r| format!("\"{}\"", r.name())).collect();
+        let _ = write!(
+            out,
+            "    {{\n      \"name\": \"{}\", \"status\": \"{}\", \"passed\": {},\n      \
+             \"missing\": [{}], \"unexpected\": {},\n      \"report\": ",
+            json::escape(o.name),
+            o.status(),
+            o.passed(),
+            missing.join(", "),
+            o.unexpected,
+        );
+        out.push_str(&o.report.to_json("      "));
+        let _ = write!(out, "\n    }}{}\n", if i + 1 == outcomes.len() { "" } else { "," });
+    }
+    out.push_str("  ],\n");
+    let failed = outcomes.iter().filter(|o| !o.passed()).count();
+    let _ = writeln!(out, "  \"failed\": {failed}");
+    out.push_str("}\n");
+    out
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let mut verbose = false;
     let mut scale = ecl_bench::DEFAULT_SCALE;
+    let mut json_out: Option<String> = None;
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
             "--verbose" => verbose = true,
             "--scale" if i + 1 < argv.len() => {
                 scale = argv[i + 1].parse().unwrap_or(ecl_bench::DEFAULT_SCALE);
+                i += 1;
+            }
+            "--json" if i + 1 < argv.len() => {
+                json_out = Some(argv[i + 1].clone());
                 i += 1;
             }
             "--list" => {
@@ -36,7 +78,7 @@ fn main() {
                 return;
             }
             _ => {
-                eprintln!("usage: ecl-check [--scale f] [--verbose] | --list");
+                eprintln!("usage: ecl-check [--scale f] [--json PATH] [--verbose] | --list");
                 std::process::exit(2);
             }
         }
@@ -55,6 +97,7 @@ fn main() {
         "check suite",
         &["entry", "status", "findings", "suppressed", "launches", "accesses"],
     );
+    let mut outcomes = Vec::new();
     let mut failed = 0usize;
     for entry in suite() {
         let outcome = run_entry(&device, &entry);
@@ -77,8 +120,17 @@ fn main() {
             }
             println!();
         }
+        outcomes.push(outcome);
     }
     print!("{}", summary.render());
+    if let Some(path) = json_out {
+        let doc = check_json(scale, &outcomes);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("ecl-check: writing {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("\nwrote {path}");
+    }
     if failed > 0 {
         eprintln!(
             "\necl-check: {failed} suite entr{} failed",

@@ -12,19 +12,32 @@
 //! the `ecl-tune/1` manifest; the optional report files are gateable
 //! `ecl-prof/1` documents (default vs tuned modeled times) for
 //! `ecl-prof gate --metric modeled`. `validate` checks schema,
-//! registry domains, and the tuned ≤ default invariant. `show` prints
-//! a human-readable summary.
+//! registry domains, the tuned ≤ default invariant, and runs
+//! `ecl-check`'s schedule-domain lint over every entry against the
+//! modeled device (`--device rtx4090|a100|rtx3090|test-small`).
+//! `show` prints a human-readable summary.
 
 use std::process::ExitCode;
 
+use ecl_gpusim::DeviceConfig;
 use ecl_tune::{gate_report, sweep, ReportSide, SearchConfig, SweepConfig, TuneManifest};
 
 const USAGE: &str = "usage:
   ecl-tune sweep [--inputs a,b] [--algos cc,gc,mis,mst,scc] [--scale F] [--seed N]
                  [--budget N] --out manifest.json
                  [--report-default base.json] [--report-tuned cand.json]
-  ecl-tune validate <manifest.json>
+  ecl-tune validate <manifest.json> [--device rtx4090|a100|rtx3090|test-small]
   ecl-tune show <manifest.json>";
+
+fn device_by_name(name: &str) -> Result<DeviceConfig, String> {
+    match name {
+        "rtx4090" => Ok(DeviceConfig::rtx4090()),
+        "a100" => Ok(DeviceConfig::a100()),
+        "rtx3090" => Ok(DeviceConfig::rtx3090()),
+        "test-small" => Ok(DeviceConfig::test_small()),
+        other => Err(format!("unknown device {other:?}\n{USAGE}")),
+    }
+}
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,9 +45,25 @@ fn run() -> Result<(), String> {
         Some("sweep") => run_sweep(&args[1..]),
         Some("validate") => {
             let path = args.get(1).ok_or(USAGE)?;
+            let device = match args.get(2).map(String::as_str) {
+                Some("--device") => device_by_name(args.get(3).ok_or("--device wants a value")?)?,
+                Some(other) => return Err(format!("unknown argument {other}\n{USAGE}")),
+                None => DeviceConfig::rtx4090(),
+            };
             let m = load(path)?;
             m.validate()?;
-            println!("{path}: valid {} manifest, {} entries", m.schema, m.entries.len());
+            let lint = ecl_check::lint_schedules(
+                m.entries.iter().map(|e| (e.algo.as_str(), &e.schedule)),
+                &device,
+            );
+            if !lint.is_clean() {
+                return Err(lint.render(&format!("{path}: schedule-domain lint")));
+            }
+            println!(
+                "{path}: valid {} manifest, {} entries, schedule-domain lint clean",
+                m.schema,
+                m.entries.len()
+            );
             Ok(())
         }
         Some("show") => {

@@ -17,6 +17,7 @@
 pub mod check_suite;
 pub mod dispatch_bench;
 pub mod experiments;
+pub mod mc_suite;
 pub mod profile_run;
 
 use ecl_gpusim::{Device, DeviceConfig};

@@ -43,10 +43,12 @@
 
 pub mod checker;
 pub mod fixtures;
+pub mod lint;
 pub mod region;
 pub mod report;
 pub mod shadow;
 
 pub use checker::{run_checked, CheckConfig, CheckSession};
+pub use lint::{lint_schedule, lint_schedules};
 pub use region::{register_benign_region, register_region, CheckedSlice, RegionHandle};
 pub use report::{Finding, Report, Rule};

@@ -1,5 +1,8 @@
 //! Findings and the rendered report.
 
+use std::fmt::Write as _;
+
+use ecl_prof::json;
 use ecl_profiling::Table;
 
 /// The rule a finding violates. `raw()` values are the payload of
@@ -26,17 +29,38 @@ pub enum Rule {
     /// every lane of the block the same number of times —
     /// `__syncthreads()` under divergence.
     DivergentSync,
+    /// A `Schedule` knob (block size, …) falls outside its registry
+    /// domain or the modeled device limits (`ecl-check`'s static
+    /// launch-config lint, wired into `ecl-tune validate`).
+    ScheduleDomain,
+    /// `ecl-mc`: unsynchronized conflicting host-side accesses — no
+    /// happens-before edge between the two epochs under the declared
+    /// orderings.
+    McRace,
+    /// `ecl-mc`: a schedule where no thread can make progress.
+    McDeadlock,
+    /// `ecl-mc`: a deadlocked condvar waiter whose notify fired
+    /// before it parked (the PR 6 finish-path bug class).
+    McLostWakeup,
+    /// `ecl-mc`: a harness assertion failed (or a run blew its step
+    /// budget) under some explored schedule.
+    McAssertion,
 }
 
 impl Rule {
     /// All rules, report ordered.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 11] = [
         Rule::WriteWriteRace,
         Rule::ReadWriteRace,
         Rule::OverLaunch,
         Rule::BlockSyncWaste,
         Rule::Occupancy,
         Rule::DivergentSync,
+        Rule::ScheduleDomain,
+        Rule::McRace,
+        Rule::McDeadlock,
+        Rule::McLostWakeup,
+        Rule::McAssertion,
     ];
 
     /// Stable display name.
@@ -48,6 +72,11 @@ impl Rule {
             Rule::BlockSyncWaste => "block-sync-waste",
             Rule::Occupancy => "occupancy",
             Rule::DivergentSync => "divergent-sync",
+            Rule::ScheduleDomain => "schedule-domain",
+            Rule::McRace => "mc-race",
+            Rule::McDeadlock => "mc-deadlock",
+            Rule::McLostWakeup => "mc-lost-wakeup",
+            Rule::McAssertion => "mc-assertion",
         }
     }
 
@@ -60,13 +89,19 @@ impl Rule {
             Rule::BlockSyncWaste => 4,
             Rule::Occupancy => 5,
             Rule::DivergentSync => 6,
+            Rule::ScheduleDomain => 7,
+            Rule::McRace => 8,
+            Rule::McDeadlock => 9,
+            Rule::McLostWakeup => 10,
+            Rule::McAssertion => 11,
         }
     }
 
-    /// Whether this is one of the two race rules (as opposed to a
+    /// Whether this is a race rule — device-side shadow-memory races
+    /// or host-side model-checked races (as opposed to a
     /// launch-configuration lint).
     pub fn is_race(self) -> bool {
-        matches!(self, Rule::WriteWriteRace | Rule::ReadWriteRace)
+        matches!(self, Rule::WriteWriteRace | Rule::ReadWriteRace | Rule::McRace)
     }
 }
 
@@ -128,6 +163,52 @@ impl Report {
         self.findings.iter().any(|f| f.rule == rule)
     }
 
+    /// Serializes the report as a JSON object (no schema envelope:
+    /// the binaries wrap reports into versioned `ecl-check/1` /
+    /// `ecl-mc/1` documents following the `ecl-prof/1` conventions).
+    /// `indent` is the leading whitespace of the opening brace's line.
+    pub fn to_json(&self, indent: &str) -> String {
+        fn findings_json(out: &mut String, key: &str, fs: &[Finding], indent: &str) {
+            if fs.is_empty() {
+                let _ = write!(out, "{indent}  \"{key}\": [],");
+                return;
+            }
+            let _ = write!(out, "{indent}  \"{key}\": [");
+            for (i, f) in fs.iter().enumerate() {
+                let sep = if i + 1 == fs.len() { "" } else { "," };
+                let _ = write!(
+                    out,
+                    "\n{indent}    {{\"rule\": \"{}\", \"kernel\": \"{}\", \"region\": {}, \
+                     \"launch_index\": {}, \"count\": {}, \"detail\": \"{}\"{}}}{sep}",
+                    f.rule.name(),
+                    json::escape(&f.kernel),
+                    match &f.region {
+                        Some(r) => format!("\"{}\"", json::escape(r)),
+                        None => "null".to_string(),
+                    },
+                    f.launch_index,
+                    f.count,
+                    json::escape(&f.detail),
+                    match &f.suppressed {
+                        Some(why) => format!(", \"suppressed\": \"{}\"", json::escape(why)),
+                        None => String::new(),
+                    },
+                );
+            }
+            let _ = write!(out, "\n{indent}  ],");
+        }
+        let mut out = String::from("{\n");
+        findings_json(&mut out, "findings", &self.findings, indent);
+        out.push('\n');
+        findings_json(&mut out, "suppressed", &self.suppressed, indent);
+        let _ = write!(
+            out,
+            "\n{indent}  \"launches\": {}, \"accesses\": {}\n{indent}}}",
+            self.launches, self.accesses
+        );
+        out
+    }
+
     /// Renders the findings as a table plus a summary footer, in the
     /// same visual style as the harness binaries.
     pub fn render(&self, title: &str) -> String {
@@ -183,6 +264,8 @@ mod tests {
         assert_eq!(raws.len(), Rule::ALL.len());
         assert_eq!(Rule::WriteWriteRace.raw(), 1);
         assert_eq!(Rule::DivergentSync.raw(), 6);
+        assert_eq!(Rule::ScheduleDomain.raw(), 7);
+        assert_eq!(Rule::McAssertion.raw(), 11);
     }
 
     #[test]
@@ -199,6 +282,23 @@ mod tests {
         assert_eq!(r.of_rule(Rule::OverLaunch).len(), 1);
         assert!(r.has(Rule::ReadWriteRace));
         assert!(!r.has(Rule::Occupancy));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_prof_parser() {
+        let mut r = Report::default();
+        r.findings.push(finding(Rule::McRace, "mc \"quoted\"", false));
+        r.suppressed.push(finding(Rule::WriteWriteRace, "mst.reset", true));
+        r.launches = 9;
+        let v = json::parse(&r.to_json("")).unwrap();
+        let fs = v.get("findings").and_then(|f| f.as_arr()).unwrap();
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].get("rule").and_then(|r| r.as_str()), Some("mc-race"));
+        assert_eq!(fs[0].get("kernel").and_then(|k| k.as_str()), Some("mc \"quoted\""));
+        assert_eq!(v.get("launches").and_then(|l| l.as_f64()), Some(9.0));
+        assert_eq!(v.get("suppressed").and_then(|s| s.as_arr()).map(<[_]>::len), Some(1));
+        let empty = json::parse(&Report::default().to_json("  ")).unwrap();
+        assert_eq!(empty.get("findings").and_then(|f| f.as_arr()).map(<[_]>::len), Some(0));
     }
 
     #[test]

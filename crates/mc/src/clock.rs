@@ -1,0 +1,84 @@
+//! Vector clocks: the happens-before partial order over scheduled
+//! operations.
+//!
+//! Every controlled thread carries a clock; synchronization objects
+//! (atomics with release/acquire orderings, mutexes) carry a *sync*
+//! clock that release operations publish into and acquire operations
+//! join from. Two non-atomic accesses race exactly when neither's
+//! epoch `(thread, tick)` is covered by the other thread's clock —
+//! independent of where the accesses landed in the one interleaving
+//! being executed, which is what lets a single schedule convict a
+//! protocol that happened to run in a "lucky" order.
+
+/// A vector clock, indexed by [`crate::exec::Tid`]. Missing components
+/// read as zero, so clocks grow lazily as threads spawn.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock.
+    pub fn new() -> VClock {
+        VClock(Vec::new())
+    }
+
+    /// Component `tid` (zero when never ticked).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances this thread's own component by one.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum: `self ⊔= other` (an acquire edge).
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Whether the epoch `(tid, tick)` happens-before this clock —
+    /// i.e. this clock has observed at least `tick` of `tid`.
+    pub fn covers(&self, tid: usize, tick: u64) -> bool {
+        self.get(tid) >= tick
+    }
+
+    /// Forgets everything (a relaxed store severing a release chain).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_covers() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        assert_eq!(a.get(0), 2);
+        assert!(a.covers(0, 2) && !a.covers(0, 3));
+        assert!(a.covers(5, 0), "missing components are zero");
+
+        let mut b = VClock::new();
+        b.tick(3);
+        b.join(&a);
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(3), 1);
+
+        a.clear();
+        assert_eq!(a.get(0), 0);
+    }
+}

@@ -1,0 +1,894 @@
+//! Serialized execution of one harness run under one schedule.
+//!
+//! The checker runs harness threads as real OS threads but lets
+//! exactly one make progress at a time: every instrumented operation
+//! (an atomic access, a mutex acquire, a condvar wait, a spawn…)
+//! first parks at a *yield point* and declares what it is about to do.
+//! Whichever thread is active picks the next thread to run when it
+//! parks — a baton-passing scheduler — so the interleaving is fully
+//! determined by the sequence of choices, and the choice sequence is
+//! replayable byte-for-byte.
+//!
+//! Everything that affects which threads are *enabled* (mutex
+//! ownership, condvar queues, park tokens, thread completion) mutates
+//! only under the execution lock while the mutating thread holds the
+//! baton, so the enabled set at every decision is a deterministic
+//! function of the choices so far — the property the DFS in
+//! [`crate::explore`] and failure replay both rest on.
+
+use std::panic;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::thread::JoinHandle;
+
+use crate::clock::VClock;
+
+/// Logical thread id within one execution (`0` = the harness root).
+pub type Tid = usize;
+/// Instrumented-object id within one execution.
+pub type ObjId = usize;
+
+/// Sentinel panic payload used to unwind harness threads when an
+/// execution aborts (failure found, or schedule finished elsewhere).
+/// Never reported as a harness assertion.
+pub(crate) struct AbortToken;
+
+/// What an operation touches, for the independence relation driving
+/// partial-order reduction: two steps commute unless they hit the
+/// same object and at least one writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Footprint {
+    /// Object operated on.
+    pub obj: ObjId,
+    /// Whether the op mutates the object (stores, RMWs, lock traffic,
+    /// notifies); pure loads/reads commute with each other.
+    pub writes: bool,
+}
+
+impl Footprint {
+    /// Whether two adjacent steps with these footprints commute.
+    pub fn independent(self, other: Footprint) -> bool {
+        self.obj != other.obj || (!self.writes && !other.writes)
+    }
+}
+
+/// The declared operation a parked thread wants to run next. The
+/// scheduler uses this to compute enabledness; blocking operations
+/// stay parked until their guard holds.
+#[derive(Clone, Debug)]
+pub(crate) enum Pending {
+    /// First activation of a freshly spawned thread.
+    Start,
+    /// A non-blocking instrumented op (atomic, cell, notify, spawn,
+    /// unpark, the wait-commit step of a condvar wait).
+    Op,
+    /// Acquire `mutex` (a `lock()` or a condvar re-acquire after
+    /// notify). Enabled iff the mutex is free.
+    Lock { mutex: ObjId },
+    /// Parked on `cv`; never enabled — a notify rewrites this into
+    /// `Lock` on the associated mutex.
+    CvBlocked { cv: ObjId },
+    /// Waiting for `target` to finish. Enabled iff it has.
+    Join { target: Tid },
+    /// `thread::park()` without a token. Enabled once a token arrives.
+    Parked,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct PendingOp {
+    pub pending: Pending,
+    pub fp: Footprint,
+    /// Human-readable step description for the schedule trace.
+    pub label: String,
+}
+
+/// Kinds of instrumented objects (for diagnostics only — enabledness
+/// logic keys off [`Pending`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ObjKind {
+    Atomic,
+    Cell,
+    Mutex,
+    Condvar,
+    /// Per-thread pseudo-object carrying spawn/join/exit footprints.
+    Thread,
+}
+
+#[derive(Debug)]
+struct ObjSt {
+    name: String,
+    #[allow(dead_code)]
+    kind: ObjKind,
+    /// Release clock: published by release stores/unlocks, joined by
+    /// acquire loads/locks.
+    sync: VClock,
+    /// Cell race state: epoch of the last write.
+    last_write: Option<(Tid, u64)>,
+    write_label: String,
+    /// Cell race state: epoch of each thread's last read since the
+    /// last write (cleared on a non-racing write, which subsumes
+    /// them).
+    reads: Vec<(Tid, u64)>,
+    /// Mutex: current logical owner.
+    owner: Option<Tid>,
+    /// Condvar: parked threads in wait order.
+    waiters: Vec<Tid>,
+    /// Condvar: notifies that found nobody waiting — the lost-wakeup
+    /// classifier's evidence.
+    missed_notifies: u64,
+}
+
+impl ObjSt {
+    fn new(kind: ObjKind, name: String) -> ObjSt {
+        ObjSt {
+            name,
+            kind,
+            sync: VClock::new(),
+            last_write: None,
+            write_label: String::new(),
+            reads: Vec::new(),
+            owner: None,
+            waiters: Vec::new(),
+            missed_notifies: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ThreadSt {
+    name: String,
+    /// This thread's pseudo-object (spawn/join footprints).
+    obj: ObjId,
+    done: bool,
+    pending: Option<PendingOp>,
+    clock: VClock,
+    /// Clock at completion, joined by `join()`.
+    final_clock: Option<VClock>,
+    park_token: bool,
+    /// Release clock published by `unpark`, acquired when the park
+    /// consumes the token (std guarantees unpark ≺ park-return).
+    park_sync: VClock,
+}
+
+/// How choices beyond the replay prefix are made.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Deterministic default: keep running the previously active
+    /// thread while it stays enabled, else the lowest-id enabled
+    /// thread. All preemptions come from the explicit prefix, so the
+    /// DFS controls exactly where context switches happen.
+    Dfs,
+    /// Seeded uniform choice among enabled threads (sampling beyond
+    /// the context-switch bound).
+    Random,
+}
+
+/// One scheduling decision, as recorded during a run: everything the
+/// explorer needs to branch (enabled set, footprints, preemption
+/// accounting) and everything replay needs (the chosen index).
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// Enabled thread ids, ascending.
+    pub enabled: Vec<Tid>,
+    /// Footprint of each enabled thread's declared op.
+    pub fps: Vec<Footprint>,
+    /// Index into `enabled` that was taken.
+    pub chosen: usize,
+    /// The previously active thread if it was still runnable here —
+    /// choosing anything else costs one preemption.
+    pub prev: Option<Tid>,
+}
+
+/// Why an execution failed. Mapped onto `ecl-check` rules by
+/// [`crate::report`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Unsynchronized conflicting accesses to an `McCell` — no
+    /// happens-before edge between the two epochs.
+    DataRace,
+    /// No thread enabled while some are still alive.
+    Deadlock,
+    /// A deadlock where a blocked condvar waiter missed a notify that
+    /// fired before it parked — the PR 6 bug class.
+    LostWakeup,
+    /// A harness `assert!`/`panic!` fired.
+    Assertion,
+    /// The run exceeded the per-schedule step budget (livelock guard).
+    StepBudget,
+}
+
+impl FailureKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::DataRace => "data-race",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::LostWakeup => "lost-wakeup",
+            FailureKind::Assertion => "assertion",
+            FailureKind::StepBudget => "step-budget",
+        }
+    }
+}
+
+/// A failing schedule: what went wrong, and the exact choice sequence
+/// plus executed-step trace needed to reproduce it with
+/// [`crate::Checker::replay`].
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Human-readable description of the defect.
+    pub detail: String,
+    /// Chosen enabled-set index per decision — feed back verbatim to
+    /// `Checker::replay` to reproduce.
+    pub schedule: Vec<usize>,
+    /// Executed steps, one `"tN name · op"` line each.
+    pub trace: Vec<String>,
+    /// Preemptive context switches in the failing schedule (minimal
+    /// under iterative deepening).
+    pub preemptions: u32,
+}
+
+impl Failure {
+    /// Renders the failure with its replayable schedule and trace.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: {}\n  preemptions: {}\n  schedule (replayable): {:?}\n  trace ({} steps):\n",
+            self.kind.name(),
+            self.detail,
+            self.preemptions,
+            self.schedule,
+            self.trace.len(),
+        );
+        for (i, step) in self.trace.iter().enumerate() {
+            out.push_str(&format!("    [{i:3}] {step}\n"));
+        }
+        out
+    }
+}
+
+/// Per-run knobs handed down from [`crate::Config`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RunCfg {
+    pub max_threads: usize,
+    pub max_steps: u64,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadSt>,
+    objs: Vec<ObjSt>,
+    active: Option<Tid>,
+    live: usize,
+    /// All threads finished (normally or via abort) — driver may
+    /// collect.
+    finished: bool,
+    abort: bool,
+    /// Replay prefix of enabled-set indices.
+    prefix: Vec<usize>,
+    mode: Mode,
+    rng: u64,
+    decisions: Vec<Decision>,
+    preemptions: u32,
+    steps: u64,
+    trace: Vec<String>,
+    failure: Option<Failure>,
+}
+
+impl ExecState {
+    fn choices(&self) -> Vec<usize> {
+        self.decisions.iter().map(|d| d.chosen).collect()
+    }
+
+    fn fail(&mut self, kind: FailureKind, detail: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                kind,
+                detail,
+                schedule: self.choices(),
+                trace: self.trace.clone(),
+                preemptions: self.preemptions,
+            });
+        }
+        self.abort = true;
+    }
+}
+
+/// One controlled execution. Shim types reach it through the
+/// thread-local installed by the spawn wrapper.
+pub(crate) struct Execution {
+    st: Mutex<ExecState>,
+    cv: Condvar,
+    cfg: RunCfg,
+    /// OS handles of every spawned harness thread, joined by the
+    /// driver after the run settles.
+    os_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Execution>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The current controlled context, if this OS thread is a harness
+/// thread of a live execution.
+pub(crate) fn current() -> Option<(Arc<Execution>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Silences the default panic printout on controlled threads, once
+/// per process: harness panics are *expected* (assertion findings,
+/// abort tokens on every explored failing schedule) and are recorded
+/// and rendered through [`Failure`] instead. Uncontrolled threads
+/// keep the previous hook's behavior.
+pub(crate) fn install_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if current().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    let mut x = *s;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *s = x;
+    x
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Execution {
+    pub(crate) fn new(cfg: RunCfg, prefix: Vec<usize>, mode: Mode, seed: u64) -> Execution {
+        Execution {
+            st: Mutex::new(ExecState {
+                threads: Vec::new(),
+                objs: Vec::new(),
+                active: None,
+                live: 0,
+                finished: false,
+                abort: false,
+                prefix,
+                mode,
+                rng: seed | 1,
+                decisions: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                trace: Vec::new(),
+                failure: None,
+            }),
+            cv: Condvar::new(),
+            cfg,
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.st.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a new instrumented object; called from shim
+    /// constructors while the creating thread holds the baton.
+    pub(crate) fn register_object(&self, kind: ObjKind, name: &str) -> ObjId {
+        let mut st = self.lock();
+        st.objs.push(ObjSt::new(kind, name.to_string()));
+        st.objs.len() - 1
+    }
+
+    /// Registers a logical thread (clock inherited from `parent`) and
+    /// returns its id. The caller spawns the OS thread afterwards; the
+    /// new thread cannot be scheduled before the creator's next yield,
+    /// by which time the OS thread exists.
+    pub(crate) fn register_thread(&self, name: &str, parent: Option<Tid>) -> Tid {
+        let mut st = self.lock();
+        if st.threads.len() >= self.cfg.max_threads {
+            drop(st);
+            panic!("mc: harness exceeded max_threads ({})", self.cfg.max_threads);
+        }
+        let tid = st.threads.len();
+        st.objs.push(ObjSt::new(ObjKind::Thread, format!("thread:{name}")));
+        let obj = st.objs.len() - 1;
+        let mut clock = match parent {
+            Some(p) => st.threads[p].clock.clone(),
+            None => VClock::new(),
+        };
+        clock.tick(tid);
+        if let Some(p) = parent {
+            st.threads[p].clock.tick(p);
+        }
+        st.threads.push(ThreadSt {
+            name: name.to_string(),
+            obj,
+            done: false,
+            pending: Some(PendingOp {
+                pending: Pending::Start,
+                fp: Footprint { obj, writes: true },
+                label: "start".to_string(),
+            }),
+            clock,
+            final_clock: None,
+            park_token: false,
+            park_sync: VClock::new(),
+        });
+        st.live += 1;
+        tid
+    }
+
+    pub(crate) fn thread_obj(&self, tid: Tid) -> ObjId {
+        self.lock().threads[tid].obj
+    }
+
+    pub(crate) fn add_os_handle(&self, h: JoinHandle<()>) {
+        self.os_handles.lock().unwrap_or_else(|e| e.into_inner()).push(h);
+    }
+
+    /// Whether `pending` may run given the current guard state.
+    fn enabled(st: &ExecState, tid: Tid) -> bool {
+        let Some(op) = &st.threads[tid].pending else { return false };
+        match op.pending {
+            Pending::Start | Pending::Op => true,
+            Pending::Lock { mutex } => st.objs[mutex].owner.is_none(),
+            Pending::CvBlocked { .. } => false,
+            Pending::Join { target } => st.threads[target].done,
+            Pending::Parked => st.threads[tid].park_token,
+        }
+    }
+
+    /// Picks the next thread to hold the baton. Called by the active
+    /// thread when it parks (or finishes). Detects deadlock, lost
+    /// wakeups, and step-budget exhaustion.
+    fn schedule_next(&self, st: &mut ExecState) {
+        if st.abort || st.finished {
+            self.cv.notify_all();
+            return;
+        }
+        let enabled: Vec<Tid> = (0..st.threads.len())
+            .filter(|&t| !st.threads[t].done && Self::enabled(st, t))
+            .collect();
+        if enabled.is_empty() {
+            let live: Vec<String> = (0..st.threads.len())
+                .filter(|&t| !st.threads[t].done)
+                .map(|t| {
+                    let pend = st.threads[t].pending.as_ref();
+                    format!(
+                        "t{t} {} blocked at `{}`",
+                        st.threads[t].name,
+                        pend.map_or("?", |p| p.label.as_str())
+                    )
+                })
+                .collect();
+            // Lost wakeup: somebody is parked on a condvar whose
+            // notify already fired into an empty wait queue.
+            let lost = (0..st.threads.len()).find_map(|t| {
+                if st.threads[t].done {
+                    return None;
+                }
+                match st.threads[t].pending.as_ref().map(|p| &p.pending) {
+                    Some(&Pending::CvBlocked { cv }) if st.objs[cv].missed_notifies > 0 => {
+                        Some((t, cv))
+                    }
+                    _ => None,
+                }
+            });
+            let (kind, detail) = match lost {
+                Some((t, cv)) => (
+                    FailureKind::LostWakeup,
+                    format!(
+                        "t{t} {} waits on '{}' forever: {} notify(s) fired before it parked ({})",
+                        st.threads[t].name,
+                        st.objs[cv].name,
+                        st.objs[cv].missed_notifies,
+                        live.join("; "),
+                    ),
+                ),
+                None => (FailureKind::Deadlock, format!("no thread can run: {}", live.join("; "))),
+            };
+            st.fail(kind, detail);
+            self.cv.notify_all();
+            return;
+        }
+        if st.steps >= self.cfg.max_steps {
+            st.fail(
+                FailureKind::StepBudget,
+                format!("schedule exceeded {} steps (livelock?)", self.cfg.max_steps),
+            );
+            self.cv.notify_all();
+            return;
+        }
+        st.steps += 1;
+        let prev = st.active.filter(|&t| !st.threads[t].done);
+        let k = st.decisions.len();
+        let chosen_ix = if k < st.prefix.len() {
+            st.prefix[k].min(enabled.len() - 1)
+        } else {
+            match st.mode {
+                Mode::Dfs => prev.and_then(|p| enabled.iter().position(|&t| t == p)).unwrap_or(0),
+                Mode::Random => (xorshift(&mut st.rng) % enabled.len() as u64) as usize,
+            }
+        };
+        let chosen = enabled[chosen_ix];
+        if let Some(p) = prev {
+            if chosen != p && enabled.contains(&p) {
+                st.preemptions += 1;
+            }
+        }
+        let fps = enabled
+            .iter()
+            .map(|&t| {
+                st.threads[t]
+                    .pending
+                    .as_ref()
+                    .map_or(Footprint { obj: st.threads[t].obj, writes: true }, |p| p.fp)
+            })
+            .collect();
+        let label =
+            st.threads[chosen].pending.as_ref().map_or_else(String::new, |p| p.label.clone());
+        st.trace.push(format!("t{chosen} {} · {label}", st.threads[chosen].name));
+        st.decisions.push(Decision { enabled, fps, chosen: chosen_ix, prev });
+        st.active = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Applies the state effects of granting a blocking pending op.
+    fn apply_grant(&self, st: &mut ExecState, me: Tid) {
+        let Some(op) = st.threads[me].pending.take() else { return };
+        match op.pending {
+            Pending::Start | Pending::Op => {}
+            Pending::Lock { mutex } => {
+                st.objs[mutex].owner = Some(me);
+                let sync = st.objs[mutex].sync.clone();
+                st.threads[me].clock.join(&sync);
+            }
+            Pending::Join { target } => {
+                if let Some(fin) = st.threads[target].final_clock.clone() {
+                    st.threads[me].clock.join(&fin);
+                }
+            }
+            Pending::Parked => {
+                st.threads[me].park_token = false;
+                let sync = st.threads[me].park_sync.clone();
+                st.threads[me].clock.join(&sync);
+            }
+            Pending::CvBlocked { .. } => {
+                unreachable!("CvBlocked is never granted directly (notify rewrites it)")
+            }
+        }
+        st.threads[me].clock.tick(me);
+    }
+
+    /// Parks at a yield point with `op` declared, waits to be granted
+    /// the baton, applies the grant effects, and returns with this
+    /// thread active. Panics with [`AbortToken`] if the execution
+    /// aborts while parked.
+    pub(crate) fn yield_with(&self, me: Tid, op: PendingOp) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        st.threads[me].pending = Some(op);
+        self.schedule_next(&mut st);
+        self.wait_granted(st, me);
+    }
+
+    /// Waits for the baton while parked with a pending op already
+    /// declared (used by `yield_with` and the condvar wait commit).
+    fn wait_granted(&self, mut st: MutexGuard<'_, ExecState>, me: Tid) {
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            if st.active == Some(me) && st.threads[me].pending.is_some() && Self::enabled(&st, me) {
+                self.apply_grant(&mut st, me);
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Post-grant effects: the active thread mutates clocks/guards under
+    // a short lock. No other thread can run until it parks again, so
+    // these are atomic with respect to scheduling.
+    // ------------------------------------------------------------------
+
+    /// Happens-before edges of an atomic access, per its `Ordering`.
+    /// An RMW preserves the release chain whatever its ordering; a
+    /// plain relaxed *store* severs it, so a later acquire load gets
+    /// no edge.
+    pub(crate) fn sync_op(
+        &self,
+        me: Tid,
+        obj: ObjId,
+        acquire: bool,
+        release: bool,
+        rmw: bool,
+        store: bool,
+    ) {
+        let mut st = self.lock();
+        if acquire {
+            let sync = st.objs[obj].sync.clone();
+            st.threads[me].clock.join(&sync);
+        }
+        if release {
+            let clock = st.threads[me].clock.clone();
+            if rmw {
+                st.objs[obj].sync.join(&clock);
+            } else {
+                st.objs[obj].sync = clock;
+            }
+        } else if store && !rmw {
+            st.objs[obj].sync.clear();
+        }
+        st.threads[me].clock.tick(me);
+    }
+
+    /// Race-checks and records a non-atomic cell access. On a race the
+    /// execution fails and this thread unwinds.
+    pub(crate) fn cell_access(&self, me: Tid, obj: ObjId, write: bool, label: &str) {
+        let mut st = self.lock();
+        let my = st.threads[me].clock.clone();
+        let mut race: Option<String> = None;
+        if let Some((t, k)) = st.objs[obj].last_write {
+            if t != me && !my.covers(t, k) {
+                race = Some(format!(
+                    "{} of '{}' by t{me} {} is unordered with the write by t{t} {} ('{}') — \
+                     no release/acquire edge between them",
+                    if write { "write" } else { "read" },
+                    st.objs[obj].name,
+                    st.threads[me].name,
+                    st.threads[t].name,
+                    st.objs[obj].write_label,
+                ));
+            }
+        }
+        if write && race.is_none() {
+            for &(t, k) in &st.objs[obj].reads {
+                if t != me && !my.covers(t, k) {
+                    race = Some(format!(
+                        "write of '{}' by t{me} {} is unordered with a read by t{t} {} — \
+                         no release/acquire edge between them",
+                        st.objs[obj].name, st.threads[me].name, st.threads[t].name,
+                    ));
+                    break;
+                }
+            }
+        }
+        if let Some(detail) = race {
+            st.fail(FailureKind::DataRace, detail);
+            self.cv.notify_all();
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        let epoch = my.get(me);
+        if write {
+            st.objs[obj].last_write = Some((me, epoch));
+            st.objs[obj].write_label = label.to_string();
+            // All prior reads happen-before this write, so ordering
+            // after the write subsumes ordering after them.
+            st.objs[obj].reads.clear();
+        } else {
+            match st.objs[obj].reads.iter_mut().find(|(t, _)| *t == me) {
+                Some(slot) => slot.1 = epoch,
+                None => st.objs[obj].reads.push((me, epoch)),
+            }
+        }
+        st.threads[me].clock.tick(me);
+    }
+
+    /// Releases `mutex` (unlock or the condvar wait commit).
+    pub(crate) fn mutex_release(&self, me: Tid, mutex: ObjId) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.objs[mutex].owner, Some(me), "unlock by non-owner");
+        st.objs[mutex].owner = None;
+        st.objs[mutex].sync = st.threads[me].clock.clone();
+        st.threads[me].clock.tick(me);
+    }
+
+    /// Second half of a condvar wait: atomically (w.r.t. scheduling)
+    /// release the mutex, park on the condvar, and hand off the baton.
+    /// Returns once a notify has moved this thread through re-acquire.
+    pub(crate) fn cv_park(&self, me: Tid, cv: ObjId, mutex: ObjId) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.objs[mutex].owner, Some(me), "cv wait without the lock");
+        st.objs[mutex].owner = None;
+        st.objs[mutex].sync = st.threads[me].clock.clone();
+        st.threads[me].clock.tick(me);
+        st.objs[cv].waiters.push(me);
+        let cv_name = st.objs[cv].name.clone();
+        st.threads[me].pending = Some(PendingOp {
+            pending: Pending::CvBlocked { cv },
+            fp: Footprint { obj: mutex, writes: true },
+            label: format!("cv-reacquire {cv_name}"),
+        });
+        self.schedule_next(&mut st);
+        self.wait_granted(st, me);
+    }
+
+    /// Wakes one or all condvar waiters (rewrites them into mutex
+    /// re-acquires); counts a missed notify if nobody was parked.
+    pub(crate) fn notify(&self, me: Tid, cv: ObjId, all: bool) {
+        let mut st = self.lock();
+        if st.objs[cv].waiters.is_empty() {
+            st.objs[cv].missed_notifies += 1;
+        } else {
+            let woken: Vec<Tid> = if all {
+                std::mem::take(&mut st.objs[cv].waiters)
+            } else {
+                vec![st.objs[cv].waiters.remove(0)]
+            };
+            for t in woken {
+                let Some(op) = st.threads[t].pending.take() else { continue };
+                let Pending::CvBlocked { .. } = op.pending else { continue };
+                // The footprint already points at the mutex.
+                st.threads[t].pending =
+                    Some(PendingOp { pending: Pending::Lock { mutex: op.fp.obj }, ..op });
+            }
+        }
+        st.threads[me].clock.tick(me);
+    }
+
+    /// Deposits an unpark token on `target` with a release edge.
+    pub(crate) fn unpark(&self, me: Tid, target: Tid) {
+        let mut st = self.lock();
+        st.threads[target].park_token = true;
+        let clock = st.threads[me].clock.clone();
+        st.threads[target].park_sync.join(&clock);
+        st.threads[me].clock.tick(me);
+    }
+
+    /// Consumes an already-deposited unpark token (the fast path of
+    /// `park()`), acquiring the unparker's release edge. Returns
+    /// whether a token was present.
+    pub(crate) fn take_park_token(&self, me: Tid) -> bool {
+        let mut st = self.lock();
+        let had = st.threads[me].park_token;
+        if had {
+            st.threads[me].park_token = false;
+            let sync = st.threads[me].park_sync.clone();
+            st.threads[me].clock.join(&sync);
+            st.threads[me].clock.tick(me);
+        }
+        had
+    }
+
+    /// Slow path of `park()`: parks until an unpark token arrives.
+    pub(crate) fn park_wait(&self, me: Tid) {
+        let mut st = self.lock();
+        let obj = st.threads[me].obj;
+        st.threads[me].pending = Some(PendingOp {
+            pending: Pending::Parked,
+            fp: Footprint { obj, writes: true },
+            label: "park".to_string(),
+        });
+        self.schedule_next(&mut st);
+        self.wait_granted(st, me);
+    }
+
+    /// Marks `me` finished. Runs in the OS-thread wrapper *after* the
+    /// harness closure returned or panicked, while `me` still holds
+    /// the baton (normal path) — so completion is part of its last
+    /// step and the next decision deterministically sees it done.
+    pub(crate) fn finish_thread(
+        &self,
+        me: Tid,
+        panic_payload: Option<Box<dyn std::any::Any + Send>>,
+    ) {
+        let mut st = self.lock();
+        if let Some(payload) = panic_payload {
+            if payload.downcast_ref::<AbortToken>().is_none() {
+                let msg = panic_message(payload.as_ref());
+                let name = st.threads[me].name.clone();
+                st.fail(FailureKind::Assertion, format!("t{me} {name} panicked: {msg}"));
+            }
+        }
+        st.threads[me].done = true;
+        st.threads[me].pending = None;
+        st.threads[me].final_clock = Some(st.threads[me].clock.clone());
+        st.live -= 1;
+        if st.live == 0 {
+            st.finished = true;
+            self.cv.notify_all();
+        } else if st.active == Some(me) && !st.abort {
+            self.schedule_next(&mut st);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Driver: starts scheduling (first grant) after the root thread
+    /// is registered and spawned.
+    pub(crate) fn kick(&self) {
+        let mut st = self.lock();
+        self.schedule_next(&mut st);
+    }
+
+    /// Driver: blocks until every logical thread finished, then joins
+    /// the OS threads and returns the run record.
+    pub(crate) fn settle(&self) -> (Vec<Decision>, Option<Failure>, u64) {
+        let mut st = self.lock();
+        while !st.finished {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(st);
+        loop {
+            let Some(h) = self.os_handles.lock().unwrap_or_else(|e| e.into_inner()).pop() else {
+                break;
+            };
+            // Harness panics were already captured by the wrapper.
+            let _ = h.join();
+        }
+        let st = self.lock();
+        (st.decisions.clone(), st.failure.clone(), st.steps)
+    }
+
+    /// Installs the thread-local context and runs `body` as logical
+    /// thread `tid`; used by the spawn wrappers. The thread's `Start`
+    /// pending was installed by [`Execution::register_thread`] — this
+    /// just waits for the first grant, so the driver's `kick` (or the
+    /// parent's next yield) is the single scheduling trigger.
+    pub(crate) fn run_thread(self: &Arc<Execution>, tid: Tid, body: impl FnOnce()) {
+        CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(self), tid)));
+        let result = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+            let st = self.lock();
+            self.wait_granted(st, tid);
+            body();
+        }));
+        CTX.with(|c| *c.borrow_mut() = None);
+        self.finish_thread(tid, result.err());
+    }
+}
+
+/// A reference from a shim object to the execution that owns it.
+/// Objects constructed outside a model run (or used from a different
+/// run than the one that created them) fall through to plain std
+/// behavior.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ObjRef {
+    exec: Weak<Execution>,
+    pub id: ObjId,
+}
+
+impl ObjRef {
+    /// Registers a new object in the current execution, if any.
+    pub(crate) fn register(kind: ObjKind, name: &str) -> ObjRef {
+        match current() {
+            Some((exec, _)) => {
+                let id = exec.register_object(kind, name);
+                ObjRef { exec: Arc::downgrade(&exec), id }
+            }
+            None => ObjRef { exec: Weak::new(), id: usize::MAX },
+        }
+    }
+
+    /// The controlled context, iff this OS thread belongs to the same
+    /// execution that created the object.
+    pub(crate) fn ctx(&self) -> Option<(Arc<Execution>, Tid)> {
+        let own = self.exec.upgrade()?;
+        let (cur, me) = current()?;
+        Arc::ptr_eq(&own, &cur).then_some((cur, me))
+    }
+}
+
+/// Maps a memory-ordering to (acquire?, release?) edge flags for a
+/// load (`store = false`) or store/RMW.
+pub(crate) fn edges(order: Ordering, load: bool, store: bool) -> (bool, bool) {
+    let acquire = load && matches!(order, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst);
+    let release = store && matches!(order, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst);
+    (acquire, release)
+}

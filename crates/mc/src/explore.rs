@@ -1,0 +1,330 @@
+//! The exploration engine: bounded DFS over schedules with
+//! partial-order reduction, plus seeded random sampling beyond the
+//! bound.
+//!
+//! Schedules are identified by their choice sequence (the index into
+//! the enabled set at every decision). The DFS replays a chosen
+//! prefix deterministically and lets the default policy (stay on the
+//! current thread) finish the run, so the recorded decision list
+//! *is* the tree path; backtracking re-runs with the deepest
+//! untried sibling appended.
+//!
+//! Three prunings keep the tree tractable:
+//!
+//! - **context-switch bound**: a sibling that preempts a still-
+//!   runnable thread is only tried while the prefix has spent fewer
+//!   than `bound` preemptions. Bounds are iterated 0, 1, …, `bound`
+//!   (iterative deepening), so the first failure found uses the
+//!   fewest preemptions possible — the "minimal failing schedule".
+//! - **sleep sets**: after exploring thread `t` at a node, a sibling
+//!   subtree only re-explores `t` if the sibling's step is dependent
+//!   (same object, a write involved) — commuting alternatives are
+//!   skipped (classic Godefroid sleep sets).
+//! - **step budget** per run (livelock guard) and a schedule budget
+//!   per harness (CI time guard; exhaustiveness is reported so a
+//!   budget-truncated run is never mistaken for a proof).
+
+use std::sync::Arc;
+
+use crate::exec::{Decision, Execution, Failure, Mode, RunCfg, Tid};
+
+/// Exploration knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Context-switch bound: max *preemptive* switches per schedule
+    /// (switching away from a thread that could continue). Blocking
+    /// switches are always free.
+    pub preemption_bound: u32,
+    /// Total schedule budget per harness (DFS runs across all bounds
+    /// plus random samples).
+    pub max_schedules: u64,
+    /// Seeded-random schedules run after an exhaustive (or budget-
+    /// truncated) DFS, sampling interleavings beyond the bound.
+    pub random_samples: u64,
+    /// Seed for the random phase (deterministic across runs).
+    pub seed: u64,
+    /// Per-schedule step budget (livelock guard).
+    pub max_steps: u64,
+    /// Hard cap on harness threads (2–4 per the harness contract).
+    pub max_threads: usize,
+    /// Sleep-set partial-order reduction (on by default; disable to
+    /// measure how much it prunes).
+    pub por: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 20_000,
+            random_samples: 64,
+            seed: 0xEC1_5EED,
+            max_steps: 5_000,
+            max_threads: 4,
+            por: true,
+        }
+    }
+}
+
+/// The verdict for one harness.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Harness name.
+    pub name: String,
+    /// Total schedules executed (DFS + random).
+    pub schedules: u64,
+    /// Schedules executed by the bounded DFS (all deepening rounds).
+    pub dfs_schedules: u64,
+    /// Schedules executed by the random phase.
+    pub random_schedules: u64,
+    /// Whether the DFS enumerated every schedule within the
+    /// context-switch bound (budget not hit, no failure cut it
+    /// short).
+    pub exhaustive: bool,
+    /// The context-switch bound the DFS reached.
+    pub bound: u32,
+    /// First failure found, if any (minimal preemptions first thanks
+    /// to iterative deepening).
+    pub failure: Option<Failure>,
+}
+
+impl Outcome {
+    /// No failure found.
+    pub fn is_clean(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// One-line summary for suite output.
+    pub fn summary(&self) -> String {
+        match &self.failure {
+            None => format!(
+                "{}: clean · {} schedules ({} dfs{} / {} random), bound {}",
+                self.name,
+                self.schedules,
+                self.dfs_schedules,
+                if self.exhaustive { ", exhaustive" } else { ", budget-truncated" },
+                self.random_schedules,
+                self.bound,
+            ),
+            Some(f) => format!(
+                "{}: {} after {} schedules — {}",
+                self.name,
+                f.kind.name(),
+                self.schedules,
+                f.detail,
+            ),
+        }
+    }
+}
+
+/// A harness body: runs once per schedule, recreating its shared
+/// state from scratch each time.
+pub type Harness = Arc<dyn Fn() + Send + Sync>;
+
+struct RunRecord {
+    decisions: Vec<Decision>,
+    failure: Option<Failure>,
+}
+
+/// One DFS node: the decision seen at this depth plus exploration
+/// bookkeeping.
+struct Frame {
+    enabled: Vec<Tid>,
+    fps: Vec<crate::exec::Footprint>,
+    prev: Option<Tid>,
+    /// Preemptions spent by the prefix leading here.
+    preempt_before: u32,
+    /// Enabled-indices already explored here, in order.
+    tried: Vec<usize>,
+    /// Sleeping threads: already covered by a sibling subtree unless
+    /// a dependent step wakes them.
+    sleep: Vec<(Tid, crate::exec::Footprint)>,
+}
+
+impl Frame {
+    /// Preemption cost of picking `ix` here.
+    fn cost(&self, ix: usize) -> u32 {
+        match self.prev {
+            Some(p) if self.enabled.contains(&p) && self.enabled[ix] != p => 1,
+            _ => 0,
+        }
+    }
+}
+
+/// The model checker. See [`crate`] docs for the harness contract.
+#[derive(Clone, Debug, Default)]
+pub struct Checker {
+    /// Exploration configuration.
+    pub config: Config,
+}
+
+impl Checker {
+    /// A checker with default configuration.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// A checker with explicit configuration.
+    pub fn with_config(config: Config) -> Checker {
+        Checker { config }
+    }
+
+    fn run_once(&self, f: &Harness, prefix: &[usize], mode: Mode, seed: u64) -> RunRecord {
+        crate::exec::install_panic_hook();
+        let cfg = RunCfg { max_threads: self.config.max_threads, max_steps: self.config.max_steps };
+        let exec = Arc::new(Execution::new(cfg, prefix.to_vec(), mode, seed));
+        let root = exec.register_thread("main", None);
+        let body = Arc::clone(f);
+        let exec2 = Arc::clone(&exec);
+        let os = std::thread::Builder::new()
+            .name("mc-main".to_string())
+            .spawn(move || exec2.run_thread(root, move || body()))
+            .expect("spawn harness root thread");
+        exec.add_os_handle(os);
+        exec.kick();
+        let (decisions, failure, _steps) = exec.settle();
+        RunRecord { decisions, failure }
+    }
+
+    /// DFS at one context-switch bound. Returns (runs, failure,
+    /// completed-without-budget-cut).
+    fn dfs(&self, f: &Harness, bound: u32, budget: &mut u64) -> (u64, Option<Failure>, bool) {
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut runs = 0u64;
+        loop {
+            if *budget == 0 {
+                return (runs, None, false);
+            }
+            *budget -= 1;
+            runs += 1;
+            let rec = self.run_once(f, &prefix, Mode::Dfs, self.config.seed);
+            if let Some(fail) = rec.failure {
+                return (runs, Some(fail), false);
+            }
+            // Extend the stack with the fresh tail of this run.
+            for k in stack.len()..rec.decisions.len() {
+                let d = &rec.decisions[k];
+                let (preempt_before, sleep) = match k.checked_sub(1) {
+                    None => (0, Vec::new()),
+                    Some(pk) => {
+                        let parent = &stack[pk];
+                        let chosen_ix = *parent.tried.last().expect("parent has a choice");
+                        let executed = parent.fps[chosen_ix];
+                        let mut sleep = parent.sleep.clone();
+                        if self.config.por {
+                            for &ix in &parent.tried[..parent.tried.len() - 1] {
+                                sleep.push((parent.enabled[ix], parent.fps[ix]));
+                            }
+                            sleep.retain(|&(_, fp)| fp.independent(executed));
+                        } else {
+                            sleep.clear();
+                        }
+                        (parent.preempt_before + parent.cost(chosen_ix), sleep)
+                    }
+                };
+                stack.push(Frame {
+                    enabled: d.enabled.clone(),
+                    fps: d.fps.clone(),
+                    prev: d.prev,
+                    preempt_before,
+                    tried: vec![d.chosen],
+                    sleep,
+                });
+            }
+            // Backtrack to the deepest frame with an untried,
+            // affordable, awake sibling.
+            loop {
+                let Some(top) = stack.last_mut() else {
+                    return (runs, None, true); // exhausted within the bound
+                };
+                let next = (0..top.enabled.len()).find(|&ix| {
+                    !top.tried.contains(&ix)
+                        && top.preempt_before + top.cost(ix) <= bound
+                        && !top.sleep.iter().any(|&(t, _)| t == top.enabled[ix])
+                });
+                match next {
+                    Some(ix) => {
+                        top.tried.push(ix);
+                        prefix = stack
+                            .iter()
+                            .map(|fr| *fr.tried.last().expect("frame has a choice"))
+                            .collect();
+                        break;
+                    }
+                    None => {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Explores `f` under the configured budget and returns the
+    /// verdict. The harness must be deterministic apart from
+    /// scheduling, recreate all shared state per call, and spawn at
+    /// most `max_threads` threads via [`crate::thread::spawn`].
+    pub fn check<F>(&self, name: &str, f: F) -> Outcome
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Harness = Arc::new(f);
+        let mut budget = self.config.max_schedules;
+        let mut dfs_total = 0u64;
+        let mut failure: Option<Failure> = None;
+        let mut exhaustive = false;
+        let mut bound_used = 0;
+        // Iterative deepening on the context-switch bound: a failure
+        // reachable with b preemptions is found before any schedule
+        // with b+1 is tried, so the reported schedule is minimal.
+        for b in 0..=self.config.preemption_bound {
+            bound_used = b;
+            let (runs, fail, done) = self.dfs(&f, b, &mut budget);
+            dfs_total += runs;
+            if fail.is_some() {
+                failure = fail;
+                break;
+            }
+            exhaustive = done;
+            if !done {
+                break; // budget gone; deeper bounds cannot finish either
+            }
+        }
+        let mut random_runs = 0u64;
+        if failure.is_none() {
+            for i in 0..self.config.random_samples {
+                if budget == 0 {
+                    break;
+                }
+                budget -= 1;
+                random_runs += 1;
+                let rec =
+                    self.run_once(&f, &[], Mode::Random, self.config.seed.wrapping_add(i * 2 + 1));
+                if let Some(fail) = rec.failure {
+                    failure = Some(fail);
+                    break;
+                }
+            }
+        }
+        Outcome {
+            name: name.to_string(),
+            schedules: dfs_total + random_runs,
+            dfs_schedules: dfs_total,
+            random_schedules: random_runs,
+            exhaustive: exhaustive && failure.is_none(),
+            bound: bound_used,
+            failure,
+        }
+    }
+
+    /// Re-runs `f` under an exact recorded choice sequence (a
+    /// [`Failure::schedule`]) and returns the failure it reproduces,
+    /// if any.
+    pub fn replay<F>(&self, f: F, schedule: &[usize]) -> Option<Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Harness = Arc::new(f);
+        self.run_once(&f, schedule, Mode::Dfs, self.config.seed).failure
+    }
+}

@@ -1,0 +1,143 @@
+//! Seeded-defect fixtures: known-bad protocol variants the checker
+//! **must** find. They serve two purposes — regression canaries for
+//! the detector itself (one fixture per failure class), and the PR 6
+//! scheduler bug reintroduced behind a test-only path so the suite
+//! proves it would have been caught.
+//!
+//! Fixtures never ship in a production code path: each is a separate
+//! harness body in this test-support crate, flipped on by a boolean
+//! the clean harness shares (`finish_path(true)`, `drain(true)`), or
+//! written out directly here. CI runs them expecting findings; a
+//! fixture that verifies *clean* fails the suite.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use ecl_check::Rule;
+
+use crate::harnesses::{drain, finish_path};
+use crate::shim::atomic::McAtomicU64;
+use crate::shim::cell::McCell;
+use crate::shim::sync::McMutex;
+use crate::shim::thread;
+
+/// One seeded defect: a harness body plus the rule the checker must
+/// report for it.
+#[derive(Clone, Copy)]
+pub struct FixtureEntry {
+    /// Stable name (suite selector and report kernel name).
+    pub name: &'static str,
+    /// One-line description for `--list` output.
+    pub about: &'static str,
+    /// The defective body; run once per explored schedule.
+    pub run: fn(),
+    /// The rule the checker must report. Any other verdict — clean
+    /// included — fails the suite.
+    pub expect: Rule,
+}
+
+/// All fixtures, suite ordered.
+pub const ALL: &[FixtureEntry] = &[
+    FixtureEntry {
+        name: "finish-counter-after-transition",
+        about: "PR 6 scheduler bug: metric counted after the terminal notify",
+        run: finish_counter_after_transition,
+        expect: Rule::McAssertion,
+    },
+    FixtureEntry {
+        name: "drain-signal-outside-lock",
+        about: "shutdown flag + notify without the queue lock: worker sleeps forever",
+        run: drain_signal_outside_lock,
+        expect: Rule::McLostWakeup,
+    },
+    FixtureEntry {
+        name: "ring-relaxed-head",
+        about: "ring head published with Relaxed: reader races the slot writes",
+        run: ring_relaxed_head,
+        expect: Rule::McRace,
+    },
+    FixtureEntry {
+        name: "lock-order-inversion",
+        about: "ABBA double-lock: two threads acquire the same pair in opposite order",
+        run: lock_order_inversion,
+        expect: Rule::McDeadlock,
+    },
+];
+
+/// Looks up a fixture by name.
+pub fn by_name(name: &str) -> Option<&'static FixtureEntry> {
+    ALL.iter().find(|f| f.name == name)
+}
+
+/// The PR 6 scheduler finish-path race, reintroduced: the worker
+/// transitions the job to `Done` and notifies **before** bumping
+/// `jobs_done`, so a waiter woken by the terminal state can read a
+/// stale metric. The checker reports the waiter's assertion with the
+/// minimal preempting schedule.
+pub fn finish_counter_after_transition() {
+    finish_path(true);
+}
+
+/// `begin_drain` without the queue lock: the store + notify can land
+/// in the worker's window between its shutdown check and its wait.
+pub fn drain_signal_outside_lock() {
+    drain(true);
+}
+
+/// The trace-ring publication edge severed: the writer stores `head`
+/// with `Relaxed`, so the reader's acquire load establishes no
+/// happens-before with the slot writes — a data race on the first
+/// schedule that interleaves them.
+pub fn ring_relaxed_head() {
+    let head = Arc::new(McAtomicU64::new("ring.head", 0));
+    let slot = Arc::new(McCell::new("ring.slot[0]", 0u64));
+
+    let writer = {
+        let head = Arc::clone(&head);
+        let slot = Arc::clone(&slot);
+        thread::spawn("writer", move || {
+            slot.write(11);
+            head.store(1, Ordering::Relaxed); // defect: was Release
+        })
+    };
+    let reader = {
+        let head = Arc::clone(&head);
+        let slot = Arc::clone(&slot);
+        thread::spawn("reader", move || {
+            if head.load(Ordering::Acquire) >= 1 {
+                assert_eq!(slot.read(), 11);
+            }
+        })
+    };
+    writer.join();
+    reader.join();
+}
+
+/// Classic ABBA: thread 1 locks A then B, thread 2 locks B then A.
+/// The schedule where each takes its first lock before either takes
+/// its second leaves both blocked forever.
+pub fn lock_order_inversion() {
+    let a = Arc::new(McMutex::new("lock.a", 0u32));
+    let b = Arc::new(McMutex::new("lock.b", 0u32));
+
+    let t1 = {
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        thread::spawn("ab", move || {
+            let ga = a.lock();
+            let mut gb = b.lock();
+            *gb += *ga;
+        })
+    };
+    let t2 = {
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        thread::spawn("ba", move || {
+            let gb = b.lock();
+            let mut ga = a.lock();
+            *ga += *gb;
+        })
+    };
+    t1.join();
+    t2.join();
+}

@@ -1,0 +1,360 @@
+//! Production-path harnesses: small 2–4-thread protocols that mirror
+//! the lock-free host paths the suite actually runs, built from the
+//! instrumented shim primitives and — where the production code
+//! exposes its arithmetic as pure functions — the *same* functions
+//! the production path calls ([`ecl_gpusim::ticket_range`],
+//! [`ecl_serve::jobs::JobState::can_become`],
+//! [`ecl_serve::cache::result_key`]).
+//!
+//! Each harness recreates all shared state per invocation (the
+//! explorer runs it once per schedule) and encodes its correctness
+//! contract as plain `assert!`s; memory-ordering bugs surface as
+//! [`crate::exec::FailureKind::DataRace`] findings without any
+//! assertion at all, because the vector clocks convict the protocol
+//! on the first schedule that lacks a happens-before edge.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use ecl_gpusim::pool::auto_grain;
+use ecl_gpusim::ticket_range;
+use ecl_serve::cache::result_key;
+use ecl_serve::jobs::{Algo, JobSpec, JobState};
+
+use crate::shim::atomic::{McAtomicBool, McAtomicU64, McAtomicUsize};
+use crate::shim::cell::McCell;
+use crate::shim::sync::{McCondvar, McMutex};
+use crate::shim::thread;
+
+/// One registered harness: a named, self-contained protocol body the
+/// suite explores.
+#[derive(Clone, Copy)]
+pub struct HarnessEntry {
+    /// Stable name (suite selector and report kernel name).
+    pub name: &'static str,
+    /// One-line description for `--list` output.
+    pub about: &'static str,
+    /// The body; run once per explored schedule.
+    pub run: fn(),
+}
+
+/// All clean harnesses, suite ordered. Every entry must verify clean
+/// on main — CI fails on any finding.
+pub const ALL: &[HarnessEntry] = &[
+    HarnessEntry {
+        name: "pool-ticket-claim",
+        about: "atomic-ticket block claiming: every block exactly once, none lost",
+        run: ticket_claim,
+    },
+    HarnessEntry {
+        name: "scheduler-finish",
+        about: "admission/finish counters vs. terminal-state waiter (PR 6 bug class)",
+        run: scheduler_finish,
+    },
+    HarnessEntry {
+        name: "scheduler-drain",
+        about: "drain flag + condvar wakeup: no worker sleeps through shutdown",
+        run: scheduler_drain,
+    },
+    HarnessEntry {
+        name: "trace-ring",
+        about: "ring writer/reader publication: acquire load sees released words",
+        run: trace_ring,
+    },
+    HarnessEntry {
+        name: "result-cache",
+        about: "insert/hit path: one miss fills, later lookups hit, counters agree",
+        run: result_cache,
+    },
+];
+
+/// Looks up a harness by name.
+pub fn by_name(name: &str) -> Option<&'static HarnessEntry> {
+    ALL.iter().find(|h| h.name == name)
+}
+
+/// The pool's dynamic block-claim protocol (`pool::run_job`): two
+/// workers `fetch_add` a shared ticket counter and interpret the
+/// claim with the production [`ticket_range`]. Exactly-once execution
+/// is checked two ways: a per-block [`McCell`] write catches double
+/// claims as write-write races, and a retire counter checks none were
+/// lost. The `done` flag mirrors the pool's job-completion handoff
+/// (release `fetch_sub`, acquire read under the completion mutex).
+pub fn ticket_claim() {
+    const N: usize = 4;
+    let grain = auto_grain(N, 2).max(2);
+    let next = Arc::new(McAtomicUsize::new("job.next", 0));
+    let remaining = Arc::new(McAtomicUsize::new("job.remaining", N));
+    let blocks: Arc<Vec<McCell<u32>>> =
+        Arc::new((0..N).map(|b| McCell::new(&format!("block[{b}]"), 0)).collect());
+    let done = Arc::new((McMutex::new("job.done", false), McCondvar::new("job.done_cv")));
+
+    let worker = |w: usize| {
+        let next = Arc::clone(&next);
+        let remaining = Arc::clone(&remaining);
+        let blocks = Arc::clone(&blocks);
+        let done = Arc::clone(&done);
+        thread::spawn(&format!("worker{w}"), move || loop {
+            let claimed = next.fetch_add(grain, Ordering::Relaxed);
+            let Some((start, end)) = ticket_range(claimed, N, grain) else {
+                return;
+            };
+            for b in start..end {
+                let seen = blocks[b].read();
+                assert_eq!(seen, 0, "block {b} claimed twice");
+                blocks[b].write(1);
+            }
+            // Release retire, as in the pool: the claimer that drops
+            // `remaining` to zero publishes all block writes to the
+            // completion waiter.
+            let before = remaining.fetch_sub(end - start, Ordering::AcqRel);
+            if before == end - start {
+                let (lock, cv) = &*done;
+                *lock.lock() = true;
+                cv.notify_all();
+            }
+        })
+    };
+    let h0 = worker(0);
+    let h1 = worker(1);
+
+    // The host side of `Job::wait`: sleep until the last retire.
+    let (lock, cv) = &*done;
+    let mut finished = lock.lock();
+    while !*finished {
+        finished = cv.wait(finished);
+    }
+    drop(finished);
+    let run: u32 = (0..N).map(|b| blocks[b].read()).sum();
+    assert_eq!(run as usize, N, "every block ran exactly once");
+    h0.join();
+    h1.join();
+}
+
+/// Shared body for the scheduler finish-path harness and its seeded-
+/// defect fixture. A worker drives a job `Queued → Running → Done`
+/// using the production [`JobState::can_become`] transition table and
+/// bumps the `jobs_done` metric; a waiter blocks on the job condvar
+/// until the state is terminal and then asserts the metric is
+/// visible.
+///
+/// `counter_after_transition = false` is the production shape after
+/// the PR 6 fix: count **before** the transition and undo on the lost
+/// race, so the terminal-state notification happens-after the counter
+/// bump. `true` reintroduces the PR 6 defect — transition + notify
+/// first, count after — and the checker finds the schedule where the
+/// waiter wakes between the two.
+pub fn finish_path(counter_after_transition: bool) {
+    let state = Arc::new((McMutex::new("job.state", JobState::Queued), McCondvar::new("job.cv")));
+    let jobs_done = Arc::new(McAtomicU64::new("metrics.jobs_done", 0));
+
+    let worker = {
+        let state = Arc::clone(&state);
+        let jobs_done = Arc::clone(&jobs_done);
+        thread::spawn("worker", move || {
+            let (lock, cv) = &*state;
+            {
+                let mut st = lock.lock();
+                assert!(st.can_become(JobState::Running));
+                *st = JobState::Running;
+            }
+            if counter_after_transition {
+                // PR 6 defect: terminal transition and wakeup first…
+                let mut st = lock.lock();
+                assert!(st.can_become(JobState::Done));
+                *st = JobState::Done;
+                cv.notify_all();
+                drop(st);
+                // …metric counted after. A waiter scheduled between
+                // the notify and this add reads jobs_done == 0.
+                jobs_done.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // Production shape: count before the transition, undo
+                // on a lost transition race.
+                jobs_done.fetch_add(1, Ordering::Relaxed);
+                let mut st = lock.lock();
+                if !st.can_become(JobState::Done) {
+                    jobs_done.fetch_sub(1, Ordering::Relaxed);
+                    return;
+                }
+                *st = JobState::Done;
+                cv.notify_all();
+            }
+        })
+    };
+
+    let (lock, cv) = &*state;
+    let mut st = lock.lock();
+    while !st.is_terminal() {
+        st = cv.wait(st);
+    }
+    assert_eq!(*st, JobState::Done);
+    drop(st);
+    // The scheduler's invariant: a waiter woken by a terminal state
+    // always observes the finish metrics.
+    assert!(
+        jobs_done.load(Ordering::Relaxed) >= 1,
+        "terminal state visible before its finish metric"
+    );
+    worker.join();
+}
+
+/// The clean finish-path harness (production ordering).
+pub fn scheduler_finish() {
+    finish_path(false);
+}
+
+/// Shared body for the drain harness and its seeded-defect fixture.
+/// A worker loops the production `worker_loop` shape — pop under the
+/// queue lock, check the shutdown flag, condvar-wait — while the main
+/// thread submits two jobs and then drains.
+///
+/// `signal_outside_lock = false` follows `begin_drain`'s contract as
+/// the harness models it: the shutdown store and `notify_all` happen
+/// while holding the queue lock, so a worker between its empty check
+/// and its wait cannot miss the wakeup. `true` sets the flag and
+/// notifies without the lock — the classic lost-wakeup window the
+/// checker reports when the notify lands before the worker parks.
+pub fn drain(signal_outside_lock: bool) {
+    let queue = Arc::new((
+        McMutex::new("sched.queue", Vec::<u32>::new()),
+        McCondvar::new("sched.work_ready"),
+    ));
+    // Atomic as in production (`Shared::shutdown`), so the defect
+    // variant is a pure lost wakeup, not a data race.
+    let shutdown = Arc::new(McAtomicBool::new("sched.shutdown", false));
+    let processed = Arc::new(McAtomicUsize::new("sched.processed", 0));
+
+    let worker = {
+        let queue = Arc::clone(&queue);
+        let shutdown = Arc::clone(&shutdown);
+        let processed = Arc::clone(&processed);
+        thread::spawn("worker", move || loop {
+            let (lock, cv) = &*queue;
+            let job = {
+                let mut q = lock.lock();
+                loop {
+                    if let Some(job) = q.pop() {
+                        break job;
+                    }
+                    if shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    q = cv.wait(q);
+                }
+            };
+            let _ = job;
+            processed.fetch_add(1, Ordering::Relaxed);
+        })
+    };
+
+    let (lock, cv) = &*queue;
+    for job in [1u32, 2] {
+        let mut q = lock.lock();
+        q.push(job);
+        cv.notify_one();
+    }
+    if signal_outside_lock {
+        // Defect: the worker can sit between "queue empty, shutdown
+        // false" and its wait while both the store and the notify
+        // fire — it then sleeps forever on a drained scheduler.
+        shutdown.store(true, Ordering::Release);
+        cv.notify_all();
+    } else {
+        let q = lock.lock();
+        shutdown.store(true, Ordering::Release);
+        cv.notify_all();
+        drop(q);
+    }
+    worker.join();
+    assert_eq!(processed.load(Ordering::Relaxed), 2, "drain lost submitted jobs");
+}
+
+/// The clean drain harness (signal under the queue lock).
+pub fn scheduler_drain() {
+    drain(false);
+}
+
+/// The trace ring's writer→reader publication protocol: a writer
+/// fills word slots then publishes the count with a release store of
+/// `head`; the reader's acquire load of `head` must make every
+/// published word visible. Plain-cell slot writes mean any missing
+/// edge is a data race, not just a wrong value — exactly the property
+/// the real ring's `Ordering::Release`/`Acquire` head pair provides.
+/// (No wraparound here: the real ring tolerates overwrite races by
+/// using atomic words; this harness checks the publication edge.)
+pub fn trace_ring() {
+    const CAP: usize = 4;
+    let head = Arc::new(McAtomicU64::new("ring.head", 0));
+    let slots: Arc<Vec<McCell<u64>>> =
+        Arc::new((0..CAP).map(|i| McCell::new(&format!("ring.slot[{i}]"), 0)).collect());
+
+    let writer = {
+        let head = Arc::clone(&head);
+        let slots = Arc::clone(&slots);
+        thread::spawn("writer", move || {
+            for (i, payload) in [11u64, 22, 33].into_iter().enumerate() {
+                slots[i].write(payload);
+                head.store((i + 1) as u64, Ordering::Release);
+            }
+        })
+    };
+
+    let reader = {
+        let head = Arc::clone(&head);
+        let slots = Arc::clone(&slots);
+        thread::spawn("reader", move || {
+            let n = head.load(Ordering::Acquire) as usize;
+            let mut sum = 0u64;
+            for slot in slots.iter().take(n) {
+                sum += slot.read();
+            }
+            let want: u64 = [11u64, 22, 33].iter().take(n).sum();
+            assert_eq!(sum, want, "acquire load exposed unpublished slots");
+        })
+    };
+
+    writer.join();
+    reader.join();
+}
+
+/// The result-cache insert/hit path: two clients race to resolve the
+/// same key (built with the production [`result_key`] /
+/// [`JobSpec::param_key`]); the slow path fills under the map mutex,
+/// hit/miss counters are relaxed atomics. Checks the filled value is
+/// coherent and `hits + misses` accounts for every lookup.
+pub fn result_cache() {
+    let spec = JobSpec::new(Algo::Cc, "internet");
+    let key = result_key(0xEC, &spec);
+    let map = Arc::new(McMutex::new("cache.map", HashMap::<String, u64>::new()));
+    let hits = Arc::new(McAtomicU64::new("cache.hits", 0));
+    let misses = Arc::new(McAtomicU64::new("cache.misses", 0));
+
+    let client = |c: usize| {
+        let key = key.clone();
+        let map = Arc::clone(&map);
+        let hits = Arc::clone(&hits);
+        let misses = Arc::clone(&misses);
+        thread::spawn(&format!("client{c}"), move || {
+            let mut m = map.lock();
+            match m.get(&key) {
+                Some(&v) => {
+                    assert_eq!(v, 42, "cache served a torn value");
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    m.insert(key.clone(), 42);
+                    misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+    };
+    let h0 = client(0);
+    let h1 = client(1);
+    h0.join();
+    h1.join();
+    let (h, m) = (hits.load(Ordering::Relaxed), misses.load(Ordering::Relaxed));
+    assert_eq!(h + m, 2, "a lookup escaped both counters");
+    assert!(m >= 1, "first resolver must miss");
+}

@@ -1,0 +1,64 @@
+//! `ecl-mc` — a schedule-exhaustive concurrency checker for the
+//! suite's lock-free host paths.
+//!
+//! The device-side sanitizer (`ecl-check`) convicts kernel-level
+//! races from shadow memory; this crate does the same for the *host*
+//! code that the paper's profiling pipeline leans on — the pool's
+//! atomic-ticket block claiming, the serve scheduler's
+//! admission/finish/drain counters, the trace ring's writer/reader
+//! protocol, and the result cache's insert/hit path. Stress tests
+//! sample a handful of interleavings per run; the model checker
+//! *enumerates* them.
+//!
+//! The design is loom-style, std-only:
+//!
+//! - **shims** ([`atomic`], [`cell`], [`sync`], [`thread`]):
+//!   instrumented twins of the primitives the production crates use.
+//!   Outside a model run they pass straight through to `std`; inside
+//!   one, every operation becomes a *yield point* that parks the OS
+//!   thread and hands a baton to the scheduler, so exactly one thread
+//!   is ever active and the interleaving is a replayable sequence of
+//!   choices.
+//! - **execution controller** ([`exec`]): tracks enabledness (mutex
+//!   owners, condvar waiters, joins, park tokens), detects deadlocks
+//!   and lost wakeups from the blocked-state graph, and runs a
+//!   vector-clock race detector that honors the declared
+//!   acquire/release orderings — a `Relaxed` store severs the release
+//!   chain exactly as the memory model says it does.
+//! - **explorer** ([`explore`]): bounded DFS over schedules with
+//!   iterative deepening on the preemption bound (first failure is a
+//!   *minimal* failing schedule), sleep-set partial-order reduction,
+//!   and a seeded random phase sampling beyond the bound. Budgets are
+//!   explicit and a truncated search is reported as such, never as a
+//!   proof.
+//! - **harnesses** ([`harnesses`]) and **fixtures** ([`fixtures`]):
+//!   the production protocols under test, plus seeded defects (the
+//!   PR 6 finish-path bug among them) the checker must find.
+//! - **report bridge** ([`report`]): outcomes surface as
+//!   [`ecl_check::Report`]s, riding the same rule profiles, JSON
+//!   serialization, and CI gating as the device-side checker.
+//!
+//! What the vector clocks do and don't prove, the harness contract,
+//! and the exploration algorithm are specified in `DESIGN.md` §12.
+//!
+//! ```no_run
+//! use ecl_mc::{Checker, harnesses};
+//!
+//! let outcome = Checker::new().check("pool-ticket-claim", harnesses::ticket_claim);
+//! assert!(outcome.is_clean() && outcome.exhaustive);
+//! println!("{}", outcome.summary());
+//! ```
+
+pub mod clock;
+pub mod exec;
+pub mod explore;
+pub mod fixtures;
+pub mod harnesses;
+pub mod report;
+pub mod shim;
+
+pub use clock::VClock;
+pub use exec::{Failure, FailureKind};
+pub use explore::{Checker, Config, Outcome};
+pub use report::{rule_of, to_report};
+pub use shim::{atomic, cell, sync, thread};

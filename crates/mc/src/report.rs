@@ -1,0 +1,44 @@
+//! Bridge from model-checking outcomes onto the `ecl-check` report
+//! surface, so the mc suite rides the same required/allowed rule
+//! profiles and CI gating as the device-side sanitizer.
+
+use ecl_check::{Finding, Report, Rule};
+
+use crate::exec::FailureKind;
+use crate::explore::Outcome;
+
+/// The `ecl-check` rule a failure kind reports under.
+pub fn rule_of(kind: FailureKind) -> Rule {
+    match kind {
+        FailureKind::DataRace => Rule::McRace,
+        FailureKind::Deadlock => Rule::McDeadlock,
+        FailureKind::LostWakeup => Rule::McLostWakeup,
+        // A blown step budget is a harness failure, not a separate
+        // wire rule: it reports as an assertion.
+        FailureKind::Assertion | FailureKind::StepBudget => Rule::McAssertion,
+    }
+}
+
+/// Converts an outcome into an `ecl-check` [`Report`]. A clean
+/// outcome yields an empty report; a failure yields one finding whose
+/// detail embeds the replayable schedule. `launches` carries the
+/// schedule count (one "launch" per explored interleaving) so the
+/// rendered footer doubles as the exploration-count trend line.
+pub fn to_report(outcome: &Outcome) -> Report {
+    let mut report = Report { launches: outcome.schedules, ..Report::default() };
+    if let Some(f) = &outcome.failure {
+        report.findings.push(Finding {
+            rule: rule_of(f.kind),
+            kernel: outcome.name.clone(),
+            region: None,
+            launch_index: outcome.schedules,
+            count: 1,
+            detail: format!(
+                "{} · schedule {:?} ({} preemptions)",
+                f.detail, f.schedule, f.preemptions
+            ),
+            suppressed: None,
+        });
+    }
+    report
+}

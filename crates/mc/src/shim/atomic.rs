@@ -1,0 +1,191 @@
+//! Schedule-controlled atomics with `Ordering`-faithful
+//! happens-before edges.
+//!
+//! Controlled mode serializes execution, so every load observes the
+//! latest store regardless of ordering — like `loom`, the checker
+//! does **not** explore weak-memory value outcomes. What the declared
+//! orderings do drive is the vector-clock synchronization used by the
+//! [`crate::shim::cell::McCell`] race detector: a relaxed store
+//! publishes no edge (and severs the release chain), so a protocol
+//! that needs `Release`/`Acquire` to order its plain data is
+//! convicted even on schedules where the values happened to come out
+//! right.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use crate::exec::{edges, Footprint, ObjKind, ObjRef, Pending, PendingOp};
+
+macro_rules! mc_atomic {
+    ($(#[$doc:meta])* $name:ident, $raw:ident, $ty:ty) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            obj: ObjRef,
+            inner: $raw,
+        }
+
+        impl $name {
+            /// New atomic named `name` (names appear in race reports
+            /// and schedule traces).
+            pub fn new(name: &str, v: $ty) -> $name {
+                $name { obj: ObjRef::register(ObjKind::Atomic, name), inner: $raw::new(v) }
+            }
+
+            fn step(&self, label: String, writes: bool) -> bool {
+                match self.obj.ctx() {
+                    None => false,
+                    Some((exec, me)) => {
+                        exec.yield_with(
+                            me,
+                            PendingOp {
+                                pending: Pending::Op,
+                                fp: Footprint { obj: self.obj.id, writes },
+                                label,
+                            },
+                        );
+                        true
+                    }
+                }
+            }
+
+            /// Atomic load.
+            pub fn load(&self, order: Ordering) -> $ty {
+                if self.step(format!("load({order:?})"), false) {
+                    let v = self.inner.load(Ordering::Relaxed);
+                    let (acq, rel) = edges(order, true, false);
+                    if let Some((exec, me)) = self.obj.ctx() {
+                        exec.sync_op(me, self.obj.id, acq, rel, false, false);
+                    }
+                    v
+                } else {
+                    self.inner.load(order)
+                }
+            }
+
+            /// Atomic store.
+            pub fn store(&self, v: $ty, order: Ordering) {
+                if self.step(format!("store({order:?})"), true) {
+                    self.inner.store(v, Ordering::Relaxed);
+                    let (acq, rel) = edges(order, false, true);
+                    if let Some((exec, me)) = self.obj.ctx() {
+                        exec.sync_op(me, self.obj.id, acq, rel, false, true);
+                    }
+                } else {
+                    self.inner.store(v, order);
+                }
+            }
+
+            /// Atomic compare-exchange (CUDA-`atomicCAS`-shaped like
+            /// the counted atomics: total, returns the previous
+            /// value via `Result`).
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                if self.step(format!("cas({success:?})"), true) {
+                    let r = self.inner.compare_exchange(
+                        current,
+                        new,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                    let order = if r.is_ok() { success } else { failure };
+                    let (acq, _) = edges(order, true, false);
+                    let (_, rel) = edges(order, false, true);
+                    if let Some((exec, me)) = self.obj.ctx() {
+                        // A failed CAS is a load; a successful one an
+                        // RMW (which always preserves the chain).
+                        exec.sync_op(me, self.obj.id, acq, rel && r.is_ok(), r.is_ok(), false);
+                    }
+                    r
+                } else {
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            fn rmw(&self, label: String, order: Ordering, op: impl Fn(&$raw) -> $ty) -> $ty {
+                if self.step(label, true) {
+                    let v = op(&self.inner);
+                    let (acq, rel) = edges(order, true, true);
+                    if let Some((exec, me)) = self.obj.ctx() {
+                        exec.sync_op(me, self.obj.id, acq, rel, true, true);
+                    }
+                    v
+                } else {
+                    op(&self.inner)
+                }
+            }
+        }
+    };
+}
+
+macro_rules! mc_atomic_arith {
+    ($name:ident, $ty:ty) => {
+        impl $name {
+            /// Atomic fetch-add, returning the previous value.
+            pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                let o = if self.obj.ctx().is_some() { Ordering::Relaxed } else { order };
+                self.rmw(format!("fetch_add({order:?})"), order, move |a| a.fetch_add(v, o))
+            }
+
+            /// Atomic fetch-sub, returning the previous value.
+            pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                let o = if self.obj.ctx().is_some() { Ordering::Relaxed } else { order };
+                self.rmw(format!("fetch_sub({order:?})"), order, move |a| a.fetch_sub(v, o))
+            }
+
+            /// Atomic fetch-min (the counted-atomic `fetch_min` twin).
+            pub fn fetch_min(&self, v: $ty, order: Ordering) -> $ty {
+                let o = if self.obj.ctx().is_some() { Ordering::Relaxed } else { order };
+                self.rmw(format!("fetch_min({order:?})"), order, move |a| a.fetch_min(v, o))
+            }
+
+            /// Atomic fetch-max (the counted-atomic `fetch_max` twin).
+            pub fn fetch_max(&self, v: $ty, order: Ordering) -> $ty {
+                let o = if self.obj.ctx().is_some() { Ordering::Relaxed } else { order };
+                self.rmw(format!("fetch_max({order:?})"), order, move |a| a.fetch_max(v, o))
+            }
+        }
+    };
+}
+
+mc_atomic!(
+    /// Controlled twin of `AtomicUsize` (the pool's ticket counter
+    /// type).
+    McAtomicUsize,
+    AtomicUsize,
+    usize
+);
+mc_atomic!(
+    /// Controlled twin of `AtomicU64` (metrics counters, ring heads).
+    McAtomicU64,
+    AtomicU64,
+    u64
+);
+mc_atomic!(
+    /// Controlled twin of `AtomicU32` (`CountedU32`'s backing type).
+    McAtomicU32,
+    AtomicU32,
+    u32
+);
+mc_atomic!(
+    /// Controlled twin of `AtomicBool` (shutdown flags).
+    McAtomicBool,
+    AtomicBool,
+    bool
+);
+
+mc_atomic_arith!(McAtomicUsize, usize);
+mc_atomic_arith!(McAtomicU64, u64);
+mc_atomic_arith!(McAtomicU32, u32);
+
+impl McAtomicBool {
+    /// Atomic swap, returning the previous value.
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        let o = if self.obj.ctx().is_some() { Ordering::Relaxed } else { order };
+        self.rmw(format!("swap({order:?})"), order, move |a| a.swap(v, o))
+    }
+}

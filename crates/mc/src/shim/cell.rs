@@ -1,0 +1,65 @@
+//! Non-atomic shared data under race detection.
+//!
+//! [`McCell`] models a plain (non-atomic) memory location — the
+//! payload a lock-free protocol is actually protecting, e.g. a trace
+//! ring's event words or a claimed block's output slot. Accesses are
+//! checked against the vector clocks: a read or write that is not
+//! ordered after every conflicting access by a happens-before path
+//! fails the schedule as a data race, even though the serialized
+//! execution never physically races (storage sits behind an
+//! uncontended `Mutex`, so the twin is also safe in passthrough
+//! mode).
+
+use std::sync::Mutex;
+
+use crate::exec::{Footprint, ObjKind, ObjRef, Pending, PendingOp};
+
+/// A race-checked non-atomic memory location.
+#[derive(Debug)]
+pub struct McCell<T: Clone> {
+    obj: ObjRef,
+    inner: Mutex<T>,
+}
+
+impl<T: Clone> McCell<T> {
+    /// New cell named `name` (names appear in race reports).
+    pub fn new(name: &str, v: T) -> McCell<T> {
+        McCell { obj: ObjRef::register(ObjKind::Cell, name), inner: Mutex::new(v) }
+    }
+
+    fn value(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Non-atomic read.
+    pub fn read(&self) -> T {
+        if let Some((exec, me)) = self.obj.ctx() {
+            exec.yield_with(
+                me,
+                PendingOp {
+                    pending: Pending::Op,
+                    fp: Footprint { obj: self.obj.id, writes: false },
+                    label: "cell-read".to_string(),
+                },
+            );
+            exec.cell_access(me, self.obj.id, false, "cell-read");
+        }
+        self.value().clone()
+    }
+
+    /// Non-atomic write.
+    pub fn write(&self, v: T) {
+        if let Some((exec, me)) = self.obj.ctx() {
+            exec.yield_with(
+                me,
+                PendingOp {
+                    pending: Pending::Op,
+                    fp: Footprint { obj: self.obj.id, writes: true },
+                    label: "cell-write".to_string(),
+                },
+            );
+            exec.cell_access(me, self.obj.id, true, "cell-write");
+        }
+        *self.value() = v;
+    }
+}

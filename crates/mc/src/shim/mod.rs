@@ -1,0 +1,24 @@
+//! Instrumented twins of the primitives the production crates build
+//! on (`crates/sim/src/atomics.rs` counted atomics, `pool.rs` /
+//! `serve`'s `Mutex`+`Condvar`, `std::thread` spawn/park).
+//!
+//! Every twin is dual-mode, selected at runtime by whether the
+//! calling OS thread belongs to a live model run:
+//!
+//! - **controlled** (inside [`crate::Checker::check`]): each
+//!   operation parks at a yield point, the exploration engine decides
+//!   who runs, and the declared `Ordering` feeds the vector-clock
+//!   happens-before tracking;
+//! - **passthrough** (anywhere else): the twin is a thin wrapper over
+//!   the real std primitive, so the same harness body doubles as a
+//!   plain stress test.
+//!
+//! Production code paths are untouched — harnesses model the
+//! production protocols against these twins (and share the pure
+//! pieces, e.g. `ecl_gpusim::pool::ticket_range` and
+//! `ecl_serve::jobs::JobState`, with the real implementations).
+
+pub mod atomic;
+pub mod cell;
+pub mod sync;
+pub mod thread;

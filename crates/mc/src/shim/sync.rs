@@ -1,0 +1,197 @@
+//! Schedule-controlled `Mutex` and `Condvar` twins.
+//!
+//! The logical guard state (owner, wait queue) lives in the execution
+//! so the scheduler can compute enabledness; the payload sits behind
+//! a real `std::sync::Mutex` that a controlled thread only touches
+//! while it logically owns the lock (so the physical acquire never
+//! contends). Outside a model run both types degrade to thin std
+//! wrappers.
+//!
+//! The condvar twin has no spurious wakeups: a waiter runs only after
+//! a notify rewrites it into a mutex re-acquire. Harness loops should
+//! still re-check their predicate like production code does. Notifies
+//! that find an empty wait queue are counted — they are the evidence
+//! the deadlock detector uses to classify a lost wakeup.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::exec::{Footprint, ObjKind, ObjRef, Pending, PendingOp};
+
+/// Controlled twin of `std::sync::Mutex`.
+#[derive(Debug)]
+pub struct McMutex<T> {
+    obj: ObjRef,
+    inner: Mutex<T>,
+}
+
+/// RAII guard for [`McMutex`]; unlocking is itself a scheduled step.
+#[derive(Debug)]
+pub struct McMutexGuard<'a, T> {
+    lock: &'a McMutex<T>,
+    inner: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> McMutex<T> {
+    /// New mutex named `name`.
+    pub fn new(name: &str, v: T) -> McMutex<T> {
+        McMutex { obj: ObjRef::register(ObjKind::Mutex, name), inner: Mutex::new(v) }
+    }
+
+    /// Acquires the lock; under a model run this parks until the
+    /// scheduler grants the (free) mutex to this thread.
+    pub fn lock(&self) -> McMutexGuard<'_, T> {
+        if let Some((exec, me)) = self.obj.ctx() {
+            exec.yield_with(
+                me,
+                PendingOp {
+                    pending: Pending::Lock { mutex: self.obj.id },
+                    fp: Footprint { obj: self.obj.id, writes: true },
+                    label: "mutex-lock".to_string(),
+                },
+            );
+        }
+        // Physically uncontended under a model run: only the logical
+        // owner holds the inner lock.
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        McMutexGuard { lock: self, inner: Some(g) }
+    }
+}
+
+impl<'a, T> McMutexGuard<'a, T> {
+    fn expect_inner(&self) -> &MutexGuard<'a, T> {
+        self.inner.as_ref().expect("mc mutex guard accessed during condvar wait")
+    }
+}
+
+impl<T> Deref for McMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.expect_inner()
+    }
+}
+
+impl<T> DerefMut for McMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("mc mutex guard accessed during condvar wait")
+    }
+}
+
+impl<T> Drop for McMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_none() {
+            return; // consumed by a condvar wait
+        }
+        // During unwinding (an aborted run or a harness assertion)
+        // the release must not yield: the run is over, a second
+        // panic from inside this destructor would abort the process,
+        // and the recorded failure already ends exploration.
+        if std::thread::panicking() {
+            self.inner = None;
+            return;
+        }
+        if let Some((exec, me)) = self.lock.obj.ctx() {
+            exec.yield_with(
+                me,
+                PendingOp {
+                    pending: Pending::Op,
+                    fp: Footprint { obj: self.lock.obj.id, writes: true },
+                    label: "mutex-unlock".to_string(),
+                },
+            );
+            // Drop the physical guard before publishing the logical
+            // release: the next logical owner takes the inner lock
+            // only after its own grant, which cannot happen until
+            // this thread parks again.
+            self.inner = None;
+            exec.mutex_release(me, self.lock.obj.id);
+        } else {
+            self.inner = None;
+        }
+    }
+}
+
+/// Controlled twin of `std::sync::Condvar`.
+#[derive(Debug)]
+pub struct McCondvar {
+    obj: ObjRef,
+    inner: Condvar,
+}
+
+impl McCondvar {
+    /// New condvar named `name`.
+    pub fn new(name: &str) -> McCondvar {
+        McCondvar { obj: ObjRef::register(ObjKind::Condvar, name), inner: Condvar::new() }
+    }
+
+    /// Atomically releases the guard's mutex and parks until
+    /// notified, then re-acquires and returns the guard — the
+    /// `Condvar::wait` twin.
+    pub fn wait<'a, T>(&self, mut guard: McMutexGuard<'a, T>) -> McMutexGuard<'a, T> {
+        match self.obj.ctx() {
+            None => {
+                let inner =
+                    guard.inner.take().expect("mc mutex guard accessed during condvar wait");
+                let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+                guard.inner = Some(inner);
+                guard
+            }
+            Some((exec, me)) => {
+                let lock = guard.lock;
+                // The wait commit is a scheduled step of its own…
+                exec.yield_with(
+                    me,
+                    PendingOp {
+                        pending: Pending::Op,
+                        fp: Footprint { obj: self.obj.id, writes: true },
+                        label: "cv-wait".to_string(),
+                    },
+                );
+                // …whose grant releases the mutex, parks this thread
+                // on the condvar, and hands the baton off; returns
+                // only after a notify + re-acquire grant.
+                guard.inner = None;
+                exec.cv_park(me, self.obj.id, lock.obj.id);
+                let g = lock.inner.lock().unwrap_or_else(|e| e.into_inner());
+                McMutexGuard { lock, inner: Some(g) }
+            }
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.signal(false);
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.signal(true);
+    }
+
+    fn signal(&self, all: bool) {
+        match self.obj.ctx() {
+            None => {
+                if all {
+                    self.inner.notify_all();
+                } else {
+                    self.inner.notify_one();
+                }
+            }
+            Some((exec, me)) => {
+                exec.yield_with(
+                    me,
+                    PendingOp {
+                        pending: Pending::Op,
+                        fp: Footprint { obj: self.obj.id, writes: true },
+                        label: if all {
+                            "cv-notify-all".to_string()
+                        } else {
+                            "cv-notify-one".to_string()
+                        },
+                    },
+                );
+                exec.notify(me, self.obj.id, all);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Controlled thread spawn/join/park — the `std::thread` twin.
+
+use std::sync::{Arc, Mutex, Weak};
+
+use crate::exec::{current, Execution, Footprint, Pending, PendingOp, Tid};
+
+enum HandleInner<T> {
+    /// Spawned inside a model run.
+    Controlled { exec: Weak<Execution>, tid: Tid, result: Arc<Mutex<Option<T>>> },
+    /// Spawned outside a model run: a real std thread.
+    Passthrough(Option<std::thread::JoinHandle<T>>),
+}
+
+/// Join handle for [`spawn`].
+pub struct McJoinHandle<T> {
+    inner: HandleInner<T>,
+}
+
+/// Spawns a named harness thread. Inside a model run the spawn is a
+/// scheduled step and the child does not execute until the scheduler
+/// grants it; outside, this is `std::thread::spawn`.
+pub fn spawn<T, F>(name: &str, f: F) -> McJoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match current() {
+        None => {
+            let h = std::thread::Builder::new()
+                .name(name.to_string())
+                .spawn(f)
+                .expect("spawn harness thread");
+            McJoinHandle { inner: HandleInner::Passthrough(Some(h)) }
+        }
+        Some((exec, me)) => {
+            exec.yield_with(
+                me,
+                PendingOp {
+                    pending: Pending::Op,
+                    fp: Footprint { obj: exec.thread_obj(me), writes: true },
+                    label: format!("spawn {name}"),
+                },
+            );
+            let tid = exec.register_thread(name, Some(me));
+            let result = Arc::new(Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let exec2 = Arc::clone(&exec);
+            let os = std::thread::Builder::new()
+                .name(format!("mc-{name}"))
+                .spawn(move || {
+                    exec2.run_thread(tid, move || {
+                        let v = f();
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                    });
+                })
+                .expect("spawn harness thread");
+            exec.add_os_handle(os);
+            McJoinHandle {
+                inner: HandleInner::Controlled { exec: Arc::downgrade(&exec), tid, result },
+            }
+        }
+    }
+}
+
+impl<T> McJoinHandle<T> {
+    /// Blocks until the thread finishes and returns its value. A
+    /// scheduled (possibly deadlocking) step inside a model run.
+    pub fn join(self) -> T {
+        match self.inner {
+            HandleInner::Passthrough(mut h) => {
+                let h = h.take().expect("join called once");
+                match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            HandleInner::Controlled { exec, tid, result } => {
+                let exec = exec.upgrade().expect("join after the model run ended");
+                let (_, me) = current().expect("controlled join outside the model run");
+                exec.yield_with(
+                    me,
+                    PendingOp {
+                        pending: Pending::Join { target: tid },
+                        fp: Footprint { obj: exec.thread_obj(tid), writes: true },
+                        label: format!("join t{tid}"),
+                    },
+                );
+                result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined thread finished without a result (aborted run)")
+            }
+        }
+    }
+
+    /// Deposits an unpark token on the thread (release edge), waking
+    /// it if parked — the `Thread::unpark` twin.
+    pub fn unpark(&self) {
+        match &self.inner {
+            HandleInner::Passthrough(h) => {
+                if let Some(h) = h {
+                    h.thread().unpark();
+                }
+            }
+            HandleInner::Controlled { exec, tid, .. } => {
+                let Some(exec) = exec.upgrade() else { return };
+                let Some((_, me)) = current() else { return };
+                exec.yield_with(
+                    me,
+                    PendingOp {
+                        pending: Pending::Op,
+                        fp: Footprint { obj: exec.thread_obj(*tid), writes: true },
+                        label: format!("unpark t{tid}"),
+                    },
+                );
+                exec.unpark(me, *tid);
+            }
+        }
+    }
+}
+
+/// Parks the current thread until an unpark token arrives (consumed
+/// immediately if already present) — the `std::thread::park` twin.
+pub fn park() {
+    match current() {
+        None => std::thread::park(),
+        Some((exec, me)) => {
+            exec.yield_with(
+                me,
+                PendingOp {
+                    pending: Pending::Op,
+                    fp: Footprint { obj: exec.thread_obj(me), writes: true },
+                    label: "park-check".to_string(),
+                },
+            );
+            if !exec.take_park_token(me) {
+                exec.park_wait(me);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end checks of the model checker itself: detection of each
+//! failure class, exhaustive clean verification, determinism, replay,
+//! and the seeded-defect fixtures.
+
+#![allow(clippy::unwrap_used)]
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use ecl_mc::atomic::McAtomicU64;
+use ecl_mc::cell::McCell;
+use ecl_mc::sync::McMutex;
+use ecl_mc::{fixtures, harnesses, report, thread, Checker, Config, FailureKind};
+
+fn quick() -> Checker {
+    Checker::with_config(Config { max_schedules: 2_000, random_samples: 8, ..Config::default() })
+}
+
+/// Two threads write the same plain cell with no synchronization:
+/// the vector clocks convict it on an early schedule.
+#[test]
+fn unsynchronized_writes_race() {
+    let out = quick().check("ww-race", || {
+        let c = Arc::new(McCell::new("c", 0u32));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn("t", move || c2.write(1));
+        c.write(2);
+        t.join();
+    });
+    let f = out.failure.expect("race must be found");
+    assert_eq!(f.kind, FailureKind::DataRace);
+    assert!(f.detail.contains("c"), "report names the cell: {}", f.detail);
+}
+
+/// The same protocol with the cell behind a mutex verifies clean —
+/// and exhaustively, since the state space is tiny.
+#[test]
+fn mutex_protected_counter_is_clean_and_exhaustive() {
+    let out = quick().check("mutex-counter", || {
+        let c = Arc::new(McMutex::new("c", 0u32));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn("t", move || *c2.lock() += 1);
+        *c.lock() += 1;
+        t.join();
+        assert_eq!(*c.lock(), 2);
+    });
+    assert!(out.is_clean(), "{}", out.summary());
+    assert!(out.exhaustive, "tiny state space must be enumerated: {}", out.summary());
+    assert!(out.schedules > 1, "more than one interleaving exists");
+}
+
+/// Release/acquire publication is recognized: no false race.
+#[test]
+fn release_acquire_publication_is_clean() {
+    let out = quick().check("publish", || {
+        let flag = Arc::new(McAtomicU64::new("flag", 0));
+        let data = Arc::new(McCell::new("data", 0u32));
+        let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+        let t = thread::spawn("w", move || {
+            d2.write(7);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.read(), 7);
+        }
+        t.join();
+    });
+    assert!(out.is_clean(), "{}", out.summary());
+}
+
+/// Iterative deepening reports a minimal failing schedule: the ABBA
+/// deadlock needs exactly one preemption.
+#[test]
+fn abba_deadlock_found_with_minimal_preemptions() {
+    let out = quick().check("abba", fixtures::lock_order_inversion);
+    let f = out.failure.expect("deadlock must be found");
+    assert_eq!(f.kind, FailureKind::Deadlock);
+    assert_eq!(f.preemptions, 1, "ABBA needs exactly one preemption: {}", f.render());
+}
+
+/// The same configuration explores the same schedules: outcomes are
+/// bit-for-bit deterministic across runs.
+#[test]
+fn exploration_is_deterministic() {
+    let run = || quick().check("det", fixtures::finish_counter_after_transition);
+    let (a, b) = (run(), run());
+    let (fa, fb) = (a.failure.unwrap(), b.failure.unwrap());
+    assert_eq!(a.schedules, b.schedules);
+    assert_eq!(fa.schedule, fb.schedule);
+    assert_eq!(fa.detail, fb.detail);
+    assert_eq!(fa.trace, fb.trace);
+}
+
+/// A recorded failing schedule replays to the same failure.
+#[test]
+fn failing_schedule_replays() {
+    let out = quick().check("replay", fixtures::ring_relaxed_head);
+    let f = out.failure.expect("race must be found");
+    let again = quick()
+        .replay(fixtures::ring_relaxed_head, &f.schedule)
+        .expect("replay reproduces the failure");
+    assert_eq!(again.kind, f.kind);
+    assert_eq!(again.schedule, f.schedule);
+}
+
+/// Every clean harness verifies clean, and the two tentpole harnesses
+/// exhaustively.
+#[test]
+fn all_harnesses_clean() {
+    for h in harnesses::ALL {
+        let out = quick().check(h.name, h.run);
+        assert!(out.is_clean(), "{}", out.summary());
+        if h.name == "pool-ticket-claim" || h.name == "scheduler-finish" {
+            assert!(out.exhaustive, "must be exhaustive: {}", out.summary());
+        }
+    }
+}
+
+/// Every seeded fixture is found and classified under the expected
+/// rule, with a non-empty replayable schedule.
+#[test]
+fn all_fixtures_found_with_expected_rule() {
+    for fx in fixtures::ALL {
+        let out = quick().check(fx.name, fx.run);
+        let f = out.failure.as_ref().unwrap_or_else(|| panic!("{} must be found", fx.name));
+        assert_eq!(report::rule_of(f.kind), fx.expect, "{}: {}", fx.name, f.detail);
+        assert!(!f.schedule.is_empty(), "{}: schedule must be replayable", fx.name);
+        let rep = report::to_report(&out);
+        assert!(rep.has(fx.expect), "{}: report carries the finding", fx.name);
+        assert_eq!(rep.launches, out.schedules);
+    }
+}
+
+/// The PR 6 defect is the headline fixture: the checker pins the
+/// waiter's stale-metric read with a small preempting schedule.
+#[test]
+fn pr6_finish_race_found_with_small_schedule() {
+    let out = quick().check("pr6", fixtures::finish_counter_after_transition);
+    let f = out.failure.expect("PR 6 race must be found");
+    assert_eq!(f.kind, FailureKind::Assertion);
+    assert!(f.detail.contains("terminal state visible before its finish metric"), "{}", f.detail);
+    assert!(f.preemptions <= 2, "minimal schedule expected, got {}", f.preemptions);
+}
+
+/// The drain defect classifies as a lost wakeup, not a plain
+/// deadlock: the notify demonstrably fired into an empty wait queue.
+#[test]
+fn drain_defect_is_lost_wakeup() {
+    let out = quick().check("drain-defect", fixtures::drain_signal_outside_lock);
+    let f = out.failure.expect("lost wakeup must be found");
+    assert_eq!(f.kind, FailureKind::LostWakeup, "{}", f.detail);
+}
+
+/// Shims pass through outside a model run: the harness body doubles
+/// as a plain stress test.
+#[test]
+fn shims_pass_through_outside_runs() {
+    harnesses::ticket_claim();
+    harnesses::result_cache();
+    let c = McCell::new("plain", 3u32);
+    c.write(4);
+    assert_eq!(c.read(), 4);
+}

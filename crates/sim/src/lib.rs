@@ -48,7 +48,7 @@ pub use launch::{
     launch_persistent_named, launch_warps, launch_warps_named, BlockCtx, LaunchConfig, ThreadCtx,
     WarpCtx,
 };
-pub use pool::{DispatchMode, DispatchPolicy};
+pub use pool::{ticket_range, DispatchMode, DispatchPolicy};
 pub use profile::{KernelProfile, KernelRecord};
 pub use schedule::{default_schedule, knob_registry, KnobDomain, KnobSpec, KnobValue, Schedule};
 pub use timing::run_timed;

@@ -185,6 +185,16 @@ pub fn auto_grain(n: usize, workers: usize) -> usize {
     (n / (workers.max(1) * 4)).clamp(1, 256)
 }
 
+/// Interprets one atomic-ticket claim: `start` is the value a
+/// `fetch_add(grain)` on the job's `next` counter returned; the
+/// result is the half-open block range this claim owns, or `None`
+/// when the tickets ran out (an overshooting final claim observes
+/// `start >= n` and retires). Pure so the `ecl-mc` ticket-claim
+/// harness explores the *same* arithmetic the pool runs.
+pub fn ticket_range(start: usize, n: usize, grain: usize) -> Option<(usize, usize)> {
+    (start < n).then(|| (start, (start + grain).min(n)))
+}
+
 /// Runs `f(0..n)` across the effective worker set. Blocks run in an
 /// unspecified order; each index exactly once. Panics in `f` are
 /// propagated to the caller after all claimed blocks finish — worker
@@ -325,11 +335,10 @@ impl PoolShared {
         // on its first executed ticket range.
         let mut stat_slot: Option<usize> = None;
         loop {
-            let start = job.next.fetch_add(job.grain, Ordering::Relaxed);
-            if start >= job.n {
+            let claimed = job.next.fetch_add(job.grain, Ordering::Relaxed);
+            let Some((start, end)) = ticket_range(claimed, job.n, job.grain) else {
                 return;
-            }
-            let end = (start + job.grain).min(job.n);
+            };
             let started = job.stats.as_ref().map(|_| Instant::now());
             for i in start..end {
                 // Panics must not kill the pooled worker: record the
