@@ -4,11 +4,14 @@
 //! ecl-loadgen --target 127.0.0.1:PORT [--closed N | --open RATE]
 //!             [--duration-s S] [--algos cc,mis,gc] [--graph NAME]
 //!             [--scale F] [--seeds N] [--wait-ms MS] [--out FILE]
+//!             [--no-keepalive]
 //! ```
 //!
-//! Closed loop (`--closed N`) keeps `N` requests in flight; open loop
-//! (`--open RATE`) fires on a fixed arrival schedule regardless of
-//! completions, which is what actually exercises admission control.
+//! Closed loop (`--closed N`) keeps `N` requests in flight, each
+//! worker on one persistent keep-alive connection (`--no-keepalive`
+//! reconnects per request instead); open loop (`--open RATE`) fires on
+//! a fixed arrival schedule regardless of completions, which is what
+//! actually exercises admission control.
 //! The report is `ecl-bench/2` JSON (written to `--out` or stdout), so
 //! `ecl-prof gate --metric modeled` can compare runs: the
 //! `modeled_time_units` samples are deterministic for a fixed job mix
@@ -21,7 +24,7 @@ use ecl_serve::loadgen::{run, LoadMode, LoadgenConfig};
 
 const USAGE: &str = "usage: ecl-loadgen --target HOST:PORT [--closed N | --open RATE] \
 [--duration-s S] [--algos cc,mis,gc] [--graph NAME] [--scale F] [--seeds N] \
-[--wait-ms MS] [--out FILE]";
+[--wait-ms MS] [--out FILE] [--no-keepalive]";
 
 fn parse_config() -> Result<(LoadgenConfig, Option<String>), String> {
     let mut config = LoadgenConfig::default();
@@ -75,6 +78,7 @@ fn parse_config() -> Result<(LoadgenConfig, Option<String>), String> {
             "--wait-ms" => {
                 config.wait_ms = value(&mut i)?.parse().map_err(|e| format!("--wait-ms: {e}"))?;
             }
+            "--no-keepalive" => config.keep_alive = false,
             "--out" => out = Some(value(&mut i)?),
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -3,7 +3,15 @@
 //! ```text
 //! ecl-serve [--listen 127.0.0.1:0] [--graphs-dir DIR] [--cache-bytes N]
 //!           [--max-queue N] [--max-concurrency N] [--tuned manifest.json]
+//!           [--max-connections N] [--read-timeout-ms N] [--write-timeout-ms N]
 //! ```
+//!
+//! `--max-connections` bounds concurrently open sockets: beyond it the
+//! accept thread answers 503 and closes immediately instead of
+//! spawning anything. `--read-timeout-ms` reclaims connections with no
+//! complete request in the window (idle keep-alive and slow-loris
+//! alike); `--write-timeout-ms` reclaims connections whose peer stops
+//! reading a response.
 //!
 //! `--tuned` loads an `ecl-tune/1` schedule manifest (see the
 //! `ecl-tune` binary); the catalog then attaches the best-known
@@ -28,7 +36,8 @@ use std::time::Duration;
 use ecl_serve::server::{ServeConfig, Server};
 
 const USAGE: &str = "usage: ecl-serve [--listen HOST:PORT] [--graphs-dir DIR] \
-[--cache-bytes N] [--max-queue N] [--max-concurrency N] [--tuned manifest.json]";
+[--cache-bytes N] [--max-queue N] [--max-concurrency N] [--tuned manifest.json] \
+[--max-connections N] [--read-timeout-ms N] [--write-timeout-ms N]";
 
 fn parse_config() -> Result<ServeConfig, String> {
     let mut config = ServeConfig::default();
@@ -57,6 +66,22 @@ fn parse_config() -> Result<ServeConfig, String> {
                     return Err("--max-concurrency must be at least 1".to_string());
                 }
                 config.scheduler.max_concurrency = n;
+            }
+            "--max-connections" => {
+                let n: usize =
+                    value(&mut i)?.parse().map_err(|e| format!("--max-connections: {e}"))?;
+                if n == 0 {
+                    return Err("--max-connections must be at least 1".to_string());
+                }
+                config.max_connections = n;
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout_ms =
+                    value(&mut i)?.parse().map_err(|e| format!("--read-timeout-ms: {e}"))?;
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout_ms =
+                    value(&mut i)?.parse().map_err(|e| format!("--write-timeout-ms: {e}"))?;
             }
             "--tuned" => {
                 let path = value(&mut i)?;
@@ -91,8 +116,8 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let (max_queue, max_concurrency) =
-        (config.scheduler.max_queue, config.scheduler.max_concurrency);
+    let (max_queue, max_concurrency, max_connections) =
+        (config.scheduler.max_queue, config.scheduler.max_concurrency, config.max_connections);
     let server = match Server::start(config) {
         Ok(s) => s,
         Err(e) => {
@@ -101,7 +126,10 @@ fn main() {
         }
     };
     println!("listening on {}", server.addr());
-    println!("queue capacity {max_queue}, {max_concurrency} concurrent jobs");
+    println!(
+        "queue capacity {max_queue}, {max_concurrency} concurrent jobs, \
+         {max_connections} max connections"
+    );
 
     // Serve until an operator starts a drain over HTTP, then complete
     // it: join the workers so every admitted job reaches a terminal

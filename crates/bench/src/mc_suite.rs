@@ -4,10 +4,11 @@
 //!
 //! Mirrors [`crate::check_suite`]: each entry declares its expected
 //! verdict and the run compares against it. Clean harnesses must
-//! verify with zero findings (the tentpole ticket-claim and
-//! finish-path harnesses additionally *exhaustively*, or the entry
-//! fails — a budget cut there means the CI budget no longer covers
-//! the protocol); fixtures must be found and classified under their
+//! verify with zero findings (the tentpole harnesses — ticket-claim,
+//! finish-path, and the serve reactor's event-ring / wake / handoff
+//! protocols — additionally *exhaustively*, or the entry fails — a
+//! budget cut there means the CI budget no longer covers the
+//! protocol); fixtures must be found and classified under their
 //! declared rule, so the detector itself is regression-tested.
 
 use std::fmt::Write as _;
@@ -87,7 +88,13 @@ impl McEntryOutcome {
 /// The suite definition: all clean harnesses, then all fixtures.
 /// Ordering is stable; CI output diffs cleanly.
 pub fn mc_suite() -> Vec<McSuiteEntry> {
-    let exhaustive = ["pool-ticket-claim", "scheduler-finish"];
+    let exhaustive = [
+        "pool-ticket-claim",
+        "scheduler-finish",
+        "serve-conn-ring",
+        "serve-reactor-wakeup",
+        "serve-reactor-handoff",
+    ];
     let mut entries: Vec<McSuiteEntry> = harnesses::ALL
         .iter()
         .map(|h| McSuiteEntry {
@@ -203,7 +210,13 @@ mod tests {
     #[test]
     fn tentpole_harnesses_are_exhaustive_and_explored() {
         let cfg = quick();
-        for name in ["pool-ticket-claim", "scheduler-finish"] {
+        for name in [
+            "pool-ticket-claim",
+            "scheduler-finish",
+            "serve-conn-ring",
+            "serve-reactor-wakeup",
+            "serve-reactor-handoff",
+        ] {
             let entry =
                 mc_suite().into_iter().find(|e| e.name == format!("harness/{name}")).unwrap();
             let o = run_mc_entry(&cfg, &entry);

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use ecl_check::Rule;
 
-use crate::harnesses::{drain, finish_path};
+use crate::harnesses::{drain, finish_path, reactor_handoff, reactor_wakeup};
 use crate::shim::atomic::McAtomicU64;
 use crate::shim::cell::McCell;
 use crate::shim::sync::McMutex;
@@ -61,6 +61,18 @@ pub const ALL: &[FixtureEntry] = &[
         about: "ABBA double-lock: two threads acquire the same pair in opposite order",
         run: lock_order_inversion,
         expect: Rule::McDeadlock,
+    },
+    FixtureEntry {
+        name: "reactor-wake-without-flag",
+        about: "waker notifies without setting the pending flag: reactor parks through it",
+        run: reactor_wake_without_flag,
+        expect: Rule::McLostWakeup,
+    },
+    FixtureEntry {
+        name: "reactor-handoff-no-recheck",
+        about: "no terminal re-check after waiter registration: wait_ms never answered",
+        run: reactor_handoff_no_recheck,
+        expect: Rule::McAssertion,
     },
 ];
 
@@ -111,6 +123,22 @@ pub fn ring_relaxed_head() {
     };
     writer.join();
     reader.join();
+}
+
+/// The reactor waker with its pending flag severed: `wake` takes the
+/// mutex and notifies but never sets the flag, so a reactor that
+/// finished its drain and decided to park before the notify landed
+/// sleeps forever — the signal had nowhere to be remembered.
+pub fn reactor_wake_without_flag() {
+    reactor_wakeup(false);
+}
+
+/// The completion-handoff registration race, unfixed: without the
+/// post-registration terminal re-check, a job that completes before
+/// the waiter is registered strands the connection — its completion
+/// signal was drained and dropped, and no later sweep answers it.
+pub fn reactor_handoff_no_recheck() {
+    reactor_handoff(false);
 }
 
 /// Classic ABBA: thread 1 locks A then B, thread 2 locks B then A.

@@ -1,0 +1,442 @@
+//! Per-connection state machine for the event-driven front end.
+//!
+//! A [`Connection`] owns one nonblocking stream and carries everything
+//! the reactor needs across readiness events: the incremental parser
+//! (partial reads), the staged response and write cursor (partial
+//! writes), the keep-alive decision, and the read/write deadlines.
+//! The phases are exactly the ISSUE's reading → routing → writing
+//! loop:
+//!
+//! ```text
+//!            ┌────────────────────────────────────────┐
+//!            v                                        │ keep-alive
+//!   Reading ──parsed──> (routed by the reactor) ──> Writing ──> Closed
+//!            │                  │                     ^
+//!            │                  └──> Waiting ─────────┘
+//!            └── timeout/EOF/transport error ───────> Closed
+//! ```
+//!
+//! `Waiting` is a submission with `wait_ms`: the request is answered
+//! when the scheduler's completion hook wakes the reactor (or the wait
+//! deadline passes) — no thread blocks.
+//!
+//! The struct is generic over the stream so the deadline logic is
+//! testable with scripted mock IO: the write-deadline regression test
+//! below drives a "client" that stops reading mid-response and asserts
+//! the connection slot is reclaimed instead of pinned forever. All
+//! time is injected (`now: Instant` parameters); nothing here calls
+//! the clock.
+
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+use crate::http::{response_bytes, HttpError, Limits, Request, RequestParser};
+
+/// Bytes per `read` call.
+const READ_CHUNK: usize = 4096;
+/// Read calls per [`Connection::poll_read`] — bounds how long one
+/// connection can hog the reactor before the sweep moves on.
+const MAX_READS_PER_POLL: usize = 8;
+
+/// Where a connection is in its request/response loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnPhase {
+    /// Accumulating request bytes (also the idle keep-alive state).
+    Reading,
+    /// A `wait_ms` submission is in flight; the reactor holds the job.
+    Waiting,
+    /// Flushing a staged response.
+    Writing,
+    /// Terminal; the reactor reaps the slot.
+    Closed,
+}
+
+/// Why a connection ended (drives per-reason metrics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Peer closed at a request boundary, or `Connection: close` ran
+    /// its course.
+    Done,
+    /// No complete request within the read deadline (idle keep-alive
+    /// or a slow-loris trickle).
+    ReadTimeout,
+    /// Peer stopped reading mid-response past the write deadline.
+    WriteTimeout,
+    /// Transport error.
+    Broken,
+}
+
+/// Outcome of a read poll.
+#[derive(Debug)]
+pub enum ReadEvent {
+    /// No complete request yet; nothing readable.
+    Pending,
+    /// A full request — the reactor routes it and must stage a
+    /// response ([`Connection::start_response`]) or park the
+    /// connection ([`Connection::set_waiting`]).
+    Request(Box<Request>),
+    /// Parse error: answer it where possible, then close.
+    Bad(HttpError),
+    /// Peer closed its half. `mid_request` distinguishes a cut-off
+    /// request (answerable with a best-effort 400) from a clean
+    /// boundary close.
+    Eof {
+        /// Bytes of an unfinished request had been consumed.
+        mid_request: bool,
+    },
+    /// Transport error; the connection is unanswerable.
+    Broken(io::ErrorKind),
+}
+
+/// Outcome of a write poll.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WriteEvent {
+    /// Socket buffer full; bytes remain staged.
+    Pending,
+    /// Response fully flushed. `close` mirrors the staged
+    /// `Connection: close`; otherwise the connection has already reset
+    /// to `Reading` for the next keep-alive request.
+    Flushed {
+        /// The connection was moved to [`ConnPhase::Closed`].
+        close: bool,
+    },
+    /// Transport error mid-write.
+    Broken,
+}
+
+/// One client connection and all state carried across readiness events.
+pub struct Connection<S> {
+    stream: S,
+    parser: RequestParser,
+    phase: ConnPhase,
+    out: Vec<u8>,
+    out_pos: usize,
+    close_after_write: bool,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    /// Armed while `Reading`: set at registration and at each
+    /// request boundary — deliberately *not* refreshed by partial
+    /// bytes, so a slow-loris trickle cannot hold a slot open.
+    read_deadline: Instant,
+    /// Armed while `Writing`.
+    write_deadline: Instant,
+    served: u64,
+}
+
+impl<S: Read + Write> Connection<S> {
+    /// Wraps a freshly accepted (nonblocking) stream.
+    pub fn new(
+        stream: S,
+        limits: Limits,
+        now: Instant,
+        read_timeout: Duration,
+        write_timeout: Duration,
+    ) -> Self {
+        Connection {
+            stream,
+            parser: RequestParser::new(limits),
+            phase: ConnPhase::Reading,
+            out: Vec::new(),
+            out_pos: 0,
+            close_after_write: false,
+            read_timeout,
+            write_timeout,
+            read_deadline: now + read_timeout,
+            write_deadline: now + write_timeout,
+            served: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> ConnPhase {
+        self.phase
+    }
+
+    /// Requests fully answered on this connection.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Force-closes (drain, deadline, unanswerable error).
+    pub fn close(&mut self) {
+        self.phase = ConnPhase::Closed;
+    }
+
+    /// The deadline that has passed, if any: `Reading` past the read
+    /// deadline or `Writing` past the write deadline. The write arm is
+    /// the "stalled reader" guard — a peer that stops draining its
+    /// socket cannot pin this slot forever.
+    pub fn expired(&self, now: Instant) -> Option<CloseReason> {
+        match self.phase {
+            ConnPhase::Reading if now >= self.read_deadline => Some(CloseReason::ReadTimeout),
+            ConnPhase::Writing if now >= self.write_deadline => Some(CloseReason::WriteTimeout),
+            _ => None,
+        }
+    }
+
+    /// The next instant [`Connection::expired`] could fire (for the
+    /// reactor's park-time calculation).
+    pub fn next_deadline(&self) -> Option<Instant> {
+        match self.phase {
+            ConnPhase::Reading => Some(self.read_deadline),
+            ConnPhase::Writing => Some(self.write_deadline),
+            _ => None,
+        }
+    }
+
+    /// Drains readable bytes into the parser and extracts at most one
+    /// request. Only meaningful in [`ConnPhase::Reading`].
+    pub fn poll_read(&mut self, _now: Instant) -> ReadEvent {
+        let mut chunk = [0u8; READ_CHUNK];
+        for _ in 0..=MAX_READS_PER_POLL {
+            match self.parser.try_next() {
+                Ok(Some(req)) => return ReadEvent::Request(Box::new(req)),
+                Ok(None) => {}
+                Err(e) => return ReadEvent::Bad(e),
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadEvent::Eof { mid_request: self.parser.mid_request() },
+                Ok(n) => self.parser.feed(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ReadEvent::Pending,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return ReadEvent::Broken(e.kind()),
+            }
+        }
+        // Read budget exhausted; the rest parses on the next sweep.
+        ReadEvent::Pending
+    }
+
+    /// Bytes of an unfinished request are buffered (EOF now would cut
+    /// a request short).
+    pub fn mid_request(&self) -> bool {
+        self.parser.mid_request()
+    }
+
+    /// Stages a response and arms the write deadline. The reactor
+    /// should poll the write immediately — most responses flush in one
+    /// call.
+    pub fn start_response(
+        &mut self,
+        now: Instant,
+        status: u16,
+        content_type: &str,
+        body: &[u8],
+        keep_alive: bool,
+    ) {
+        self.out = response_bytes(status, content_type, body, keep_alive);
+        self.out_pos = 0;
+        self.close_after_write = !keep_alive;
+        self.write_deadline = now + self.write_timeout;
+        self.phase = ConnPhase::Writing;
+    }
+
+    /// Parks the connection on an in-flight `wait_ms` job; the reactor
+    /// owns the job handle and the wait deadline.
+    pub fn set_waiting(&mut self) {
+        self.phase = ConnPhase::Waiting;
+    }
+
+    /// Pushes staged bytes. On completion the connection either closes
+    /// (`Connection: close`) or resets to `Reading` with a fresh read
+    /// deadline, keeping any pipelined leftover bytes.
+    pub fn poll_write(&mut self, now: Instant) -> WriteEvent {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return WriteEvent::Broken,
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return WriteEvent::Pending,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return WriteEvent::Broken,
+            }
+        }
+        let _ = self.stream.flush();
+        self.out = Vec::new();
+        self.out_pos = 0;
+        self.served += 1;
+        if self.close_after_write {
+            self.phase = ConnPhase::Closed;
+            WriteEvent::Flushed { close: true }
+        } else {
+            self.phase = ConnPhase::Reading;
+            self.read_deadline = now + self.read_timeout;
+            WriteEvent::Flushed { close: false }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Scripted mock stream: reads pop from a queue (`None` behavior ==
+    /// WouldBlock once exhausted), writes follow scripted behaviors and
+    /// then accept everything.
+    struct Script {
+        reads: VecDeque<Vec<u8>>,
+        write_steps: VecDeque<io::Result<usize>>,
+        stall_writes: bool,
+        written: Vec<u8>,
+    }
+
+    impl Script {
+        fn with_reads(reads: &[&[u8]]) -> Self {
+            Script {
+                reads: reads.iter().map(|r| r.to_vec()).collect(),
+                write_steps: VecDeque::new(),
+                stall_writes: false,
+                written: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Script {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.reads.pop_front() {
+                Some(bytes) => {
+                    if bytes.is_empty() {
+                        return Ok(0); // scripted EOF
+                    }
+                    let n = bytes.len().min(buf.len());
+                    buf[..n].copy_from_slice(&bytes[..n]);
+                    if n < bytes.len() {
+                        self.reads.push_front(bytes[n..].to_vec());
+                    }
+                    Ok(n)
+                }
+                None => Err(io::Error::from(io::ErrorKind::WouldBlock)),
+            }
+        }
+    }
+
+    impl Write for Script {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.stall_writes {
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
+            }
+            match self.write_steps.pop_front() {
+                Some(Ok(n)) => {
+                    let n = n.min(buf.len());
+                    self.written.extend_from_slice(&buf[..n]);
+                    Ok(n)
+                }
+                Some(Err(e)) => Err(e),
+                None => {
+                    self.written.extend_from_slice(buf);
+                    Ok(buf.len())
+                }
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn conn(script: Script) -> Connection<Script> {
+        Connection::new(
+            script,
+            Limits::default(),
+            Instant::now(),
+            Duration::from_secs(5),
+            Duration::from_secs(2),
+        )
+    }
+
+    #[test]
+    fn request_assembled_across_readiness_events() {
+        let script = Script::with_reads(&[b"GET /health", b"z HTTP/1.1\r\nHo", b"st: a\r\n\r\n"]);
+        let mut c = conn(script);
+        let now = Instant::now();
+        match c.poll_read(now) {
+            ReadEvent::Request(req) => assert_eq!(req.path, "/healthz"),
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keep_alive_resets_to_reading_and_serves_pipelined_bytes() {
+        let script = Script::with_reads(&[
+            b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n", // two pipelined requests
+        ]);
+        let mut c = conn(script);
+        let now = Instant::now();
+        let ReadEvent::Request(first) = c.poll_read(now) else { panic!("first request") };
+        assert_eq!(first.path, "/a");
+        c.start_response(now, 200, "application/json", b"{}", true);
+        assert_eq!(c.poll_write(now), WriteEvent::Flushed { close: false });
+        assert_eq!(c.phase(), ConnPhase::Reading);
+        assert_eq!(c.served(), 1);
+        // The second request parses from retained bytes without a read.
+        let ReadEvent::Request(second) = c.poll_read(now) else { panic!("second request") };
+        assert_eq!(second.path, "/b");
+    }
+
+    #[test]
+    fn connection_close_response_closes_after_flush() {
+        let mut c = conn(Script::with_reads(&[]));
+        let now = Instant::now();
+        c.start_response(now, 200, "application/json", b"{}", false);
+        assert_eq!(c.poll_write(now), WriteEvent::Flushed { close: true });
+        assert_eq!(c.phase(), ConnPhase::Closed);
+    }
+
+    #[test]
+    fn stalled_reader_trips_the_write_deadline() {
+        // Regression test for the missing write deadline: the client
+        // stops reading mid-response (every write would block), so the
+        // response can never flush. The slot must be reclaimable at
+        // the write deadline instead of pinned forever.
+        let mut script = Script::with_reads(&[]);
+        script.stall_writes = true;
+        let mut c = conn(script);
+        let t0 = Instant::now();
+        c.start_response(t0, 200, "application/json", b"{\"big\": true}", true);
+        assert_eq!(c.poll_write(t0), WriteEvent::Pending);
+        assert_eq!(c.phase(), ConnPhase::Writing);
+        assert_eq!(c.expired(t0), None, "deadline not yet reached");
+        // Still stalled at the deadline two seconds later.
+        assert_eq!(c.poll_write(t0 + Duration::from_secs(1)), WriteEvent::Pending);
+        assert_eq!(
+            c.expired(t0 + Duration::from_secs(2)),
+            Some(CloseReason::WriteTimeout),
+            "stalled reader frees the connection slot"
+        );
+    }
+
+    #[test]
+    fn partial_writes_carry_across_events() {
+        let mut script = Script::with_reads(&[]);
+        script.write_steps =
+            VecDeque::from([Ok(3), Err(io::Error::from(io::ErrorKind::WouldBlock))]);
+        let mut c = conn(script);
+        let now = Instant::now();
+        c.start_response(now, 200, "text/plain", b"hello", false);
+        assert_eq!(c.poll_write(now), WriteEvent::Pending, "blocked mid-response");
+        assert_eq!(c.poll_write(now), WriteEvent::Flushed { close: true });
+        let written = String::from_utf8(c.stream.written.clone()).unwrap();
+        assert!(written.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(written.ends_with("\r\n\r\nhello"), "payload intact across partial writes");
+    }
+
+    #[test]
+    fn slow_loris_trickle_does_not_extend_the_read_deadline() {
+        let script = Script::with_reads(&[b"GET /slow"]);
+        let mut c = conn(script);
+        let t0 = Instant::now();
+        assert!(matches!(c.poll_read(t0), ReadEvent::Pending));
+        assert!(c.mid_request());
+        // Partial bytes arrived, but the deadline still counts from
+        // the request boundary.
+        assert_eq!(c.expired(t0 + Duration::from_secs(5)), Some(CloseReason::ReadTimeout));
+    }
+
+    #[test]
+    fn eof_reports_whether_a_request_was_cut_short() {
+        let mut c = conn(Script::with_reads(&[b""]));
+        let now = Instant::now();
+        assert!(matches!(c.poll_read(now), ReadEvent::Eof { mid_request: false }));
+        let mut c = conn(Script::with_reads(&[b"POST /v1/jobs HT", b""]));
+        assert!(matches!(c.poll_read(now), ReadEvent::Eof { mid_request: true }));
+    }
+}

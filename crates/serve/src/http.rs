@@ -1,16 +1,26 @@
-//! A deliberately small, bounded HTTP/1.1 request parser and response
-//! writer over `std::io` streams — no external dependencies.
+//! A deliberately small, bounded HTTP/1.1 parser and response writer —
+//! no external dependencies.
 //!
-//! The parser enforces hard size limits *while reading* (request line,
-//! header block, body), so a hostile or broken client can neither run
-//! the server out of memory nor wedge a connection thread on an
-//! unbounded read. Every malformed input maps to a typed
-//! [`HttpError`]; nothing in this module panics on untrusted bytes
-//! (proptested in `tests/http_proptests.rs`).
+//! The core is [`RequestParser`], an *incremental* push parser: the
+//! reactor feeds it whatever bytes a nonblocking read produced (possibly
+//! one at a time, possibly several pipelined requests at once) and asks
+//! for the next complete request. All parser state — partial head,
+//! partial body, leftover pipelined bytes — is carried across readiness
+//! events inside the parser, which is what lets a single thread own
+//! thousands of connections.
 //!
-//! Scope: exactly what `ecl-serve` needs. One request per connection
-//! (responses always carry `Connection: close`), `Content-Length`
-//! bodies only (no chunked encoding), no continuation lines.
+//! Hard size limits (request line + headers, body, header count) are
+//! enforced *as bytes arrive*, so a hostile or broken client can
+//! neither run the server out of memory nor wedge a connection on an
+//! unbounded read. Every malformed input maps to a typed [`HttpError`];
+//! nothing in this module panics on untrusted bytes (proptested in
+//! `tests/http_proptests.rs`, including byte-by-byte delivery).
+//!
+//! Scope: exactly what `ecl-serve` needs. HTTP/1.1 keep-alive with
+//! `Connection`/`Content-Length` handling, `Content-Length` bodies only
+//! (no chunked encoding), no continuation lines. The blocking
+//! [`read_request`] used by one-shot clients is a thin loop over the
+//! incremental parser.
 
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -22,7 +32,7 @@ pub struct Limits {
     /// terminating blank line).
     pub max_head_bytes: usize,
     /// Maximum bytes of the body (`Content-Length` beyond this is
-    /// rejected before any body byte is read).
+    /// rejected before any body byte is buffered).
     pub max_body_bytes: usize,
     /// Maximum number of header lines.
     pub max_headers: usize,
@@ -42,9 +52,10 @@ pub enum HttpError {
     /// Structurally invalid request → 400.
     Malformed(&'static str),
     /// The stream ended before a full request arrived (client went
-    /// away mid-request) → drop the connection silently.
+    /// away mid-request) → best-effort 400, then close.
     Truncated,
-    /// Underlying transport error (timeouts land here) → drop.
+    /// Underlying transport error (timeouts land here) → the
+    /// connection is unanswerable; drop it.
     Io(io::ErrorKind),
 }
 
@@ -81,6 +92,9 @@ pub struct Request {
     pub headers: BTreeMap<String, String>,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the request line said `HTTP/1.1` (drives the keep-alive
+    /// default: 1.1 persists, 1.0 closes).
+    pub version_11: bool,
 }
 
 impl Request {
@@ -88,36 +102,14 @@ impl Request {
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
     }
-}
 
-/// Reads one byte, mapping EOF to [`HttpError::Truncated`].
-fn read_byte<R: Read>(r: &mut R) -> Result<u8, HttpError> {
-    let mut b = [0u8; 1];
-    match r.read(&mut b) {
-        Ok(0) => Err(HttpError::Truncated),
-        Ok(_) => Ok(b[0]),
-        Err(e) if e.kind() == io::ErrorKind::Interrupted => read_byte(r),
-        Err(e) => Err(e.into()),
-    }
-}
-
-/// Reads the head (everything through `\r\n\r\n`), enforcing
-/// `max_head_bytes` as it goes. Accepts bare-`\n` line endings too —
-/// robustness against sloppy clients; the paired tests exercise both.
-fn read_head<R: Read>(r: &mut R, limits: &Limits) -> Result<Vec<u8>, HttpError> {
-    let mut head = Vec::with_capacity(512);
-    loop {
-        if head.len() >= limits.max_head_bytes {
-            return Err(HttpError::TooLarge("head"));
-        }
-        let b = read_byte(r)?;
-        head.push(b);
-        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
-            return Ok(head);
-        }
-        // An empty first line would mean `\r\n` at the very start.
-        if head == b"\r\n" || head == b"\n" {
-            return Err(HttpError::Malformed("empty request line"));
+    /// HTTP/1.1 keep-alive semantics: an explicit `Connection` header
+    /// wins; otherwise 1.1 defaults to persistent and 1.0 to close.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.split(',').any(|t| t.trim() == "close") => false,
+            Some(v) if v.split(',').any(|t| t.trim() == "keep-alive") => true,
+            _ => self.version_11,
         }
     }
 }
@@ -126,13 +118,112 @@ fn is_token_char(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
 }
 
-/// Parses one request from `r` under `limits`.
-pub fn read_request<R: Read>(r: &mut R, limits: &Limits) -> Result<Request, HttpError> {
-    let head = read_head(r, limits)?;
-    let text = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
+/// What the parser is in the middle of.
+enum Phase {
+    /// Accumulating the head (request line + headers) in `buf`.
+    Head,
+    /// Head parsed; `req.body` is filling toward `need` bytes.
+    Body { req: Box<Request>, need: usize },
+}
+
+/// Incremental push parser. Feed it bytes as they arrive; ask for
+/// complete requests. Retains leftover bytes across requests, so
+/// pipelined input parses correctly. After [`RequestParser::try_next`]
+/// returns an error the parser is poisoned garbage — close the
+/// connection and discard it.
+pub struct RequestParser {
+    limits: Limits,
+    /// Unconsumed input: partial head bytes, or pipelined bytes of the
+    /// next request while the current one is still being answered.
+    buf: Vec<u8>,
+    /// Resume point for the head-terminator scan (avoids rescanning the
+    /// whole buffer on every one-byte feed).
+    scan: usize,
+    phase: Phase,
+}
+
+impl RequestParser {
+    /// A fresh parser at a request boundary.
+    pub fn new(limits: Limits) -> Self {
+        RequestParser { limits, buf: Vec::new(), scan: 0, phase: Phase::Head }
+    }
+
+    /// Appends newly arrived bytes. Cheap; parsing happens in
+    /// [`RequestParser::try_next`].
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when the parser holds bytes of an incomplete request — an
+    /// EOF now would cut a request mid-flight rather than land on a
+    /// clean boundary.
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty() || matches!(self.phase, Phase::Body { .. })
+    }
+
+    /// Extracts the next complete request, `Ok(None)` when more bytes
+    /// are needed, or the error that should end this connection.
+    pub fn try_next(&mut self) -> Result<Option<Request>, HttpError> {
+        loop {
+            match std::mem::replace(&mut self.phase, Phase::Head) {
+                Phase::Head => {
+                    let Some(head_end) = self.find_head_end() else {
+                        if self.buf.len() >= self.limits.max_head_bytes {
+                            return Err(HttpError::TooLarge("head"));
+                        }
+                        return Ok(None);
+                    };
+                    let (req, need) = parse_head(&self.buf[..head_end], &self.limits)?;
+                    self.buf.drain(..head_end);
+                    self.scan = 0;
+                    if need == 0 {
+                        return Ok(Some(*req));
+                    }
+                    self.phase = Phase::Body { req, need };
+                }
+                Phase::Body { mut req, need } => {
+                    let want = need - req.body.len();
+                    let take = want.min(self.buf.len());
+                    req.body.extend_from_slice(&self.buf[..take]);
+                    self.buf.drain(..take);
+                    if req.body.len() == need {
+                        return Ok(Some(*req));
+                    }
+                    self.phase = Phase::Body { req, need };
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Index one past the head terminator (`\r\n\r\n` or the sloppy
+    /// bare `\n\n`), searched only within the head size limit.
+    fn find_head_end(&mut self) -> Option<usize> {
+        let limit = self.buf.len().min(self.limits.max_head_bytes);
+        for i in self.scan..limit {
+            if i >= 3 && &self.buf[i - 3..=i] == b"\r\n\r\n" {
+                return Some(i + 1);
+            }
+            if i >= 1 && &self.buf[i - 1..=i] == b"\n\n" {
+                return Some(i + 1);
+            }
+        }
+        // Next feed only needs to rescan the terminator-straddling tail.
+        self.scan = limit.saturating_sub(3);
+        None
+    }
+}
+
+/// Parses a complete head block (terminator included) into a request
+/// with an empty body, plus the declared `Content-Length`.
+fn parse_head(head: &[u8], limits: &Limits) -> Result<(Box<Request>, usize), HttpError> {
+    let text = std::str::from_utf8(head).map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
     let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
 
     let request_line = lines.next().ok_or(HttpError::Malformed("missing request line"))?;
+    if request_line.is_empty() {
+        return Err(HttpError::Malformed("empty request line"));
+    }
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or("");
     let path = parts.next().ok_or(HttpError::Malformed("missing request target"))?;
@@ -166,21 +257,45 @@ pub fn read_request<R: Read>(r: &mut R, limits: &Limits) -> Result<Request, Http
         headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
     }
 
-    let body = match headers.get("content-length") {
-        None => Vec::new(),
+    let need = match headers.get("content-length") {
+        None => 0,
         Some(v) => {
             let len: usize =
                 v.parse().map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
             if len > limits.max_body_bytes {
                 return Err(HttpError::TooLarge("body"));
             }
-            let mut body = vec![0u8; len];
-            r.read_exact(&mut body)?;
-            body
+            len
         }
     };
 
-    Ok(Request { method: method.to_string(), path: path.to_string(), headers, body })
+    let req = Box::new(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::with_capacity(need.min(4096)),
+        version_11: version == "HTTP/1.1",
+    });
+    Ok((req, need))
+}
+
+/// Blocking convenience: parses one request from `r` under `limits`.
+/// A thin read loop over [`RequestParser`]; one-shot clients and tests
+/// use it, the reactor does not.
+pub fn read_request<R: Read>(r: &mut R, limits: &Limits) -> Result<Request, HttpError> {
+    let mut parser = RequestParser::new(*limits);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(req) = parser.try_next()? {
+            return Ok(req);
+        }
+        match r.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Truncated),
+            Ok(n) => parser.feed(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
 }
 
 /// Reason phrases for the status codes the service emits.
@@ -201,38 +316,53 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete response (status + headers + body) and flushes.
-/// Always `Connection: close` — this server is one-request-per-
-/// connection by design.
+/// Renders a complete response (status line + headers + body) into a
+/// byte buffer — what the reactor stages into a connection's write
+/// buffer. `keep_alive` controls the `Connection` header; the response
+/// always carries an exact `Content-Length` so persistent clients know
+/// where it ends.
+pub fn response_bytes(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Writes a complete response and flushes.
 pub fn write_response<W: Write>(
     w: &mut W,
     status: u16,
     content_type: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> io::Result<()> {
-    write!(
-        w,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        reason(status),
-        body.len()
-    )?;
-    w.write_all(body)?;
+    w.write_all(&response_bytes(status, content_type, body, keep_alive))?;
     w.flush()
 }
 
-/// [`write_response`] for a JSON body.
+/// [`write_response`] for a one-shot JSON body (`Connection: close`).
 pub fn write_json<W: Write>(w: &mut W, status: u16, body: &str) -> io::Result<()> {
-    write_response(w, status, "application/json", body.as_bytes())
+    write_response(w, status, "application/json", body.as_bytes(), false)
 }
 
 /// The status code an [`HttpError`] maps to, when a response can still
-/// be written (`None`: drop the connection without responding).
+/// be written (`None`: the transport itself failed, so the connection
+/// is unanswerable and is dropped without a response). `Truncated`
+/// maps to 400: the peer half-closed mid-request, so a best-effort
+/// response may still reach it.
 pub fn error_status(e: &HttpError) -> Option<u16> {
     match e {
         HttpError::TooLarge("body") => Some(413),
         HttpError::TooLarge(_) => Some(431),
         HttpError::Malformed(_) => Some(400),
-        HttpError::Truncated | HttpError::Io(_) => None,
+        HttpError::Truncated => Some(400),
+        HttpError::Io(_) => None,
     }
 }
 
@@ -253,6 +383,7 @@ mod tests {
         assert_eq!(r.header("host"), Some("x"));
         assert_eq!(r.header("HOST"), Some("x"));
         assert!(r.body.is_empty());
+        assert!(r.version_11);
     }
 
     #[test]
@@ -266,6 +397,18 @@ mod tests {
     fn accepts_bare_lf_lines() {
         let r = parse(b"GET / HTTP/1.1\nHost: y\n\n").unwrap();
         assert_eq!(r.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_version() {
+        let r = parse(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(r.wants_keep_alive(), "1.1 defaults to persistent");
+        let r = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.wants_keep_alive(), "1.0 defaults to close");
+        let r = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.wants_keep_alive());
+        let r = parse(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(r.wants_keep_alive());
     }
 
     #[test]
@@ -305,6 +448,40 @@ mod tests {
     }
 
     #[test]
+    fn incremental_byte_by_byte_matches_one_shot() {
+        let wire = b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 5\r\nHost: z\r\n\r\nhello";
+        let mut p = RequestParser::new(Limits::default());
+        for (i, b) in wire.iter().enumerate() {
+            p.feed(std::slice::from_ref(b));
+            let got = p.try_next().unwrap();
+            if i + 1 < wire.len() {
+                assert!(got.is_none(), "no request before byte {}", i + 1);
+                assert!(p.mid_request());
+            } else {
+                let r = got.unwrap();
+                assert_eq!(r.path, "/v1/jobs");
+                assert_eq!(r.body, b"hello");
+                assert!(!p.mid_request(), "parser back at a clean boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let wire =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /v1/jobs HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let mut p = RequestParser::new(Limits::default());
+        p.feed(wire);
+        let first = p.try_next().unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        assert!(p.mid_request(), "second request's bytes are retained");
+        let second = p.try_next().unwrap().unwrap();
+        assert_eq!(second.method, "POST");
+        assert_eq!(second.body, b"ok");
+        assert!(p.try_next().unwrap().is_none());
+    }
+
+    #[test]
     fn oversized_head_and_body_are_rejected() {
         let limits = Limits { max_head_bytes: 64, max_body_bytes: 8, max_headers: 4 };
         let mut big = b"GET / HTTP/1.1\r\n".to_vec();
@@ -326,6 +503,23 @@ mod tests {
     }
 
     #[test]
+    fn terminator_exactly_at_the_head_limit_is_accepted() {
+        // Head of exactly max_head_bytes including the terminator: legal.
+        let head = b"GET / HTTP/1.1\r\n\r\n";
+        let limits = Limits { max_head_bytes: head.len(), max_body_bytes: 8, max_headers: 4 };
+        assert!(read_request(&mut io::Cursor::new(&head[..]), &limits).is_ok());
+        // One byte past the limit: rejected even though a terminator
+        // exists later in the stream.
+        let mut long = b"GET /xx HTTP/1.1\r\n\r\n".to_vec();
+        let tight = Limits { max_head_bytes: long.len() - 1, max_body_bytes: 8, max_headers: 4 };
+        long.extend_from_slice(b"GET / HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            read_request(&mut io::Cursor::new(&long), &tight).err(),
+            Some(HttpError::TooLarge("head"))
+        );
+    }
+
+    #[test]
     fn huge_content_length_rejected_before_allocation() {
         // Claims 100 TB: must fail on the limit check, not allocate.
         let r = parse(b"POST / HTTP/1.1\r\nContent-Length: 109951162777600\r\n\r\n");
@@ -337,7 +531,8 @@ mod tests {
         assert_eq!(error_status(&HttpError::TooLarge("body")), Some(413));
         assert_eq!(error_status(&HttpError::TooLarge("head")), Some(431));
         assert_eq!(error_status(&HttpError::Malformed("x")), Some(400));
-        assert_eq!(error_status(&HttpError::Truncated), None);
+        assert_eq!(error_status(&HttpError::Truncated), Some(400), "best-effort 400");
+        assert_eq!(error_status(&HttpError::Io(io::ErrorKind::ConnectionReset)), None);
     }
 
     #[test]
@@ -349,5 +544,7 @@ mod tests {
         assert!(text.contains("Content-Length: 8\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"id\":1}"));
+        let keep = response_bytes(200, "application/json", b"{}", true);
+        assert!(String::from_utf8(keep).unwrap().contains("Connection: keep-alive\r\n"));
     }
 }

@@ -10,8 +10,13 @@
 //!
 //! Layers, bottom up:
 //!
-//! * [`http`] — a bounded `std`-only HTTP/1.1 parser and response
-//!   writer (the workspace is offline; no server frameworks).
+//! * [`http`] — a bounded `std`-only incremental HTTP/1.1 parser
+//!   (bytes are fed as they arrive; requests pop out as they
+//!   complete) and response writer (the workspace is offline; no
+//!   server frameworks).
+//! * [`ring`] — a bounded lock-free MPMC event ring, the handoff
+//!   between the accept thread, the scheduler's completion hook, and
+//!   the reactor.
 //! * [`catalog`] — name → materialized graph, unifying the Table-1
 //!   generator registry with on-disk graph files, behind a
 //!   content-hashed, byte-budgeted LRU.
@@ -29,8 +34,17 @@
 //!   drain-on-shutdown.
 //! * [`metrics`] — service counters + per-algorithm latency sketches,
 //!   rendered for Prometheus via `ecl-prof`.
-//! * [`server`] — the thread-per-connection HTTP surface tying it all
-//!   together.
+//! * [`conn`] — the per-connection state machine (reading → routing →
+//!   waiting → writing) with partial-read/partial-write buffers and
+//!   read/write deadlines.
+//! * [`reactor`] — the single event-loop thread that owns every
+//!   connection: nonblocking sockets, HTTP keep-alive, parked
+//!   `wait_ms` submissions answered by scheduler completion wakeups.
+//! * [`server`] — the HTTP surface tying it all together: a bounded
+//!   accept thread (immediate 503 beyond `max_connections`) feeding
+//!   the reactor, plus the route table. Thread count is fixed —
+//!   accept + reactor + scheduler workers — independent of how many
+//!   connections are open.
 //! * [`loadgen`] — closed- and open-loop load generation emitting
 //!   gateable `ecl-bench/2` reports.
 //!
@@ -56,11 +70,14 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod conn;
 pub mod exec;
 pub mod http;
 pub mod jobs;
 pub mod loadgen;
 pub mod metrics;
+pub mod reactor;
+pub mod ring;
 pub mod scheduler;
 pub mod server;
 

@@ -1,10 +1,12 @@
 //! Load generator for `ecl-serve`: closed- and open-loop drivers, a
-//! tiny blocking HTTP client, and an `ecl-bench/2` JSON report that
-//! `ecl-prof gate` can regression-gate.
+//! tiny blocking HTTP client (persistent keep-alive connections via
+//! [`HttpClient`], or one-shot via [`http_call`]), and an
+//! `ecl-bench/2` JSON report that `ecl-prof gate` can regression-gate.
 //!
 //! **Closed loop** (`concurrency = N`): N workers each keep exactly
 //! one request in flight (submit with `wait_ms`, measure, repeat) —
-//! the latency you get when clients back off under load.
+//! the latency you get when clients back off under load. Each worker
+//! holds one keep-alive connection unless `keep_alive` is off.
 //!
 //! **Open loop** (`rate_per_sec = R`): arrivals are paced on a fixed
 //! schedule regardless of completions — the latency you get when
@@ -63,6 +65,10 @@ pub struct LoadgenConfig {
     pub distinct_seeds: u64,
     /// Per-request `wait_ms` (closed-loop completion bound).
     pub wait_ms: u64,
+    /// Reuse one connection per closed-loop worker (HTTP/1.1
+    /// keep-alive) instead of a fresh connect per request. On is the
+    /// realistic client; off measures connection-setup overhead.
+    pub keep_alive: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -76,6 +82,7 @@ impl Default for LoadgenConfig {
             scale: 0.001,
             distinct_seeds: 4,
             wait_ms: 30_000,
+            keep_alive: true,
         }
     }
 }
@@ -135,6 +142,150 @@ pub fn http_call(
     Ok((status, text[body_start..].to_string()))
 }
 
+/// Persistent HTTP/1.1 client: one connection reused across calls
+/// (keep-alive), responses delimited by `Content-Length` rather than
+/// EOF. A call on a connection the server has since closed reconnects
+/// and retries once, so keep-alive stays transparent to callers.
+pub struct HttpClient {
+    target: String,
+    keep_alive: bool,
+    stream: Option<TcpStream>,
+    /// Bytes read past the previous response (pipelining slack).
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// A client for `host:port`. With `keep_alive` false every call
+    /// sends `Connection: close` and reconnects, matching [`http_call`].
+    pub fn new(target: &str, keep_alive: bool) -> HttpClient {
+        HttpClient { target: target.to_string(), keep_alive, stream: None, buf: Vec::new() }
+    }
+
+    /// One request/response exchange. Returns `(status, body)`.
+    pub fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        let reused = self.stream.is_some();
+        match self.call_once(method, path, body) {
+            // A reused connection may have been closed server-side
+            // (read timeout, drain) between calls; retry exactly once
+            // on a fresh connection.
+            Err(_) if reused => {
+                self.reset();
+                self.call_once(method, path, body)
+            }
+            other => other,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.stream = None;
+        self.buf.clear();
+    }
+
+    fn call_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.target)
+                .map_err(|e| format!("connect {}: {e}", self.target))?;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(150)))
+                .map_err(|e| format!("set timeout: {e}"))?;
+            self.stream = Some(stream);
+            self.buf.clear();
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return Err("no connection".to_string());
+        };
+        let connection = if self.keep_alive { "keep-alive" } else { "close" };
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+            self.target,
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).map_err(|e| format!("write: {e}"))?;
+
+        // Head: read until the blank line.
+        let head_end = loop {
+            if let Some(i) = find_terminator(&self.buf) {
+                break i;
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err("connection closed before response head".to_string()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).to_string();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("unparseable status line: {:?}", head.lines().next()))?;
+        let mut content_length: Option<usize> = None;
+        let mut server_closes = !self.keep_alive;
+        for line in head.lines().skip(1) {
+            let Some((name, value)) = line.split_once(':') else { continue };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().ok();
+            } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
+            {
+                server_closes = true;
+            }
+        }
+        let body_start = head_end + 4;
+
+        let text = match content_length {
+            Some(len) => {
+                while self.buf.len() < body_start + len {
+                    let mut chunk = [0u8; 4096];
+                    match stream.read(&mut chunk) {
+                        Ok(0) => return Err("connection closed mid-body".to_string()),
+                        Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(format!("read body: {e}")),
+                    }
+                }
+                let text =
+                    String::from_utf8_lossy(&self.buf[body_start..body_start + len]).to_string();
+                // Keep anything past this response for the next call.
+                self.buf.drain(..body_start + len);
+                text
+            }
+            None => {
+                // No length: body runs to EOF (forces a reconnect).
+                let mut rest = Vec::new();
+                stream.read_to_end(&mut rest).map_err(|e| format!("read to eof: {e}"))?;
+                self.buf.extend_from_slice(&rest);
+                let text = String::from_utf8_lossy(&self.buf[body_start..]).to_string();
+                self.buf.clear();
+                server_closes = true;
+                text
+            }
+        };
+        if server_closes {
+            self.reset();
+        }
+        Ok((status, text))
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
 struct Tally {
     requests: AtomicU64,
     ok: AtomicU64,
@@ -173,11 +324,11 @@ fn job_request_body(config: &LoadgenConfig, request_index: u64) -> String {
 }
 
 /// Issues one job request and folds the outcome into `tally`.
-fn fire(config: &LoadgenConfig, request_index: u64, tally: &Tally) {
+fn fire(config: &LoadgenConfig, request_index: u64, tally: &Tally, client: &mut HttpClient) {
     let body = job_request_body(config, request_index);
     tally.requests.fetch_add(1, Ordering::Relaxed);
     let t0 = Instant::now();
-    match http_call(&config.target, "POST", "/v1/jobs", Some(&body)) {
+    match client.call("POST", "/v1/jobs", Some(&body)) {
         Ok((200, response)) => {
             let v = json::parse(&response).unwrap_or(Value::Null);
             let state = v.get("state").and_then(Value::as_str).unwrap_or("");
@@ -223,9 +374,11 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
                     Arc::clone(&next_index),
                 );
                 std::thread::spawn(move || {
+                    // One persistent connection per closed-loop worker.
+                    let mut client = HttpClient::new(&config.target, config.keep_alive);
                     while !stop.load(Ordering::Acquire) {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        fire(&config, i, &tally);
+                        fire(&config, i, &tally, &mut client);
                     }
                 })
             })
@@ -243,7 +396,12 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
                 next_arrival += interval;
                 let i = next_index.fetch_add(1, Ordering::Relaxed);
                 let (config, tally) = (config.clone(), Arc::clone(&tally));
-                shooters.push(std::thread::spawn(move || fire(&config, i, &tally)));
+                shooters.push(std::thread::spawn(move || {
+                    // One-shot arrivals gain nothing from keep-alive;
+                    // `Connection: close` frees the server slot at once.
+                    let mut client = HttpClient::new(&config.target, false);
+                    fire(&config, i, &tally, &mut client);
+                }));
             }
             shooters
         }
@@ -316,13 +474,15 @@ impl LoadReport {
         ));
         format!(
             "{{\n  \"schema\": \"ecl-bench/2\",\n  \"benchmark\": \"ecl-loadgen\",\n  \
-             \"git_sha\": \"{}\",\n  \"mode\": \"{mode}\",\n  \"graph\": \"{}\",\n  \
+             \"git_sha\": \"{}\",\n  \"mode\": \"{mode}\",\n  \"keep_alive\": {},\n  \
+             \"graph\": \"{}\",\n  \
              \"scale\": {},\n  \"distinct_seeds\": {},\n  \"algos\": [{}],\n  \
              \"requests\": {},\n  \"ok\": {},\n  \"tuned_ok\": {},\n  \"rejected\": {},\n  \
              \"errors\": {},\n  \
              \"wall_seconds\": {},\n  \"latency_us\": {{\"count\": {}, \"p50\": {}, \
              \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \"metrics\": [\n{}\n  ]\n}}\n",
             ecl_prof::git_sha(),
+            self.config.keep_alive,
             json::escape(&self.config.graph),
             self.config.scale,
             self.config.distinct_seeds,
@@ -384,6 +544,79 @@ mod tests {
             .metrics
             .iter()
             .any(|m| m.name == "modeled_time_units" && m.direction == ecl_prof::Direction::Lower));
+    }
+
+    #[test]
+    fn keep_alive_client_reuses_one_connection() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let target = listener.local_addr().unwrap().to_string();
+        let served = std::thread::spawn(move || {
+            // Accept exactly once; serve two responses on it. A client
+            // that reconnects per call would hang on the second call.
+            let (mut s, _) = listener.accept().unwrap();
+            for body in ["{\"n\": 1}", "{\"n\": 2}"] {
+                let mut seen = Vec::new();
+                let mut chunk = [0u8; 1024];
+                while find_terminator(&seen).is_none() {
+                    let n = s.read(&mut chunk).unwrap();
+                    assert!(n > 0, "client hung up early");
+                    seen.extend_from_slice(&chunk[..n]);
+                }
+                let reply = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+                    body.len()
+                );
+                s.write_all(reply.as_bytes()).unwrap();
+            }
+        });
+        let mut client = HttpClient::new(&target, true);
+        let (status, body) = client.call("GET", "/one", None).unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"n\": 1}"));
+        let (status, body) = client.call("GET", "/two", None).unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"n\": 2}"));
+        served.join().unwrap();
+    }
+
+    #[test]
+    fn client_retries_once_when_a_reused_connection_died() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let target = listener.local_addr().unwrap().to_string();
+        let served = std::thread::spawn(move || {
+            // First connection: one response, then hang up (as the
+            // server's idle read-timeout reaper would).
+            for body in ["{\"first\": true}", "{\"second\": true}"] {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut seen = Vec::new();
+                let mut chunk = [0u8; 1024];
+                while find_terminator(&seen).is_none() {
+                    let n = s.read(&mut chunk).unwrap();
+                    if n == 0 {
+                        break;
+                    }
+                    seen.extend_from_slice(&chunk[..n]);
+                }
+                let reply = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+                    body.len()
+                );
+                s.write_all(reply.as_bytes()).unwrap();
+                drop(s);
+            }
+        });
+        let mut client = HttpClient::new(&target, true);
+        let (_, body) = client.call("GET", "/a", None).unwrap();
+        assert!(body.contains("first"));
+        // The server closed the connection; the retry path must make
+        // this call succeed on a fresh one.
+        let (_, body) = client.call("GET", "/b", None).unwrap();
+        assert!(body.contains("second"), "{body}");
+        served.join().unwrap();
     }
 
     #[test]

@@ -47,8 +47,29 @@ pub struct ServeMetrics {
     pub http_requests: AtomicU64,
     /// HTTP requests answered with a 4xx/5xx status.
     pub http_errors: AtomicU64,
-    /// Malformed/oversized requests rejected by the parser.
+    /// Malformed/oversized requests rejected by the parser *with* a
+    /// response (400/413/431 — includes best-effort 400s for requests
+    /// cut off by EOF).
     pub http_malformed: AtomicU64,
+    /// Connections dropped mid-request with no response possible
+    /// (transport error before a status could be written).
+    pub http_unanswerable: AtomicU64,
+    /// Requests served beyond the first on a keep-alive connection.
+    pub keepalive_reuses: AtomicU64,
+    /// Connections accepted by the listener.
+    pub connections_accepted: AtomicU64,
+    /// Connections refused with an immediate 503 because
+    /// `--max-connections` was reached.
+    pub connections_rejected: AtomicU64,
+    /// Transient `accept(2)` failures (EMFILE and friends); each one
+    /// also backs the accept loop off briefly.
+    pub accept_errors: AtomicU64,
+    /// Connections closed because no complete request arrived within
+    /// the read deadline (idle keep-alive or slow-loris).
+    pub conn_read_timeouts: AtomicU64,
+    /// Connections closed because the peer stopped draining a response
+    /// past the write deadline (stalled reader).
+    pub conn_write_timeouts: AtomicU64,
     queue_us: [LogSketch; Algo::ALL.len()],
     run_us: [LogSketch; Algo::ALL.len()],
 }
@@ -84,15 +105,16 @@ impl ServeMetrics {
             + self.jobs_deadline_exceeded.load(Ordering::Relaxed)
     }
 
-    /// Renders the full `/metrics` payload. `queue_depth`/`running`
-    /// are instantaneous scheduler gauges; `collector` contributes
-    /// per-kernel series when profiling is installed.
+    /// Renders the full `/metrics` payload. `queue_depth`/`running`/
+    /// `open_connections` are instantaneous gauges; `collector`
+    /// contributes per-kernel series when profiling is installed.
     pub fn render_prometheus(
         &self,
         catalog: &GraphCatalog,
         results: &ResultCache,
         queue_depth: usize,
         running: usize,
+        open_connections: usize,
         collector: Option<&Collector>,
     ) -> String {
         // Per-algorithm latency distributions + kernel stats ride the
@@ -132,7 +154,49 @@ impl ServeMetrics {
 
         gauge(&mut out, "ecl_serve_queue_depth", "Jobs waiting for a slot.", queue_depth as f64);
         gauge(&mut out, "ecl_serve_jobs_running", "Jobs currently executing.", running as f64);
+        gauge(
+            &mut out,
+            "ecl_serve_connections_open",
+            "Connections currently held by the reactor.",
+            open_connections as f64,
+        );
         let r = Ordering::Relaxed;
+        counter(
+            &mut out,
+            "ecl_serve_connections_accepted_total",
+            "Connections accepted by the listener.",
+            self.connections_accepted.load(r),
+        );
+        counter(
+            &mut out,
+            "ecl_serve_connections_rejected_total",
+            "Connections answered 503-and-close at the --max-connections bound.",
+            self.connections_rejected.load(r),
+        );
+        counter(
+            &mut out,
+            "ecl_serve_accept_errors_total",
+            "Transient accept(2) failures (each backs the accept loop off).",
+            self.accept_errors.load(r),
+        );
+        counter(
+            &mut out,
+            "ecl_serve_conn_read_timeouts_total",
+            "Connections closed with no complete request within the read deadline.",
+            self.conn_read_timeouts.load(r),
+        );
+        counter(
+            &mut out,
+            "ecl_serve_conn_write_timeouts_total",
+            "Connections closed because the peer stopped reading past the write deadline.",
+            self.conn_write_timeouts.load(r),
+        );
+        counter(
+            &mut out,
+            "ecl_serve_keepalive_reuses_total",
+            "Requests served beyond the first on a keep-alive connection.",
+            self.keepalive_reuses.load(r),
+        );
         counter(
             &mut out,
             "ecl_serve_jobs_admitted_total",
@@ -185,8 +249,14 @@ impl ServeMetrics {
         counter(
             &mut out,
             "ecl_serve_http_malformed_total",
-            "Requests rejected by the parser (malformed or oversized).",
+            "Requests rejected by the parser and answered 400/413/431.",
             self.http_malformed.load(r),
+        );
+        counter(
+            &mut out,
+            "ecl_serve_http_unanswerable_total",
+            "Connections dropped mid-request before any response could be written.",
+            self.http_unanswerable.load(r),
         );
 
         let (gh, gm, gev, gbytes) = catalog.stats();
@@ -248,10 +318,23 @@ mod tests {
         );
         results.get("k").unwrap();
 
-        let text = m.render_prometheus(&catalog, &results, 3, 2, None);
+        m.connections_accepted.store(7, Ordering::Relaxed);
+        m.connections_rejected.store(1, Ordering::Relaxed);
+        m.accept_errors.store(2, Ordering::Relaxed);
+        m.conn_write_timeouts.store(1, Ordering::Relaxed);
+        m.http_unanswerable.store(1, Ordering::Relaxed);
+        let text = m.render_prometheus(&catalog, &results, 3, 2, 6, None);
         for needle in [
             "ecl_serve_queue_depth 3",
             "ecl_serve_jobs_running 2",
+            "ecl_serve_connections_open 6",
+            "ecl_serve_connections_accepted_total 7",
+            "ecl_serve_connections_rejected_total 1",
+            "ecl_serve_accept_errors_total 2",
+            "ecl_serve_conn_read_timeouts_total 0",
+            "ecl_serve_conn_write_timeouts_total 1",
+            "ecl_serve_keepalive_reuses_total 0",
+            "ecl_serve_http_unanswerable_total 1",
             "ecl_serve_jobs_admitted_total 5",
             "ecl_serve_admission_rejections_total 2",
             "ecl_serve_jobs_finished_total{state=\"done\"} 4",
@@ -271,7 +354,7 @@ mod tests {
         m.record_latency(Algo::Mis, 1, 1000);
         let catalog = GraphCatalog::new(CatalogConfig::default());
         let results = ResultCache::new(1);
-        let text = m.render_prometheus(&catalog, &results, 0, 0, None);
+        let text = m.render_prometheus(&catalog, &results, 0, 0, 0, None);
         assert!(text.contains("job_run_us/mis"));
         assert!(!text.contains("job_run_us/cc"), "cc has no samples");
     }

@@ -1,0 +1,306 @@
+//! A bounded lock-free MPMC ring — the queueing fabric of the
+//! event-driven front end.
+//!
+//! Three rings of this type connect the serve threads: accepted
+//! sockets flow accept-thread → reactor, admitted jobs flow
+//! reactor → scheduler workers, and completion notices flow
+//! workers → reactor. The design is the classic sequence-per-slot
+//! bounded queue (the same publication idiom as `ecl-trace`'s ring:
+//! claim a position with a CAS, write the payload, then publish with a
+//! `Release` store of the slot sequence that a consumer's `Acquire`
+//! load synchronizes with).
+//!
+//! Two departures from the textbook version, both driven by serve
+//! semantics:
+//!
+//! 1. **Exact admission bound.** The slot array is rounded up to a
+//!    power of two, but [`EventRing::try_push`] rejects at exactly the
+//!    configured `bound` via a separate depth counter — `--max-queue 3`
+//!    means 3, not 4. The depth reservation also guarantees a claimed
+//!    position always has a free slot, so the inner publish loop never
+//!    has to report "full" after winning a claim.
+//! 2. **Owned payloads.** Slots hold `T` (sockets, `Arc`s), not plain
+//!    words; `Drop` drains whatever is still queued so shutdown never
+//!    leaks a connection.
+//!
+//! The protocol (exactly-once pop, publication ordering, exact bound)
+//! is explored schedule-exhaustively by the `serve-conn-ring` harness
+//! in `ecl-mc`, which mirrors this algorithm on the model-checked
+//! shims and shares [`ring_slot`].
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps a monotonically increasing position onto a slot index.
+/// `mask` is `capacity - 1` with capacity a power of two. Shared with
+/// the `ecl-mc` ring harness so the model checks the same index math.
+#[inline]
+pub fn ring_slot(mask: usize, pos: usize) -> usize {
+    pos & mask
+}
+
+struct Slot<T> {
+    /// Publication sequence: `pos` when free for the producer claiming
+    /// `pos`, `pos + 1` once the payload is readable, `pos + capacity`
+    /// after the consumer frees it for the next lap.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free multi-producer multi-consumer ring.
+pub struct EventRing<T> {
+    mask: usize,
+    bound: usize,
+    /// Exact occupancy (reserved before the slot claim, released after
+    /// the slot read). May transiently exceed observable items while a
+    /// push is mid-publication.
+    depth: AtomicUsize,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    slots: Box<[Slot<T>]>,
+}
+
+// SAFETY: slots are handed off between threads with Release/Acquire on
+// `seq` (publish after write, free after read), so a `T` is only ever
+// accessed by the single thread that won the position CAS for it.
+unsafe impl<T: Send> Send for EventRing<T> {}
+// SAFETY: as above — all shared mutable access to slot payloads is
+// mediated by the seq handshake; `T: Send` is all that crossing
+// threads requires.
+unsafe impl<T: Send> Sync for EventRing<T> {}
+
+impl<T> EventRing<T> {
+    /// A ring admitting at most `bound` items (exactly — the internal
+    /// capacity rounds up to a power of two but admission does not).
+    pub fn new(bound: usize) -> Self {
+        let bound = bound.max(1);
+        let cap = bound.next_power_of_two();
+        let slots: Vec<Slot<T>> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        EventRing {
+            mask: cap - 1,
+            bound,
+            depth: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Current occupancy (admission-exact, including in-flight pushes).
+    pub fn len(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Whether the ring is (observably) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.bound
+    }
+
+    /// Pushes, or hands the value back when the ring is at its bound.
+    /// Lock-free; never blocks on consumers except for the bounded
+    /// window where a consumer has claimed-but-not-yet-freed the slot
+    /// one full lap behind a reserved position.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        if self.depth.fetch_add(1, Ordering::AcqRel) >= self.bound {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(value);
+        }
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[ring_slot(self.mask, pos)];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the tail CAS for `pos` grants
+                        // exclusive access to this slot until the seq
+                        // store below publishes it.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                // A consumer one lap behind has claimed this slot but
+                // not yet freed it. Our depth reservation guarantees it
+                // is mid-pop, so the wait is bounded.
+                std::hint::spin_loop();
+                pos = self.tail.load(Ordering::Relaxed);
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pops the oldest item, or `None` when no *published* item is
+    /// visible (a push that has reserved depth but not yet stored its
+    /// payload reads as empty — wakeups fire after publication, so
+    /// parked consumers never miss it).
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[ring_slot(self.mask, pos)];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_add(1) as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the head CAS for `pos` grants
+                        // exclusive access to the published payload; the
+                        // seq store below frees the slot for the
+                        // producer a lap ahead.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask).wrapping_add(1), Ordering::Release);
+                        self.depth.fetch_sub(1, Ordering::AcqRel);
+                        return Some(value);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for EventRing<T> {
+    fn drop(&mut self) {
+        // Drain owned payloads (sockets, Arcs) still queued.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_a_single_thread() {
+        let ring = EventRing::new(4);
+        for i in 0..4 {
+            ring.try_push(i).unwrap();
+        }
+        assert_eq!(ring.len(), 4);
+        assert!(ring.try_push(99).is_err(), "full ring rejects");
+        for i in 0..4 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn bound_is_exact_not_power_of_two() {
+        let ring = EventRing::new(3);
+        assert_eq!(ring.capacity(), 3);
+        for i in 0..3 {
+            ring.try_push(i).unwrap();
+        }
+        assert_eq!(ring.try_push(3), Err(3), "rejects at exactly the bound");
+        assert_eq!(ring.pop(), Some(0));
+        ring.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn wraps_across_many_laps() {
+        let ring = EventRing::new(2);
+        for i in 0..100 {
+            ring.try_push(i).unwrap();
+            assert_eq!(ring.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_exactly_once() {
+        const PRODUCERS: usize = 4;
+        const PER: usize = 500;
+        let ring = Arc::new(EventRing::new(8));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    let mut v = p * PER + i;
+                    loop {
+                        match ring.try_push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut idle = 0;
+                    while idle < 10_000 {
+                        match ring.pop() {
+                            Some(v) => {
+                                got.push(v);
+                                idle = 0;
+                            }
+                            None => {
+                                idle += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..PRODUCERS * PER).collect();
+        assert_eq!(all, expect, "every value delivered exactly once");
+    }
+
+    #[test]
+    fn drop_drains_owned_payloads() {
+        let tracked = Arc::new(());
+        {
+            let ring = EventRing::new(4);
+            ring.try_push(Arc::clone(&tracked)).unwrap();
+            ring.try_push(Arc::clone(&tracked)).unwrap();
+            assert_eq!(Arc::strong_count(&tracked), 3);
+        }
+        assert_eq!(Arc::strong_count(&tracked), 1, "dropping the ring drops queued items");
+    }
+}

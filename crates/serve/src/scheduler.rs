@@ -13,11 +13,20 @@
 //! admitted runs to a terminal state before `shutdown()` returns. The
 //! e2e tests assert the "zero dropped in-flight jobs" half of that
 //! contract.
+//!
+//! The queue itself is the lock-free [`EventRing`] (reactor pushes,
+//! workers pop); idle workers park on a condvar with the re-check-
+//! under-lock protocol the `ecl-mc` drain harness verifies, so a push
+//! can never be lost between a worker's emptiness check and its wait.
+//! Terminal transitions fire an optional *completion hook* — the
+//! event-driven front end installs one that wakes its reactor so a
+//! `wait_ms` submission is answered the moment its job finishes,
+//! without any thread blocking in `wait_terminal`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -26,6 +35,13 @@ use crate::catalog::GraphCatalog;
 use crate::exec::execute;
 use crate::jobs::{Algo, Fault, JobEnd, JobRecord, JobSpec, JobState};
 use crate::metrics::ServeMetrics;
+use crate::ring::EventRing;
+
+/// Observer invoked with a job's id right after it reaches a terminal
+/// state (worker finish, start-deadline expiry, or cancellation).
+/// Runs on whichever thread drove the transition — keep it cheap and
+/// non-blocking (the reactor's hook pushes onto a ring and wakes).
+pub type CompletionHook = Arc<dyn Fn(u64) + Send + Sync>;
 
 /// Scheduler sizing.
 #[derive(Clone, Debug)]
@@ -61,8 +77,14 @@ pub enum SubmitError {
 }
 
 struct Shared {
-    queue: Mutex<VecDeque<Arc<JobRecord>>>,
+    queue: EventRing<Arc<JobRecord>>,
+    /// Parking lot for idle workers. A worker only waits after
+    /// re-checking the ring *while holding this lock*; wakers acquire
+    /// it (empty) before notifying. That handshake is what makes the
+    /// lock-free push + condvar park combination lost-wakeup-free.
+    idle: Mutex<()>,
     work_ready: Condvar,
+    hook: OnceLock<CompletionHook>,
     shutdown: AtomicBool,
     running: AtomicUsize,
     jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
@@ -93,8 +115,10 @@ impl Scheduler {
         metrics: Arc<ServeMetrics>,
     ) -> Scheduler {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: EventRing::new(config.max_queue.max(1)),
+            idle: Mutex::new(()),
             work_ready: Condvar::new(),
+            hook: OnceLock::new(),
             shutdown: AtomicBool::new(false),
             running: AtomicUsize::new(0),
             jobs: Mutex::new(HashMap::new()),
@@ -116,25 +140,34 @@ impl Scheduler {
         Scheduler { shared, workers: Mutex::new(workers) }
     }
 
-    /// Admits a job or rejects it. Never blocks.
+    /// Admits a job or rejects it. Never blocks (the ring push is
+    /// lock-free; the rejection bound is exactly `max_queue`).
     pub fn submit(&self, spec: JobSpec) -> Result<Arc<JobRecord>, SubmitError> {
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
-        let mut queue = lock(&self.shared.queue);
-        if queue.len() >= self.shared.config.max_queue {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(JobRecord::new(id, spec));
+        if self.shared.queue.try_push(Arc::clone(&job)).is_err() {
             self.shared.metrics.admission_rejections.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::QueueFull);
         }
-        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
-        let job = Arc::new(JobRecord::new(id, spec));
-        queue.push_back(Arc::clone(&job));
-        drop(queue);
         self.shared.metrics.jobs_admitted.fetch_add(1, Ordering::Relaxed);
         self.retain_history();
         lock(&self.shared.jobs).insert(id, Arc::clone(&job));
+        // Acquire-then-drop the idle lock before notifying: a worker
+        // between its ring re-check and its wait still holds the lock,
+        // so this cannot slip into that window (`scheduler-drain`
+        // harness protocol).
+        drop(lock(&self.shared.idle));
         self.shared.work_ready.notify_one();
         Ok(job)
+    }
+
+    /// Installs the terminal-transition observer (first install wins;
+    /// the server wires this to its reactor before serving traffic).
+    pub fn set_completion_hook(&self, hook: CompletionHook) {
+        let _ = self.shared.hook.set(hook);
     }
 
     /// Looks up a job by id.
@@ -155,13 +188,14 @@ impl Scheduler {
             .transition(JobState::Cancelled, Some(JobEnd::Message("cancelled by client".into())));
         if cancelled {
             self.shared.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            notify_completion(&self.shared, job.id);
         }
         cancelled
     }
 
     /// Jobs waiting for a worker.
     pub fn queue_depth(&self) -> usize {
-        lock(&self.shared.queue).len()
+        self.shared.queue.len()
     }
 
     /// Jobs currently executing.
@@ -180,6 +214,10 @@ impl Scheduler {
     /// [`Scheduler::shutdown`] still performs the join.
     pub fn begin_drain(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        // Same acquire-then-notify handshake as `submit`: a worker
+        // that read the flag as false under the idle lock is still
+        // holding it, so the notify below cannot be lost.
+        drop(lock(&self.shared.idle));
         self.shared.work_ready.notify_all();
     }
 
@@ -190,6 +228,15 @@ impl Scheduler {
         let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
         for h in handles {
             let _ = h.join();
+        }
+        // A submit can race the drain flag: it passed the shutdown
+        // check, then pushed after the last worker exited. Run any
+        // such leftovers inline so "zero dropped admitted jobs" holds
+        // unconditionally.
+        while let Some(job) = self.shared.queue.pop() {
+            self.shared.running.fetch_add(1, Ordering::Relaxed);
+            run_one(&self.shared, &job);
+            self.shared.running.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
@@ -217,24 +264,30 @@ impl Drop for Scheduler {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
-            let mut queue = lock(&shared.queue);
-            loop {
-                if let Some(job) = queue.pop_front() {
-                    break job;
-                }
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                queue = shared
-                    .work_ready
-                    .wait(queue)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-            }
-        };
-        shared.running.fetch_add(1, Ordering::Relaxed);
-        run_one(shared, &job);
-        shared.running.fetch_sub(1, Ordering::Relaxed);
+        if let Some(job) = shared.queue.pop() {
+            shared.running.fetch_add(1, Ordering::Relaxed);
+            run_one(shared, &job);
+            shared.running.fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
+        // Park protocol: re-check the ring *under the idle lock*.
+        // Pushers acquire the same lock before notifying, so a push
+        // between the re-check and the wait is impossible to miss.
+        let guard = lock(&shared.idle);
+        if !shared.queue.is_empty() {
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        drop(shared.work_ready.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner));
+    }
+}
+
+/// Fires the completion hook, if one is installed.
+fn notify_completion(shared: &Shared, id: u64) {
+    if let Some(hook) = shared.hook.get() {
+        hook(id);
     }
 }
 
@@ -251,10 +304,12 @@ fn run_one(shared: &Shared, job: &Arc<JobRecord>) {
             // terminal state always observes the metric; undone on the
             // rare lost race with a concurrent cancellation.
             shared.metrics.jobs_deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-            if !job.transition(
+            if job.transition(
                 JobState::DeadlineExceeded,
                 Some(JobEnd::Message("start deadline exceeded while queued".into())),
             ) {
+                notify_completion(shared, job.id);
+            } else {
                 shared.metrics.jobs_deadline_exceeded.fetch_sub(1, Ordering::Relaxed);
             }
             return;
@@ -345,6 +400,7 @@ fn finish(shared: &Shared, job: &Arc<JobRecord>, state: JobState, end: JobEnd) {
         }
         return;
     }
+    notify_completion(shared, job.id);
     let st = job.status();
     shared.metrics.record_latency(
         job.spec.algo,
@@ -445,6 +501,31 @@ mod tests {
         assert_eq!(metrics.jobs_deadline_exceeded.load(Ordering::Relaxed), 1);
         // Cancelling a terminal job reports false.
         assert!(!sched.cancel(&d));
+    }
+
+    #[test]
+    fn completion_hook_fires_exactly_once_per_terminal_job() {
+        let (sched, _) =
+            harness(SchedulerConfig { max_queue: 8, max_concurrency: 1, max_history: 64 });
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&fired);
+        sched.set_completion_hook(Arc::new(move |id| lock(&sink).push(id)));
+        // Worker finish path.
+        let done = sched.submit(quick_spec()).unwrap();
+        assert_eq!(done.wait_terminal(Duration::from_secs(60)), JobState::Done);
+        // Cancellation path: park the worker first so the job stays
+        // queued long enough to cancel.
+        let mut slow = quick_spec();
+        slow.fault = Fault::DelayMs(300);
+        sched.submit(slow).unwrap();
+        let queued = sched.submit(quick_spec()).unwrap();
+        assert!(sched.cancel(&queued));
+        sched.shutdown();
+        let ids = lock(&fired).clone();
+        assert!(ids.contains(&done.id), "finish fires the hook: {ids:?}");
+        assert!(ids.contains(&queued.id), "cancel fires the hook: {ids:?}");
+        let hits = ids.iter().filter(|&&i| i == done.id).count();
+        assert_eq!(hits, 1, "exactly one notification per job: {ids:?}");
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The HTTP surface: a thread-per-connection `std::net` server wiring
-//! the catalog, scheduler, result cache, and metrics together.
+//! The HTTP surface: an event-driven `std::net` server wiring the
+//! catalog, scheduler, result cache, and metrics together.
 //!
 //! Routes:
 //!
@@ -13,12 +13,23 @@
 //! | `GET  /metrics`        | Prometheus exposition                     |
 //! | `POST /v1/admin/shutdown` | begin graceful drain                   |
 //!
-//! Connections are `Connection: close` — one request each. That keeps
-//! the parser state machine trivial and makes graceful shutdown exact:
-//! drain = join the scheduler, then join the finite set of live
-//! connection threads.
+//! Threading model (fixed, independent of connection count):
+//!
+//! * **accept thread** — blocking `accept`, immediate 503-and-close
+//!   beyond [`ServeConfig::max_connections`], short backoff (plus the
+//!   `accept_errors` counter) on transient accept failures. Accepted
+//!   sockets go nonblocking into a lock-free ring toward the reactor.
+//! * **reactor thread** ([`crate::reactor`]) — owns every connection
+//!   and its state machine; HTTP/1.1 keep-alive, read/write deadlines,
+//!   and `wait_ms` submissions parked until the scheduler's completion
+//!   hook wakes it.
+//! * **scheduler workers** — unchanged job execution.
+//!
+//! There is no per-connection thread and no per-request thread;
+//! `handle_connection` is gone. Graceful shutdown is: stop accepting,
+//! let the reactor flush/park-out its connections, then drain the
+//! scheduler so every admitted job reaches a terminal state.
 
-use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -33,10 +44,20 @@ use crate::catalog::{CatalogConfig, GraphCatalog};
 use crate::http::{self, Limits, Request};
 use crate::jobs::{Algo, Fault, JobRecord, JobSpec};
 use crate::metrics::ServeMetrics;
+use crate::reactor::{Reactor, Waker};
+use crate::ring::EventRing;
 use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
 
-/// Longest `wait_ms` a submission may block for (closed-loop clients).
+/// Longest `wait_ms` a submission may be parked for (closed-loop
+/// clients).
 const MAX_WAIT_MS: u64 = 120_000;
+
+/// Sleep after a transient `accept` error — EMFILE and friends recover
+/// on the order of milliseconds; busy-looping would pin a core.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(20);
+
+/// Accepted-socket handoff ring (accept thread → reactor).
+const ACCEPT_RING: usize = 1024;
 
 /// Full server configuration.
 #[derive(Clone, Debug)]
@@ -51,6 +72,16 @@ pub struct ServeConfig {
     pub result_entries: usize,
     /// HTTP parser limits.
     pub limits: Limits,
+    /// Hard bound on concurrently open connections; beyond it the
+    /// accept thread answers 503 and closes immediately.
+    pub max_connections: usize,
+    /// A connection with no complete request within this window is
+    /// closed (idle keep-alive *and* slow-loris trickles — the clock
+    /// runs from the request boundary, not the last byte).
+    pub read_timeout_ms: u64,
+    /// A response not fully flushed within this window closes the
+    /// connection (stalled reader).
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -61,19 +92,25 @@ impl Default for ServeConfig {
             scheduler: SchedulerConfig::default(),
             result_entries: 256,
             limits: Limits::default(),
+            max_connections: 1024,
+            read_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
         }
     }
 }
 
-struct ServerShared {
-    catalog: Arc<GraphCatalog>,
-    results: Arc<ResultCache>,
-    metrics: Arc<ServeMetrics>,
-    scheduler: Scheduler,
-    collector: Arc<Collector>,
-    limits: Limits,
-    stopping: AtomicBool,
-    live_connections: AtomicUsize,
+pub(crate) struct ServerShared {
+    pub(crate) catalog: Arc<GraphCatalog>,
+    pub(crate) results: Arc<ResultCache>,
+    pub(crate) metrics: Arc<ServeMetrics>,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) collector: Arc<Collector>,
+    pub(crate) limits: Limits,
+    pub(crate) max_connections: usize,
+    pub(crate) stopping: AtomicBool,
+    /// Connections counted from accept to reactor reap — the value the
+    /// accept thread bounds against and `/metrics` exposes.
+    pub(crate) live_connections: AtomicUsize,
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`])
@@ -81,7 +118,9 @@ struct ServerShared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
+    waker: Arc<Waker>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
+    reactor_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Server {
@@ -115,14 +154,58 @@ impl Server {
             scheduler,
             collector,
             limits: config.limits,
+            max_connections: config.max_connections.max(1),
             stopping: AtomicBool::new(false),
             live_connections: AtomicUsize::new(0),
         });
+
+        let waker = Waker::new();
+        let accepts = Arc::new(EventRing::new(ACCEPT_RING));
+        // Every terminal job pushes exactly one completion; size for
+        // the whole admitted population completing inside one reactor
+        // park window, with an overflow flag as the safety net.
+        let completions = Arc::new(EventRing::new(
+            config.scheduler.max_queue + config.scheduler.max_concurrency + 16,
+        ));
+        let completions_overflow = Arc::new(AtomicBool::new(false));
+        {
+            let ring = Arc::clone(&completions);
+            let overflow = Arc::clone(&completions_overflow);
+            let waker = Arc::clone(&waker);
+            shared.scheduler.set_completion_hook(Arc::new(move |job_id| {
+                if ring.try_push(job_id).is_err() {
+                    overflow.store(true, Ordering::Release);
+                }
+                waker.wake();
+            }));
+        }
+
+        let reactor = Reactor::new(
+            Arc::clone(&shared),
+            Arc::clone(&accepts),
+            Arc::clone(&completions),
+            Arc::clone(&completions_overflow),
+            Arc::clone(&waker),
+            Duration::from_millis(config.read_timeout_ms.max(1)),
+            Duration::from_millis(config.write_timeout_ms.max(1)),
+        );
+        let reactor_thread = std::thread::Builder::new()
+            .name("ecl-serve-reactor".to_string())
+            .spawn(move || reactor.run())?;
+
         let accept_shared = Arc::clone(&shared);
+        let accept_waker = Arc::clone(&waker);
         let accept_thread = std::thread::Builder::new()
             .name("ecl-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &accept_shared))?;
-        Ok(Server { addr, shared, accept_thread: Mutex::new(Some(accept_thread)) })
+            .spawn(move || accept_loop(&listener, &accept_shared, &accepts, &accept_waker))?;
+
+        Ok(Server {
+            addr,
+            shared,
+            waker,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            reactor_thread: Mutex::new(Some(reactor_thread)),
+        })
     }
 
     /// The bound address (resolves port 0).
@@ -144,9 +227,14 @@ impl Server {
         self.shared.scheduler.is_shutting_down()
     }
 
-    /// Graceful drain: stop accepting, finish live connections, let
-    /// every admitted job reach a terminal state, flush the profiling
-    /// sink. Idempotent.
+    /// Connections currently held by the reactor.
+    pub fn open_connections(&self) -> usize {
+        self.shared.live_connections.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain: stop accepting, let the reactor finish or
+    /// reclaim its connections, let every admitted job reach a
+    /// terminal state, flush the profiling sink. Idempotent.
     pub fn shutdown(&self) {
         if self.shared.stopping.swap(true, Ordering::AcqRel) {
             return;
@@ -158,10 +246,13 @@ impl Server {
         if let Some(h) = handle {
             let _ = h.join();
         }
-        // Connections decrement on exit; spin briefly until quiet.
-        // (Each serves exactly one request, so this terminates.)
-        while self.shared.live_connections.load(Ordering::Acquire) > 0 {
-            std::thread::sleep(Duration::from_millis(2));
+        // The reactor notices `stopping`, closes idle connections,
+        // answers in-flight waits, and exits once its map is empty.
+        self.waker.wake();
+        let handle =
+            self.reactor_thread.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        if let Some(h) = handle {
+            let _ = h.join();
         }
         self.shared.scheduler.shutdown();
         ecl_prof::sink::uninstall();
@@ -178,62 +269,91 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
-    for stream in listener.incoming() {
-        if shared.stopping.load(Ordering::Acquire) {
-            return;
-        }
-        let Ok(stream) = stream else { continue };
-        let conn_shared = Arc::clone(shared);
-        conn_shared.live_connections.fetch_add(1, Ordering::AcqRel);
-        let spawned =
-            std::thread::Builder::new().name("ecl-serve-conn".to_string()).spawn(move || {
-                handle_connection(stream, &conn_shared);
-                conn_shared.live_connections.fetch_sub(1, Ordering::AcqRel);
-            });
-        if spawned.is_err() {
-            shared.live_connections.fetch_sub(1, Ordering::AcqRel);
-        }
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let request = match http::read_request(&mut stream, &shared.limits) {
-        Ok(req) => req,
-        Err(e) => {
-            shared.metrics.http_malformed.fetch_add(1, Ordering::Relaxed);
-            if let Some(status) = http::error_status(&e) {
-                shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
-                let body = format!("{{\"error\": \"{}\"}}", escape(&format!("{e:?}")));
-                let _ = http::write_json(&mut stream, status, &body);
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    accepts: &Arc<EventRing<TcpStream>>,
+    waker: &Arc<Waker>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                shared.metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                if shared.live_connections.load(Ordering::Acquire) >= shared.max_connections {
+                    reject_over_capacity(stream, shared);
+                    continue;
+                }
+                shared.live_connections.fetch_add(1, Ordering::AcqRel);
+                let _ = stream.set_nonblocking(true);
+                match accepts.try_push(stream) {
+                    Ok(()) => waker.wake(),
+                    Err(stream) => {
+                        // Handoff ring full — the reactor is that far
+                        // behind; treat it as over capacity.
+                        shared.live_connections.fetch_sub(1, Ordering::AcqRel);
+                        reject_over_capacity(stream, shared);
+                    }
+                }
             }
-            return;
+            Err(_) => {
+                if shared.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                // Transient resource exhaustion (EMFILE, ENFILE,
+                // ECONNABORTED): count it and back off instead of
+                // spinning the accept thread at 100% CPU.
+                shared.metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+            }
         }
-    };
-    shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
-    let (status, content_type, body) = route(&request, shared);
-    if status >= 400 {
-        shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
     }
-    let _ = http::write_response(&mut stream, status, content_type, body.as_bytes());
-    let _ = stream.flush();
 }
 
-type Response = (u16, &'static str, String);
+/// Best-effort 503 + close for a connection beyond the bound. The
+/// write is blocking-with-timeout on purpose: the response is a few
+/// hundred bytes (fits any socket buffer), and the stream drops —
+/// closing the connection — the moment this returns.
+fn reject_over_capacity(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    shared.metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = http::write_json(
+        &mut stream,
+        503,
+        "{\"error\": \"connection limit reached\", \"retry\": true}",
+    );
+}
 
-const JSON: &str = "application/json";
+pub(crate) type Response = (u16, &'static str, String);
+
+/// How a routed request is answered.
+pub(crate) enum Routed {
+    /// Response is ready; stage it now.
+    Now(Response),
+    /// A `wait_ms` submission: park the connection; the completion
+    /// hook (or the wait deadline) produces the response.
+    Wait {
+        /// The admitted job.
+        job: Arc<JobRecord>,
+        /// How long the client is willing to wait.
+        wait: Duration,
+    },
+}
+
+pub(crate) const JSON: &str = "application/json";
 const PROM: &str = "text/plain; version=0.0.4";
 
-fn route(req: &Request, shared: &Arc<ServerShared>) -> Response {
+pub(crate) fn route(req: &Request, shared: &Arc<ServerShared>) -> Routed {
     let path = req.path.split('?').next().unwrap_or("");
-    match (req.method.as_str(), path) {
+    let response = match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             let draining = shared.scheduler.is_shutting_down();
             (200, JSON, format!("{{\"ok\": true, \"draining\": {draining}}}"))
         }
         ("GET", "/v1/graphs") => graphs_body(shared),
-        ("POST", "/v1/jobs") => submit_job(req, shared),
+        ("POST", "/v1/jobs") => return submit_job(req, shared),
         ("GET", p) if p.starts_with("/v1/jobs/") => match parse_id(p) {
             Some(id) => match shared.scheduler.job(id) {
                 Some(job) => (200, JSON, job_body(&job)),
@@ -267,6 +387,7 @@ fn route(req: &Request, shared: &Arc<ServerShared>) -> Response {
                 &shared.results,
                 shared.scheduler.queue_depth(),
                 shared.scheduler.running(),
+                shared.live_connections.load(Ordering::Acquire),
                 Some(&shared.collector),
             );
             (200, PROM, body)
@@ -279,7 +400,8 @@ fn route(req: &Request, shared: &Arc<ServerShared>) -> Response {
             (202, JSON, "{\"draining\": true}".to_string())
         }
         _ => (404, JSON, "{\"error\": \"no such route\"}".to_string()),
-    }
+    };
+    Routed::Now(response)
 }
 
 fn parse_id(path: &str) -> Option<u64> {
@@ -362,31 +484,31 @@ fn parse_job_spec(body: &[u8]) -> Result<(JobSpec, Option<u64>), String> {
     Ok((JobSpec { algo, graph, scale, seed, block_size, deadline_ms, fault }, wait_ms))
 }
 
-fn submit_job(req: &Request, shared: &Arc<ServerShared>) -> Response {
+fn submit_job(req: &Request, shared: &Arc<ServerShared>) -> Routed {
     let (spec, wait_ms) = match parse_job_spec(&req.body) {
         Ok(parsed) => parsed,
-        Err(msg) => return (400, JSON, format!("{{\"error\": \"{}\"}}", escape(&msg))),
+        Err(msg) => {
+            return Routed::Now((400, JSON, format!("{{\"error\": \"{}\"}}", escape(&msg))));
+        }
     };
     match shared.scheduler.submit(spec) {
-        Ok(job) => {
-            if let Some(ms) = wait_ms {
-                job.wait_terminal(Duration::from_millis(ms));
-                (200, JSON, job_body(&job))
-            } else {
-                (202, JSON, job_body(&job))
-            }
-        }
+        Ok(job) => match wait_ms {
+            Some(ms) => Routed::Wait { job, wait: Duration::from_millis(ms) },
+            None => Routed::Now((202, JSON, job_body(&job))),
+        },
         Err(SubmitError::QueueFull) => {
-            (429, JSON, "{\"error\": \"queue full\", \"retry\": true}".to_string())
+            Routed::Now((429, JSON, "{\"error\": \"queue full\", \"retry\": true}".to_string()))
         }
-        Err(SubmitError::ShuttingDown) => {
-            (503, JSON, "{\"error\": \"server is draining\", \"retry\": false}".to_string())
-        }
+        Err(SubmitError::ShuttingDown) => Routed::Now((
+            503,
+            JSON,
+            "{\"error\": \"server is draining\", \"retry\": false}".to_string(),
+        )),
     }
 }
 
 /// Renders a job's full status document.
-fn job_body(job: &Arc<JobRecord>) -> String {
+pub(crate) fn job_body(job: &Arc<JobRecord>) -> String {
     let st = job.status();
     let mut out = format!(
         "{{\"id\": {}, \"state\": \"{}\", \"algo\": \"{}\", \"graph\": \"{}\", \

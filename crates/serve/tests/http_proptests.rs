@@ -5,7 +5,7 @@
 
 #![allow(clippy::unwrap_used)]
 
-use ecl_serve::http::{read_request, HttpError, Limits, Request};
+use ecl_serve::http::{read_request, HttpError, Limits, Request, RequestParser};
 use proptest::prelude::*;
 
 fn parse_with(bytes: &[u8], limits: &Limits) -> Result<Request, HttpError> {
@@ -111,5 +111,93 @@ proptest! {
         let head = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(pad));
         let result = parse_with(head.as_bytes(), &limits);
         prop_assert!(matches!(result, Err(HttpError::TooLarge(_))), "{result:?}");
+    }
+
+    // Incremental parsing is split-invariant: feeding the same byte
+    // stream in arbitrary chunkings — byte-by-byte included — yields
+    // exactly the same requests as a single feed, across a pipelined
+    // sequence of them on one connection.
+    #[test]
+    fn incremental_parse_is_chunking_invariant(
+        specs in proptest::collection::vec(
+            (0usize..4,
+             proptest::collection::vec(0u8..255, 0..16),
+             proptest::collection::vec(0u8..255, 0..128)),
+            1..4,
+        ),
+        cuts in proptest::collection::vec(1usize..64, 0..48),
+    ) {
+        let mut stream = Vec::new();
+        for (m, path, body) in &specs {
+            stream.extend_from_slice(&well_formed(
+                ["GET", "POST", "DELETE", "PUT"][*m],
+                &token(path),
+                &[],
+                body,
+            ));
+        }
+
+        // Reference: the whole stream in one feed.
+        let mut oneshot = RequestParser::new(Limits::default());
+        oneshot.feed(&stream);
+        let mut expected = Vec::new();
+        while let Some(req) = oneshot.try_next().unwrap() {
+            expected.push(req);
+        }
+        prop_assert_eq!(expected.len(), specs.len());
+
+        // Same stream, chopped at the generated cut widths (tail as
+        // one final chunk), draining after every feed.
+        let mut chunked = RequestParser::new(Limits::default());
+        let mut parsed = Vec::new();
+        let mut at = 0;
+        for w in &cuts {
+            if at >= stream.len() {
+                break;
+            }
+            let end = (at + w).min(stream.len());
+            chunked.feed(&stream[at..end]);
+            at = end;
+            while let Some(req) = chunked.try_next().unwrap() {
+                parsed.push(req);
+            }
+        }
+        chunked.feed(&stream[at..]);
+        while let Some(req) = chunked.try_next().unwrap() {
+            parsed.push(req);
+        }
+
+        prop_assert_eq!(parsed.len(), expected.len());
+        for (got, want) in parsed.iter().zip(&expected) {
+            prop_assert_eq!(&got.method, &want.method);
+            prop_assert_eq!(&got.path, &want.path);
+            prop_assert_eq!(&got.headers, &want.headers);
+            prop_assert_eq!(&got.body, &want.body);
+        }
+    }
+
+    // Degenerate chunking: one byte at a time, always equivalent.
+    #[test]
+    fn byte_by_byte_parse_matches_one_shot(
+        m in 0usize..4,
+        path in proptest::collection::vec(0u8..255, 0..16),
+        body in proptest::collection::vec(0u8..255, 0..96),
+    ) {
+        let bytes = well_formed(["GET", "POST", "DELETE", "PUT"][m], &token(&path), &[], &body);
+        let want = parse_with(&bytes, &Limits::default()).unwrap();
+
+        let mut parser = RequestParser::new(Limits::default());
+        let mut got = None;
+        for b in &bytes {
+            parser.feed(std::slice::from_ref(b));
+            if let Some(req) = parser.try_next().unwrap() {
+                prop_assert!(got.is_none(), "request produced twice");
+                got = Some(req);
+            }
+        }
+        let got = got.expect("request never completed byte-by-byte");
+        prop_assert_eq!(got.method, want.method);
+        prop_assert_eq!(got.path, want.path);
+        prop_assert_eq!(got.body, want.body);
     }
 }

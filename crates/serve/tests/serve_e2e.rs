@@ -23,6 +23,7 @@ fn small_server(max_queue: usize, max_concurrency: usize) -> Server {
         scheduler: SchedulerConfig { max_queue, max_concurrency, max_history: 256 },
         result_entries: 64,
         limits: Limits::default(),
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port")
 }
