@@ -4,6 +4,7 @@
 //! ecl-serve [--listen 127.0.0.1:0] [--graphs-dir DIR] [--cache-bytes N]
 //!           [--max-queue N] [--max-concurrency N] [--tuned manifest.json]
 //!           [--max-connections N] [--read-timeout-ms N] [--write-timeout-ms N]
+//!           [--slo SPEC] [--slow-request-ms N]
 //! ```
 //!
 //! `--max-connections` bounds concurrently open sockets: beyond it the
@@ -17,6 +18,13 @@
 //! `ecl-tune` binary); the catalog then attaches the best-known
 //! schedule to each graph at registration and jobs run tuned
 //! automatically, labeled `tuned=true` in `/metrics` and trace spans.
+//!
+//! `--slo` declares per-algorithm objectives, e.g.
+//! `--slo "cc:p99=5ms,err=0.1%;gc:p95=2ms"`; burn rates and the
+//! exemplar-bearing latency histogram appear as `ecl_slo_*` series in
+//! `/metrics`. `--slow-request-ms` sets the flight-recorder threshold
+//! past which a request's full trace is pinned (see
+//! `GET /v1/debug/requests` and `GET /v1/jobs/:id/trace`).
 //!
 //! Binds the listener (port 0 picks an ephemeral port), prints the
 //! resolved address on stdout as `listening on <addr>`, then serves
@@ -37,7 +45,8 @@ use ecl_serve::server::{ServeConfig, Server};
 
 const USAGE: &str = "usage: ecl-serve [--listen HOST:PORT] [--graphs-dir DIR] \
 [--cache-bytes N] [--max-queue N] [--max-concurrency N] [--tuned manifest.json] \
-[--max-connections N] [--read-timeout-ms N] [--write-timeout-ms N]";
+[--max-connections N] [--read-timeout-ms N] [--write-timeout-ms N] \
+[--slo SPEC] [--slow-request-ms N]";
 
 fn parse_config() -> Result<ServeConfig, String> {
     let mut config = ServeConfig::default();
@@ -82,6 +91,17 @@ fn parse_config() -> Result<ServeConfig, String> {
             "--write-timeout-ms" => {
                 config.write_timeout_ms =
                     value(&mut i)?.parse().map_err(|e| format!("--write-timeout-ms: {e}"))?;
+            }
+            "--slo" => {
+                let spec = value(&mut i)?;
+                // Parse eagerly so a typo fails at startup, not at the
+                // first scrape.
+                ecl_obs::parse_slo_spec(&spec).map_err(|e| format!("--slo: {e}"))?;
+                config.slo = Some(spec);
+            }
+            "--slow-request-ms" => {
+                config.slow_request_ms =
+                    value(&mut i)?.parse().map_err(|e| format!("--slow-request-ms: {e}"))?;
             }
             "--tuned" => {
                 let path = value(&mut i)?;

@@ -1,0 +1,139 @@
+//! Request-context propagation: a process-wide `ReqId` allocator and a
+//! per-thread current-request cell.
+//!
+//! A `ReqId` is allocated once per parsed HTTP request (id 0 means "no
+//! request"). The serving layer enters the id around job execution
+//! with [`CtxGuard::enter`]; the dispatch pool re-enters it on every
+//! worker that claims blocks for that job, so the ambient context is
+//! correct on whichever OS thread runs kernel code — even when workers
+//! interleave claims from several concurrent jobs.
+//!
+//! Reading the context ([`current`]) is one thread-local load, and
+//! entering it is two plus an optional trace marker, so the propagation
+//! machinery is cheap enough to stay on unconditionally. When
+//! `ecl-trace` is recording, every context *switch* additionally emits
+//! an [`EventKind::ReqCtx`] marker event (high/low halves of the id in
+//! the block/payload words), which makes each per-thread event stream
+//! exactly attributable to requests after the fact.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ecl_trace::EventKind;
+
+/// Next request id; ids start at 1 so 0 can mean "no request".
+static NEXT: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocates a fresh, process-unique request id (never 0).
+pub fn next_req_id() -> u64 {
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The request id the calling thread is currently working for
+/// (0 = none).
+#[inline]
+pub fn current() -> u64 {
+    CURRENT.with(Cell::get)
+}
+
+/// Emits the trace marker for a context switch: block carries the high
+/// half of the id, payload the low half. One relaxed load when tracing
+/// is off.
+#[inline]
+fn mark(req: u64) {
+    ecl_trace::sink::emit(EventKind::ReqCtx, (req >> 32) as u32, 0, req as u32);
+}
+
+/// RAII scope that sets the calling thread's request context,
+/// restoring the previous value (and re-marking the trace stream) on
+/// drop — including on panic unwinds through pooled workers.
+pub struct CtxGuard {
+    prev: u64,
+}
+
+impl CtxGuard {
+    /// Enters `req` as the thread's current request.
+    pub fn enter(req: u64) -> CtxGuard {
+        let prev = CURRENT.with(|c| c.replace(req));
+        if req != prev {
+            mark(req);
+        }
+        CtxGuard { prev }
+    }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        let cur = CURRENT.with(|c| c.replace(self.prev));
+        if cur != self.prev {
+            mark(self.prev);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_req_id();
+        let b = next_req_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn guard_nests_and_restores() {
+        assert_eq!(current(), 0);
+        {
+            let _a = CtxGuard::enter(7);
+            assert_eq!(current(), 7);
+            {
+                let _b = CtxGuard::enter(9);
+                assert_eq!(current(), 9);
+            }
+            assert_eq!(current(), 7);
+        }
+        assert_eq!(current(), 0);
+    }
+
+    #[test]
+    fn guard_restores_across_panic() {
+        let _outer = CtxGuard::enter(3);
+        let r = std::panic::catch_unwind(|| {
+            let _inner = CtxGuard::enter(4);
+            panic!("boom");
+        });
+        assert!(r.is_err());
+        assert_eq!(current(), 3);
+    }
+
+    #[test]
+    fn switches_emit_trace_markers() {
+        let tracer = std::sync::Arc::new(ecl_trace::Tracer::new(ecl_trace::TracerConfig {
+            slots: 2,
+            events_per_slot: 64,
+            clock: ecl_trace::ClockMode::Logical,
+        }));
+        ecl_trace::sink::install(std::sync::Arc::clone(&tracer));
+        {
+            let _g = CtxGuard::enter(0xAABB_CCDD_1122_3344);
+            // Re-entering the same id is not a switch: no extra marker.
+            let _h = CtxGuard::enter(0xAABB_CCDD_1122_3344);
+        }
+        ecl_trace::sink::uninstall();
+        let snap = tracer.snapshot();
+        let marks: Vec<_> = snap.of_kind(EventKind::ReqCtx).collect();
+        assert_eq!(marks.len(), 2, "enter + restore: {marks:?}");
+        assert_eq!(marks[0].block, 0xAABB_CCDD);
+        assert_eq!(marks[0].payload, 0x1122_3344);
+        assert_eq!(marks[1].block, 0);
+        assert_eq!(marks[1].payload, 0);
+    }
+}

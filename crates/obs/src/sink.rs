@@ -1,0 +1,166 @@
+//! The global observability sink: the zero-cost-when-disabled hook
+//! that routes request-attributed launch samples into the installed
+//! [`Obs`] (flight recorder + SLO engine).
+//!
+//! Mirrors `ecl_trace::sink` / `ecl_prof::sink` exactly: the hot-path
+//! guard is one relaxed `AtomicBool` load; the installed handle is
+//! published as a raw pointer backed by an `Arc` that is retired (kept
+//! alive forever) instead of dropped, so a racing hook can never
+//! dereference a freed `Obs`. A process installs a handful of handles
+//! at most, so the intentional leak is bounded and tiny.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ecl_prof::LaunchSample;
+
+use crate::recorder::{FlightRecorder, RecorderConfig};
+use crate::slo::SloEngine;
+
+/// The installed observability state: the always-on flight recorder
+/// plus an optional SLO engine.
+pub struct Obs {
+    /// The request flight recorder.
+    pub recorder: FlightRecorder,
+    /// The SLO engine, present when objectives were configured.
+    pub slo: Option<SloEngine>,
+}
+
+impl Obs {
+    /// An `Obs` with the given recorder bounds and optional SLO
+    /// engine.
+    pub fn new(recorder: RecorderConfig, slo: Option<SloEngine>) -> Obs {
+        Obs { recorder: FlightRecorder::new(recorder), slo }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PTR: AtomicPtr<Obs> = AtomicPtr::new(std::ptr::null_mut());
+static CURRENT: Mutex<SinkState> = Mutex::new(SinkState { current: None, retired: Vec::new() });
+
+struct SinkState {
+    current: Option<Arc<Obs>>,
+    /// Arcs kept alive forever so racing hooks never dereference a
+    /// freed `Obs`. Bounded by `install` calls.
+    retired: Vec<Arc<Obs>>,
+}
+
+fn state() -> std::sync::MutexGuard<'static, SinkState> {
+    CURRENT.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs `obs` as the global sink and enables attribution.
+pub fn install(obs: Arc<Obs>) {
+    let mut st = state();
+    ENABLED.store(false, Ordering::SeqCst);
+    if let Some(old) = st.current.take() {
+        st.retired.push(old);
+    }
+    PTR.store(Arc::as_ptr(&obs) as *mut Obs, Ordering::SeqCst);
+    st.current = Some(obs);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disables attribution and detaches the handle, returning it.
+/// Storage stays alive (retired) in case another thread is mid-hook.
+pub fn uninstall() -> Option<Arc<Obs>> {
+    let mut st = state();
+    ENABLED.store(false, Ordering::SeqCst);
+    PTR.store(std::ptr::null_mut(), Ordering::SeqCst);
+    let obs = st.current.take()?;
+    st.retired.push(Arc::clone(&obs));
+    Some(obs)
+}
+
+/// Whether an `Obs` is installed — the hot-path guard the launch
+/// layer reads once per launch.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether the launch layer should build a sample for the obs sink:
+/// installed *and* the calling thread is working for a request.
+#[inline(always)]
+pub fn wants_samples() -> bool {
+    is_enabled() && crate::ctx::current() != 0
+}
+
+/// The installed handle, if any.
+pub fn current() -> Option<Arc<Obs>> {
+    state().current.clone()
+}
+
+/// Runs `f` against the installed `Obs`, if any.
+#[inline]
+pub fn with<R>(f: impl FnOnce(&Obs) -> R) -> Option<R> {
+    if !is_enabled() {
+        return None;
+    }
+    let ptr = PTR.load(Ordering::Acquire);
+    if ptr.is_null() {
+        return None;
+    }
+    // SAFETY: `ptr` came from an Arc that install/uninstall retire
+    // instead of dropping, so the Obs outlives every reader.
+    Some(f(unsafe { &*ptr }))
+}
+
+/// Routes one request-attributed launch sample into the flight
+/// recorder. Samples with `req == 0` (no request context) are skipped.
+pub fn on_launch(sample: &LaunchSample) {
+    if sample.req == 0 {
+        return;
+    }
+    with(|obs| obs.recorder.on_launch(sample.req, sample));
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn sample(req: u64) -> LaunchSample {
+        LaunchSample {
+            kernel: "k".into(),
+            shape: "flat",
+            blocks: 2,
+            block_size: 32,
+            wall_ns: 10,
+            workers: Vec::new(),
+            req,
+        }
+    }
+
+    // The sink is process-global, so its tests share one #[test] body
+    // to avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn sink_lifecycle() {
+        assert!(!is_enabled());
+        on_launch(&sample(1)); // no sink: no-op
+
+        let obs = Arc::new(Obs::new(RecorderConfig::default(), None));
+        install(Arc::clone(&obs));
+        assert!(is_enabled());
+        // wants_samples needs a request context too.
+        assert!(!wants_samples());
+        {
+            let _g = crate::ctx::CtxGuard::enter(5);
+            assert!(wants_samples());
+        }
+
+        obs.recorder.begin(5, 1, "cc", "g");
+        on_launch(&sample(5));
+        on_launch(&sample(0)); // no request: skipped
+        on_launch(&sample(6)); // not in flight: dropped by the recorder
+        let s =
+            obs.recorder.finish(5, 1, "cc", "g", crate::recorder::FinishInfo::default()).unwrap();
+        assert_eq!(s.kernels, 1);
+
+        let back = uninstall().expect("installed");
+        assert!(!is_enabled());
+        assert!(Arc::ptr_eq(&back, &obs));
+        on_launch(&sample(5)); // detached: no-op
+        assert!(with(|_| ()).is_none());
+    }
+}

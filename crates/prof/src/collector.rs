@@ -152,6 +152,7 @@ mod tests {
                 .iter()
                 .map(|&b| WorkerStat { blocks: 2, claims: 1, busy_ns: b })
                 .collect(),
+            req: 0,
         }
     }
 

@@ -33,6 +33,9 @@ pub struct LaunchSample {
     pub wall_ns: u64,
     /// Per-participant stats; empty for zero-block launches.
     pub workers: Vec<WorkerStat>,
+    /// Originating request id (`ecl-obs` correlation; 0 = no request
+    /// context, e.g. CLI runs).
+    pub req: u64,
 }
 
 impl LaunchSample {
@@ -90,6 +93,7 @@ mod tests {
             block_size: 32,
             wall_ns,
             workers,
+            req: 0,
         }
     }
 

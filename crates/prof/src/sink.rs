@@ -99,6 +99,7 @@ mod tests {
             block_size: 32,
             wall_ns: 10,
             workers: vec![WorkerStat { blocks: 2, claims: 1, busy_ns: 8 }],
+            req: 0,
         }
     }
 

@@ -30,7 +30,7 @@
 use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
 
-use crate::http::{response_bytes, HttpError, Limits, Request, RequestParser};
+use crate::http::{response_bytes_with_req, HttpError, Limits, Request, RequestParser};
 
 /// Bytes per `read` call.
 const READ_CHUNK: usize = 4096;
@@ -121,6 +121,10 @@ pub struct Connection<S> {
     /// Armed while `Writing`.
     write_deadline: Instant,
     served: u64,
+    /// Correlation id of the request currently being answered (ecl-obs;
+    /// 0 = none). Set by the reactor when a request is routed; echoed
+    /// back to the client as an `x-ecl-req` response header.
+    req_id: u64,
 }
 
 impl<S: Read + Write> Connection<S> {
@@ -144,6 +148,7 @@ impl<S: Read + Write> Connection<S> {
             read_deadline: now + read_timeout,
             write_deadline: now + write_timeout,
             served: 0,
+            req_id: 0,
         }
     }
 
@@ -212,6 +217,13 @@ impl<S: Read + Write> Connection<S> {
         self.parser.mid_request()
     }
 
+    /// Tags the connection with the correlation id of the request it is
+    /// about to answer; the next [`Connection::start_response`] echoes
+    /// it as an `x-ecl-req` header.
+    pub fn set_req_id(&mut self, req: u64) {
+        self.req_id = req;
+    }
+
     /// Stages a response and arms the write deadline. The reactor
     /// should poll the write immediately — most responses flush in one
     /// call.
@@ -223,7 +235,7 @@ impl<S: Read + Write> Connection<S> {
         body: &[u8],
         keep_alive: bool,
     ) {
-        self.out = response_bytes(status, content_type, body, keep_alive);
+        self.out = response_bytes_with_req(status, content_type, body, keep_alive, self.req_id);
         self.out_pos = 0;
         self.close_after_write = !keep_alive;
         self.write_deadline = now + self.write_timeout;

@@ -83,9 +83,18 @@ pub fn execute(spec: &JobSpec, catalog: &Arc<GraphCatalog>) -> Result<RunOutput,
     }
 
     let weighted = spec.algo == Algo::Mst;
+    let resolve_start = std::time::Instant::now();
     let resolved = catalog
         .resolve(&spec.graph, spec.scale, spec.seed, weighted)
         .map_err(|e: CatalogError| e.to_string())?;
+    // Request-scoped phase: a cold resolve (generate + materialize) can
+    // dominate a request's run time; the flight recorder shows it as a
+    // distinct span instead of unexplained non-kernel time.
+    let req = ecl_obs::ctx::current();
+    if req != 0 {
+        let resolve_ns = resolve_start.elapsed().as_nanos() as u64;
+        ecl_obs::sink::with(|obs| obs.recorder.on_phase(req, "graph.resolve", resolve_ns));
+    }
     let structure = resolved.structure();
 
     // Directedness contract: SCC is the only directed algorithm; the

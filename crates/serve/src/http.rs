@@ -322,8 +322,23 @@ fn reason(status: u16) -> &'static str {
 /// always carries an exact `Content-Length` so persistent clients know
 /// where it ends.
 pub fn response_bytes(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    response_bytes_with_req(status, content_type, body, keep_alive, 0)
+}
+
+/// [`response_bytes`] with the server-assigned request id echoed in an
+/// `x-ecl-req` header (0 = no correlation context, header omitted).
+/// Clients record the id so a slow or failed request can be looked up
+/// in the server's flight recorder (`GET /v1/jobs/:id/trace`).
+pub fn response_bytes_with_req(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    req: u64,
+) -> Vec<u8> {
+    let req_header = if req == 0 { String::new() } else { format!("x-ecl-req: {req}\r\n") };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{req_header}Connection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },

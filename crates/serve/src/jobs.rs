@@ -208,6 +208,9 @@ struct JobInner {
 pub struct JobRecord {
     /// Server-assigned id.
     pub id: u64,
+    /// Originating HTTP request id (`ecl-obs` correlation; 0 for jobs
+    /// submitted outside the HTTP surface, e.g. direct scheduler use).
+    pub req: u64,
     /// The submitted spec.
     pub spec: JobSpec,
     inner: Mutex<JobInner>,
@@ -228,10 +231,17 @@ pub struct JobStatus {
 }
 
 impl JobRecord {
-    /// A freshly admitted job in `Queued`.
+    /// A freshly admitted job in `Queued` with no request context.
     pub fn new(id: u64, spec: JobSpec) -> JobRecord {
+        JobRecord::with_req(id, spec, 0)
+    }
+
+    /// A freshly admitted job in `Queued`, correlated to the HTTP
+    /// request that submitted it.
+    pub fn with_req(id: u64, spec: JobSpec, req: u64) -> JobRecord {
         JobRecord {
             id,
+            req,
             spec,
             inner: Mutex::new(JobInner {
                 state: JobState::Queued,

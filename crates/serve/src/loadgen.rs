@@ -104,6 +104,15 @@ pub struct LoadReport {
     pub errors: u64,
     /// End-to-end request latency (µs), successful requests only.
     pub latency_us: SketchSnapshot,
+    /// The slowest successful requests as `(latency_us, req_id)` pairs,
+    /// worst first — the server-assigned `x-ecl-req` ids feed straight
+    /// into `GET /v1/debug/requests` / the job trace endpoint, so a bad
+    /// tail in a load run is debuggable after the fact.
+    pub worst_requests: Vec<(u64, u64)>,
+    /// Server-assigned request ids of failed/timed-out requests
+    /// (bounded sample; 0 = the failure happened before a response
+    /// head carried an id, e.g. connect refused).
+    pub error_req_ids: Vec<u64>,
     /// Deterministic modeled GPU time per completed job (cost units).
     pub modeled_times: Vec<f64>,
     /// Wall-clock span of the run.
@@ -152,13 +161,27 @@ pub struct HttpClient {
     stream: Option<TcpStream>,
     /// Bytes read past the previous response (pipelining slack).
     buf: Vec<u8>,
+    /// `x-ecl-req` header of the last response (0 = none seen).
+    last_req: u64,
 }
 
 impl HttpClient {
     /// A client for `host:port`. With `keep_alive` false every call
     /// sends `Connection: close` and reconnects, matching [`http_call`].
     pub fn new(target: &str, keep_alive: bool) -> HttpClient {
-        HttpClient { target: target.to_string(), keep_alive, stream: None, buf: Vec::new() }
+        HttpClient {
+            target: target.to_string(),
+            keep_alive,
+            stream: None,
+            buf: Vec::new(),
+            last_req: 0,
+        }
+    }
+
+    /// The server-assigned correlation id (`x-ecl-req` header) of the
+    /// most recent response, or 0 if the last exchange carried none.
+    pub fn last_req_id(&self) -> u64 {
+        self.last_req
     }
 
     /// One request/response exchange. Returns `(status, body)`.
@@ -192,6 +215,9 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, String), String> {
+        // Cleared up front so a transport failure never leaves a stale
+        // id from the previous exchange.
+        self.last_req = 0;
         if self.stream.is_none() {
             let stream = TcpStream::connect(&self.target)
                 .map_err(|e| format!("connect {}: {e}", self.target))?;
@@ -243,6 +269,8 @@ impl HttpClient {
             } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
             {
                 server_closes = true;
+            } else if name.eq_ignore_ascii_case("x-ecl-req") {
+                self.last_req = value.parse().unwrap_or(0);
             }
         }
         let body_start = head_end + 4;
@@ -286,6 +314,12 @@ fn find_terminator(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// Slowest successful requests kept in the report (`x-ecl-req` ids).
+const WORST_REQUESTS: usize = 10;
+/// Bounded sample of failed-request ids — enough to start debugging,
+/// small enough that an error storm cannot bloat the report.
+const ERROR_REQ_SAMPLE: usize = 32;
+
 struct Tally {
     requests: AtomicU64,
     ok: AtomicU64,
@@ -294,6 +328,10 @@ struct Tally {
     errors: AtomicU64,
     latency_us: LogSketch,
     modeled: Mutex<Vec<f64>>,
+    /// `(latency_us, req_id)` of the slowest successes, worst first.
+    worst: Mutex<Vec<(u64, u64)>>,
+    /// Request ids of failed exchanges (first [`ERROR_REQ_SAMPLE`]).
+    error_reqs: Mutex<Vec<u64>>,
 }
 
 impl Tally {
@@ -306,6 +344,22 @@ impl Tally {
             errors: AtomicU64::new(0),
             latency_us: LogSketch::new(),
             modeled: Mutex::new(Vec::new()),
+            worst: Mutex::new(Vec::new()),
+            error_reqs: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn note_success(&self, latency_us: u64, req_id: u64) {
+        let mut worst = self.worst.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        worst.push((latency_us, req_id));
+        worst.sort_by_key(|w| std::cmp::Reverse(w.0));
+        worst.truncate(WORST_REQUESTS);
+    }
+
+    fn note_error(&self, req_id: u64) {
+        let mut reqs = self.error_reqs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if reqs.len() < ERROR_REQ_SAMPLE {
+            reqs.push(req_id);
         }
     }
 }
@@ -328,13 +382,19 @@ fn fire(config: &LoadgenConfig, request_index: u64, tally: &Tally, client: &mut 
     let body = job_request_body(config, request_index);
     tally.requests.fetch_add(1, Ordering::Relaxed);
     let t0 = Instant::now();
-    match client.call("POST", "/v1/jobs", Some(&body)) {
+    let outcome = client.call("POST", "/v1/jobs", Some(&body));
+    // Server-assigned correlation id from the response's `x-ecl-req`
+    // header (0 when the exchange died before a head arrived).
+    let req_id = client.last_req_id();
+    match outcome {
         Ok((200, response)) => {
             let v = json::parse(&response).unwrap_or(Value::Null);
             let state = v.get("state").and_then(Value::as_str).unwrap_or("");
             if state == "done" {
                 tally.ok.fetch_add(1, Ordering::Relaxed);
-                tally.latency_us.record(t0.elapsed().as_micros() as u64);
+                let latency_us = t0.elapsed().as_micros() as u64;
+                tally.latency_us.record(latency_us);
+                tally.note_success(latency_us, req_id);
                 let result = v.get("result");
                 if matches!(result.and_then(|r| r.get("tuned")), Some(Value::Bool(true))) {
                     tally.tuned_ok.fetch_add(1, Ordering::Relaxed);
@@ -344,7 +404,10 @@ fn fire(config: &LoadgenConfig, request_index: u64, tally: &Tally, client: &mut 
                     tally.modeled.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(m);
                 }
             } else {
+                // Failed or timed-out job — the id points at the
+                // server-side trace for it.
                 tally.errors.fetch_add(1, Ordering::Relaxed);
+                tally.note_error(req_id);
             }
         }
         Ok((429, _)) => {
@@ -352,6 +415,7 @@ fn fire(config: &LoadgenConfig, request_index: u64, tally: &Tally, client: &mut 
         }
         Ok((_, _)) | Err(_) => {
             tally.errors.fetch_add(1, Ordering::Relaxed);
+            tally.note_error(req_id);
         }
     }
 }
@@ -418,6 +482,10 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
     let mut modeled =
         tally.modeled.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
     modeled.sort_by(f64::total_cmp);
+    let worst_requests =
+        tally.worst.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+    let error_req_ids =
+        tally.error_reqs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
     LoadReport {
         requests: tally.requests.load(r),
         ok: tally.ok.load(r),
@@ -425,6 +493,8 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         rejected: tally.rejected.load(r),
         errors: tally.errors.load(r),
         latency_us: tally.latency_us.snapshot(),
+        worst_requests,
+        error_req_ids,
         modeled_times: modeled,
         wall_seconds: t0.elapsed().as_secs_f64(),
         config: config.clone(),
@@ -472,6 +542,18 @@ impl LoadReport {
             "higher",
             &[self.ok as f64 / self.wall_seconds.max(1e-9)],
         ));
+        // Correlation ids for the tail and the failures: each id keys
+        // into the server's flight recorder (`/v1/debug/requests`,
+        // `/v1/jobs/:id/trace`) so a bad run is debuggable after the
+        // fact.
+        let worst: Vec<String> = self
+            .worst_requests
+            .iter()
+            .map(|(latency_us, req_id)| {
+                format!("{{\"req_id\": {req_id}, \"latency_us\": {latency_us}}}")
+            })
+            .collect();
+        let error_ids: Vec<String> = self.error_req_ids.iter().map(u64::to_string).collect();
         format!(
             "{{\n  \"schema\": \"ecl-bench/2\",\n  \"benchmark\": \"ecl-loadgen\",\n  \
              \"git_sha\": \"{}\",\n  \"mode\": \"{mode}\",\n  \"keep_alive\": {},\n  \
@@ -480,7 +562,9 @@ impl LoadReport {
              \"requests\": {},\n  \"ok\": {},\n  \"tuned_ok\": {},\n  \"rejected\": {},\n  \
              \"errors\": {},\n  \
              \"wall_seconds\": {},\n  \"latency_us\": {{\"count\": {}, \"p50\": {}, \
-             \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \"metrics\": [\n{}\n  ]\n}}\n",
+             \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \
+             \"worst_requests\": [{}],\n  \"error_req_ids\": [{}],\n  \
+             \"metrics\": [\n{}\n  ]\n}}\n",
             ecl_prof::git_sha(),
             self.config.keep_alive,
             json::escape(&self.config.graph),
@@ -498,6 +582,8 @@ impl LoadReport {
             l.p90,
             l.p99,
             l.max,
+            worst.join(", "),
+            error_ids.join(", "),
             metrics.join(",\n")
         )
     }
@@ -522,6 +608,8 @@ mod tests {
                 s.record(2000);
                 s.snapshot()
             },
+            worst_requests: vec![(2000, 42), (1000, 7)],
+            error_req_ids: vec![13, 0],
             modeled_times: vec![5.0, 5.0, 7.0],
             wall_seconds: 2.0,
             config: LoadgenConfig::default(),
@@ -533,6 +621,13 @@ mod tests {
         assert_eq!(v.get("schema").and_then(Value::as_str), Some("ecl-bench/2"));
         // Tuned-vs-default runs are distinguishable from the report.
         assert_eq!(v.get("tuned_ok").and_then(Value::as_f64), Some(3.0));
+        // The slow tail and the failures carry server correlation ids.
+        let worst = v.get("worst_requests").and_then(Value::as_arr).unwrap();
+        assert_eq!(worst.len(), 2);
+        assert_eq!(worst[0].get("req_id").and_then(Value::as_f64), Some(42.0));
+        assert_eq!(worst[0].get("latency_us").and_then(Value::as_f64), Some(2000.0));
+        let errs = v.get("error_req_ids").and_then(Value::as_arr).unwrap();
+        assert_eq!(errs.len(), 2);
         let metrics = v.get("metrics").and_then(Value::as_arr).unwrap();
         assert!(metrics.iter().any(|m| {
             // The duplicated 5.0 (a cache-hit completion) collapses.

@@ -107,7 +107,10 @@ impl ServeMetrics {
 
     /// Renders the full `/metrics` payload. `queue_depth`/`running`/
     /// `open_connections` are instantaneous gauges; `collector`
-    /// contributes per-kernel series when profiling is installed.
+    /// contributes per-kernel series when profiling is installed;
+    /// `obs` contributes the `ecl_slo_*` family and the flight-recorder
+    /// retention gauge.
+    #[allow(clippy::too_many_arguments)]
     pub fn render_prometheus(
         &self,
         catalog: &GraphCatalog,
@@ -116,6 +119,7 @@ impl ServeMetrics {
         running: usize,
         open_connections: usize,
         collector: Option<&Collector>,
+        obs: Option<&ecl_obs::Obs>,
     ) -> String {
         // Per-algorithm latency distributions + kernel stats ride the
         // manifest exposition.
@@ -209,6 +213,10 @@ impl ServeMetrics {
             "Jobs rejected with 429 because the queue was full.",
             self.admission_rejections.load(r),
         );
+        out.push_str(
+            "# HELP ecl_serve_jobs_finished_total Terminal jobs by final state.\n\
+             # TYPE ecl_serve_jobs_finished_total counter\n",
+        );
         for (name, v) in [
             ("done", self.jobs_done.load(r)),
             ("failed", self.jobs_failed.load(r)),
@@ -280,8 +288,128 @@ impl ServeMetrics {
             "Result cache hit ratio in [0,1].",
             results.hit_ratio(),
         );
+
+        if let Some(obs) = obs {
+            gauge(
+                &mut out,
+                "ecl_obs_requests_retained",
+                "Request summaries currently held by the flight recorder.",
+                obs.recorder.retained() as f64,
+            );
+            if let Some(slo) = &obs.slo {
+                slo.render(&mut out);
+            }
+        }
         out
     }
+}
+
+/// A `std`-only Prometheus exposition-format hygiene lint, used by the
+/// `metrics_lint` integration test to keep `/metrics` scrapeable by
+/// strict parsers. Returns one message per violation (empty = clean).
+///
+/// Checks, per metric *family* (the base name with `_bucket`/`_sum`/
+/// `_count` suffixes folded in for histograms and summaries):
+///
+/// * `# HELP` and `# TYPE` are both present and appear before the
+///   first sample of the family, each exactly once;
+/// * the `TYPE` is one of `counter`/`gauge`/`summary`/`histogram`;
+/// * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+/// * `counter` family names end in `_total`;
+/// * sample values parse as floats (OpenMetrics `# {…}` exemplars are
+///   stripped first).
+pub fn lint_exposition(text: &str) -> Vec<String> {
+    use std::collections::{HashMap, HashSet};
+
+    fn valid_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        let Some(first) = chars.next() else { return false };
+        (first.is_ascii_alphabetic() || first == '_' || first == ':')
+            && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    /// Folds summary/histogram machine-suffixed series into their
+    /// family name so `x_bucket` samples match `# TYPE x histogram`.
+    fn family_of<'a>(name: &'a str, types: &HashMap<String, String>) -> &'a str {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if matches!(types.get(base).map(String::as_str), Some("summary" | "histogram")) {
+                    return base;
+                }
+            }
+        }
+        name
+    }
+
+    let mut problems = Vec::new();
+    let mut help: HashSet<String> = HashSet::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut sampled: HashSet<String> = HashSet::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some((name, _)) = rest.split_once(' ') else {
+                problems.push(format!("line {n}: HELP without help text"));
+                continue;
+            };
+            if !help.insert(name.to_string()) {
+                problems.push(format!("line {n}: duplicate HELP for {name}"));
+            }
+            if sampled.contains(name) {
+                problems.push(format!("line {n}: HELP for {name} after its first sample"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = rest.split_once(' ') else {
+                problems.push(format!("line {n}: TYPE without a kind"));
+                continue;
+            };
+            if !matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
+                problems.push(format!("line {n}: unknown TYPE {kind:?} for {name}"));
+            }
+            if kind == "counter" && !name.ends_with("_total") {
+                problems.push(format!("line {n}: counter {name} does not end in _total"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                problems.push(format!("line {n}: duplicate TYPE for {name}"));
+            }
+            if sampled.contains(name) {
+                problems.push(format!("line {n}: TYPE for {name} after its first sample"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        // A sample: `name{labels} value [# {exemplar} value]`.
+        let sample = line.split(" # ").next().unwrap_or(line);
+        let name_end = sample.find(['{', ' ']).unwrap_or(sample.len());
+        let name = &sample[..name_end];
+        if !valid_name(name) {
+            problems.push(format!("line {n}: invalid metric name {name:?}"));
+            continue;
+        }
+        let value = sample.rsplit(' ').next().unwrap_or("");
+        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+            problems.push(format!("line {n}: sample value {value:?} does not parse"));
+        }
+        let family = family_of(name, &types).to_string();
+        if !help.contains(&family) {
+            problems.push(format!("line {n}: sample {name} has no preceding HELP for {family}"));
+        }
+        if !types.contains_key(&family) {
+            problems.push(format!("line {n}: sample {name} has no preceding TYPE for {family}"));
+        }
+        sampled.insert(family);
+    }
+    problems.sort();
+    problems.dedup();
+    problems
 }
 
 #[cfg(test)]
@@ -323,7 +451,7 @@ mod tests {
         m.accept_errors.store(2, Ordering::Relaxed);
         m.conn_write_timeouts.store(1, Ordering::Relaxed);
         m.http_unanswerable.store(1, Ordering::Relaxed);
-        let text = m.render_prometheus(&catalog, &results, 3, 2, 6, None);
+        let text = m.render_prometheus(&catalog, &results, 3, 2, 6, None, None);
         for needle in [
             "ecl_serve_queue_depth 3",
             "ecl_serve_jobs_running 2",
@@ -354,8 +482,21 @@ mod tests {
         m.record_latency(Algo::Mis, 1, 1000);
         let catalog = GraphCatalog::new(CatalogConfig::default());
         let results = ResultCache::new(1);
-        let text = m.render_prometheus(&catalog, &results, 0, 0, 0, None);
+        let text = m.render_prometheus(&catalog, &results, 0, 0, 0, None, None);
         assert!(text.contains("job_run_us/mis"));
         assert!(!text.contains("job_run_us/cc"), "cc has no samples");
+    }
+
+    #[test]
+    fn jobs_finished_family_has_help_and_type() {
+        let m = ServeMetrics::new();
+        let catalog = GraphCatalog::new(CatalogConfig::default());
+        let results = ResultCache::new(1);
+        let text = m.render_prometheus(&catalog, &results, 0, 0, 0, None, None);
+        assert!(text.contains("# HELP ecl_serve_jobs_finished_total"));
+        assert!(text.contains("# TYPE ecl_serve_jobs_finished_total counter"));
+        let help_pos = text.find("# HELP ecl_serve_jobs_finished_total").unwrap();
+        let sample_pos = text.find("ecl_serve_jobs_finished_total{state=").unwrap();
+        assert!(help_pos < sample_pos, "metadata precedes the samples");
     }
 }

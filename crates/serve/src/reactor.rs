@@ -272,7 +272,13 @@ impl Reactor {
                                     .keepalive_reuses
                                     .fetch_add(1, Ordering::Relaxed);
                             }
-                            self.handle_request(id, &req, now);
+                            // Correlation id: allocated the moment a
+                            // complete request exists, echoed back via
+                            // `x-ecl-req`, and threaded through the
+                            // scheduler so traces/samples carry it.
+                            let req_id = ecl_obs::next_req_id();
+                            slot.conn.set_req_id(req_id);
+                            self.handle_request(id, &req, now, req_id);
                         }
                         ReadEvent::Bad(e) => {
                             progress = true;
@@ -337,9 +343,9 @@ impl Reactor {
         progress
     }
 
-    fn handle_request(&mut self, id: u64, req: &http::Request, now: Instant) {
+    fn handle_request(&mut self, id: u64, req: &http::Request, now: Instant, req_id: u64) {
         let keep_alive = req.wants_keep_alive() && !self.shared.stopping.load(Ordering::Acquire);
-        match server::route(req, &self.shared) {
+        match server::route(req, &self.shared, req_id) {
             Routed::Now((status, content_type, body)) => {
                 if status >= 400 {
                     self.shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);

@@ -143,11 +143,18 @@ impl Scheduler {
     /// Admits a job or rejects it. Never blocks (the ring push is
     /// lock-free; the rejection bound is exactly `max_queue`).
     pub fn submit(&self, spec: JobSpec) -> Result<Arc<JobRecord>, SubmitError> {
+        self.submit_with_req(spec, 0)
+    }
+
+    /// [`Scheduler::submit`] with the originating HTTP request id
+    /// attached, so every trace span and kernel sample the job produces
+    /// carries the request that caused it (0 = no request context).
+    pub fn submit_with_req(&self, spec: JobSpec, req: u64) -> Result<Arc<JobRecord>, SubmitError> {
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
-        let job = Arc::new(JobRecord::new(id, spec));
+        let job = Arc::new(JobRecord::with_req(id, spec, req));
         if self.shared.queue.try_push(Arc::clone(&job)).is_err() {
             self.shared.metrics.admission_rejections.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::QueueFull);
@@ -188,6 +195,7 @@ impl Scheduler {
             .transition(JobState::Cancelled, Some(JobEnd::Message("cancelled by client".into())));
         if cancelled {
             self.shared.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            observe_terminal(job);
             notify_completion(&self.shared, job.id);
         }
         cancelled
@@ -308,6 +316,7 @@ fn run_one(shared: &Shared, job: &Arc<JobRecord>) {
                 JobState::DeadlineExceeded,
                 Some(JobEnd::Message("start deadline exceeded while queued".into())),
             ) {
+                observe_terminal(job);
                 notify_completion(shared, job.id);
             } else {
                 shared.metrics.jobs_deadline_exceeded.fetch_sub(1, Ordering::Relaxed);
@@ -319,24 +328,39 @@ fn run_one(shared: &Shared, job: &Arc<JobRecord>) {
         return; // Lost a race with cancellation.
     }
 
+    // Request-context scope: every trace span and kernel sample emitted
+    // below this point (including from the simulator's worker threads,
+    // which inherit the context through the pool's job records) carries
+    // the originating request id. Jobs without one skip all of it.
+    let _ctx = (job.req != 0).then(|| ecl_obs::ctx::CtxGuard::enter(job.req));
+    if job.req != 0 {
+        ecl_obs::sink::with(|obs| {
+            obs.recorder.begin(job.req, job.id, job.spec.algo.name(), &job.spec.graph);
+        });
+    }
+
     let spec = job.spec.clone();
     // Result-cache probe. Resolving the graph here is not wasted work:
     // the catalog memoizes it, so a subsequent miss-path execute() gets
     // a cache hit. Faulted jobs bypass the cache — they exist to
     // exercise the execution path.
+    let probe_start = Instant::now();
     let resolved = if spec.fault == Fault::None {
         shared.catalog.resolve(&spec.graph, spec.scale, spec.seed, spec.algo == Algo::Mst).ok()
     } else {
         None
     };
     let key = resolved.as_ref().map(|g| result_key(g.content_hash, &spec));
-    if let Some(k) = &key {
-        if let Some(hit) = shared.results.get(k) {
-            job.mark_cached();
-            shared.metrics.result_cache_serves.fetch_add(1, Ordering::Relaxed);
-            finish(shared, job, JobState::Done, JobEnd::Output(Box::new((*hit).clone())));
-            return;
-        }
+    let hit = key.as_ref().and_then(|k| shared.results.get(k));
+    if job.req != 0 {
+        let probe_ns = probe_start.elapsed().as_nanos() as u64;
+        ecl_obs::sink::with(|obs| obs.recorder.on_phase(job.req, "cache.probe", probe_ns));
+    }
+    if let Some(hit) = hit {
+        job.mark_cached();
+        shared.metrics.result_cache_serves.fetch_add(1, Ordering::Relaxed);
+        finish(shared, job, JobState::Done, JobEnd::Output(Box::new((*hit).clone())));
+        return;
     }
 
     // Per-request trace span: the algorithm's own kernel/phase events
@@ -400,6 +424,9 @@ fn finish(shared: &Shared, job: &Arc<JobRecord>, state: JobState, end: JobEnd) {
         }
         return;
     }
+    // Flight-recorder/SLO record lands *before* the completion hook: a
+    // client answered through the hook can immediately fetch the trace.
+    observe_terminal(job);
     notify_completion(shared, job.id);
     let st = job.status();
     shared.metrics.record_latency(
@@ -407,6 +434,45 @@ fn finish(shared: &Shared, job: &Arc<JobRecord>, state: JobState, end: JobEnd) {
         (st.queue_ms * 1e3) as u64,
         (st.run_ms * 1e3) as u64,
     );
+}
+
+/// Folds a just-terminal job into the observability sink (flight
+/// recorder + SLO engine), if one is installed and the job carries a
+/// request id. Called exactly once per terminal transition, from
+/// whichever path won the transition race.
+fn observe_terminal(job: &JobRecord) {
+    if job.req == 0 || !ecl_obs::sink::is_enabled() {
+        return;
+    }
+    let state = job.state();
+    let st = job.status();
+    let queue_ns = (st.queue_ms * 1e6) as u64;
+    let run_ns = (st.run_ms * 1e6) as u64;
+    let (graph_hash, tuned, rounds) = job
+        .with_output(|o| {
+            let rounds = o
+                .aggregates
+                .iter()
+                .find(|(n, _)| *n == "rounds" || *n == "outer_iterations")
+                .map_or(0, |&(_, v)| v);
+            (o.graph_hash, o.tuned, rounds)
+        })
+        .unwrap_or((0, false, 0));
+    let info = ecl_obs::FinishInfo {
+        outcome: state.name().to_string(),
+        graph_hash,
+        tuned,
+        cached: st.cached,
+        queue_ns,
+        run_ns,
+        rounds,
+    };
+    ecl_obs::sink::with(|obs| {
+        obs.recorder.finish(job.req, job.id, job.spec.algo.name(), &job.spec.graph, info);
+        if let Some(slo) = &obs.slo {
+            slo.observe(job.spec.algo.name(), job.req, queue_ns + run_ns, state == JobState::Done);
+        }
+    });
 }
 
 #[cfg(test)]

@@ -9,8 +9,10 @@
 //! | `GET  /v1/graphs`      | catalog listing                           |
 //! | `POST /v1/jobs`        | submit (202, or 429/503 on backpressure)  |
 //! | `GET  /v1/jobs/:id`    | status + result                           |
+//! | `GET  /v1/jobs/:id/trace` | merged per-request span tree (ecl-obs) |
 //! | `DELETE /v1/jobs/:id`  | cancel a queued job                       |
-//! | `GET  /metrics`        | Prometheus exposition                     |
+//! | `GET  /v1/debug/requests` | flight-recorder ring (`?slowest=N`)    |
+//! | `GET  /metrics`        | Prometheus exposition (incl. `ecl_slo_*`) |
 //! | `POST /v1/admin/shutdown` | begin graceful drain                   |
 //!
 //! Threading model (fixed, independent of connection count):
@@ -82,6 +84,12 @@ pub struct ServeConfig {
     /// A response not fully flushed within this window closes the
     /// connection (stalled reader).
     pub write_timeout_ms: u64,
+    /// SLO spec (`"cc:p99=5ms,err=0.1%;gc:p95=2ms"`); `None` disables
+    /// the SLO engine (the flight recorder stays on regardless).
+    pub slo: Option<String>,
+    /// Requests slower than this pin their full trace in the flight
+    /// recorder instead of aging out with the recent ring.
+    pub slow_request_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +103,8 @@ impl Default for ServeConfig {
             max_connections: 1024,
             read_timeout_ms: 10_000,
             write_timeout_ms: 10_000,
+            slo: None,
+            slow_request_ms: 250,
         }
     }
 }
@@ -105,6 +115,10 @@ pub(crate) struct ServerShared {
     pub(crate) metrics: Arc<ServeMetrics>,
     pub(crate) scheduler: Scheduler,
     pub(crate) collector: Arc<Collector>,
+    /// Request-scoped observability: the flight recorder plus the
+    /// optional SLO engine. Also installed as the process-global
+    /// `ecl-obs` sink for the lifetime of the server.
+    pub(crate) obs: Arc<ecl_obs::Obs>,
     pub(crate) limits: Limits,
     pub(crate) max_connections: usize,
     pub(crate) stopping: AtomicBool,
@@ -146,6 +160,21 @@ impl Server {
         ecl_trace::sink::install(Arc::new(ecl_trace::Tracer::with_clock(
             ecl_trace::ClockMode::Wall,
         )));
+        // Request-scoped observability: flight recorder (always on) and
+        // the SLO engine when objectives were configured. Installed as
+        // the global sink so scheduler/pool/kernel hooks can reach it.
+        let slo = match &config.slo {
+            Some(spec) => Some(ecl_obs::SloEngine::from_spec(spec).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("bad --slo: {e}"))
+            })?),
+            None => None,
+        };
+        let recorder_config = ecl_obs::RecorderConfig {
+            slow_threshold_ns: config.slow_request_ms.saturating_mul(1_000_000),
+            ..ecl_obs::RecorderConfig::default()
+        };
+        let obs = Arc::new(ecl_obs::Obs::new(recorder_config, slo));
+        ecl_obs::sink::install(Arc::clone(&obs));
 
         let shared = Arc::new(ServerShared {
             catalog,
@@ -153,6 +182,7 @@ impl Server {
             metrics,
             scheduler,
             collector,
+            obs,
             limits: config.limits,
             max_connections: config.max_connections.max(1),
             stopping: AtomicBool::new(false),
@@ -260,6 +290,9 @@ impl Server {
         // span is cut mid-record; the snapshot is discarded here —
         // callers who want the capture install their own tracer first.
         ecl_trace::sink::uninstall();
+        // The recorder/SLO state itself stays alive through
+        // `self.shared.obs`; only the global sink registration ends.
+        ecl_obs::sink::uninstall();
     }
 }
 
@@ -345,7 +378,7 @@ pub(crate) enum Routed {
 pub(crate) const JSON: &str = "application/json";
 const PROM: &str = "text/plain; version=0.0.4";
 
-pub(crate) fn route(req: &Request, shared: &Arc<ServerShared>) -> Routed {
+pub(crate) fn route(req: &Request, shared: &Arc<ServerShared>, req_id: u64) -> Routed {
     let path = req.path.split('?').next().unwrap_or("");
     let response = match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
@@ -353,7 +386,19 @@ pub(crate) fn route(req: &Request, shared: &Arc<ServerShared>) -> Routed {
             (200, JSON, format!("{{\"ok\": true, \"draining\": {draining}}}"))
         }
         ("GET", "/v1/graphs") => graphs_body(shared),
-        ("POST", "/v1/jobs") => return submit_job(req, shared),
+        ("POST", "/v1/jobs") => return submit_job(req, shared, req_id),
+        // Must precede the generic `/v1/jobs/:id` arm: ":id/trace"
+        // does not parse as a bare id.
+        ("GET", p) if p.starts_with("/v1/jobs/") && p.ends_with("/trace") => {
+            match p.strip_prefix("/v1/jobs/").and_then(|r| r.strip_suffix("/trace")) {
+                Some(raw) => match raw.parse::<u64>().ok() {
+                    Some(id) => trace_body(shared, id),
+                    None => (400, JSON, "{\"error\": \"bad job id\"}".to_string()),
+                },
+                None => (400, JSON, "{\"error\": \"bad job id\"}".to_string()),
+            }
+        }
+        ("GET", "/v1/debug/requests") => debug_requests_body(shared, &req.path),
         ("GET", p) if p.starts_with("/v1/jobs/") => match parse_id(p) {
             Some(id) => match shared.scheduler.job(id) {
                 Some(job) => (200, JSON, job_body(&job)),
@@ -389,6 +434,7 @@ pub(crate) fn route(req: &Request, shared: &Arc<ServerShared>) -> Routed {
                 shared.scheduler.running(),
                 shared.live_connections.load(Ordering::Acquire),
                 Some(&shared.collector),
+                Some(&shared.obs),
             );
             (200, PROM, body)
         }
@@ -484,14 +530,14 @@ fn parse_job_spec(body: &[u8]) -> Result<(JobSpec, Option<u64>), String> {
     Ok((JobSpec { algo, graph, scale, seed, block_size, deadline_ms, fault }, wait_ms))
 }
 
-fn submit_job(req: &Request, shared: &Arc<ServerShared>) -> Routed {
+fn submit_job(req: &Request, shared: &Arc<ServerShared>, req_id: u64) -> Routed {
     let (spec, wait_ms) = match parse_job_spec(&req.body) {
         Ok(parsed) => parsed,
         Err(msg) => {
             return Routed::Now((400, JSON, format!("{{\"error\": \"{}\"}}", escape(&msg))));
         }
     };
-    match shared.scheduler.submit(spec) {
+    match shared.scheduler.submit_with_req(spec, req_id) {
         Ok(job) => match wait_ms {
             Some(ms) => Routed::Wait { job, wait: Duration::from_millis(ms) },
             None => Routed::Now((202, JSON, job_body(&job))),
@@ -505,6 +551,131 @@ fn submit_job(req: &Request, shared: &Arc<ServerShared>) -> Routed {
             "{\"error\": \"server is draining\", \"retry\": false}".to_string(),
         )),
     }
+}
+
+/// Renders one flight-recorder summary as a JSON object.
+fn summary_json(s: &ecl_obs::RequestSummary) -> String {
+    format!(
+        "{{\"req\": {}, \"job\": {}, \"algo\": \"{}\", \"graph\": \"{}\", \
+         \"graph_hash\": \"{:016x}\", \"outcome\": \"{}\", \"tuned\": {}, \"cached\": {}, \
+         \"queue_ns\": {}, \"run_ns\": {}, \"total_ns\": {}, \"rounds\": {}, \
+         \"kernels\": {}, \"kernel_wall_ns\": {}}}",
+        s.req,
+        s.job,
+        escape(&s.algo),
+        escape(&s.graph),
+        s.graph_hash,
+        escape(&s.outcome),
+        s.tuned,
+        s.cached,
+        s.queue_ns,
+        s.run_ns,
+        s.total_ns,
+        s.rounds,
+        s.kernels,
+        s.kernel_wall_ns,
+    )
+}
+
+/// `GET /v1/jobs/:id/trace` — the merged, time-ordered span tree for
+/// the request that submitted job `id`: queue/cache/resolve phases and
+/// every per-round kernel launch, each tagged with its kind.
+fn trace_body(shared: &Arc<ServerShared>, id: u64) -> Response {
+    let Some(job) = shared.scheduler.job(id) else {
+        return (404, JSON, "{\"error\": \"no such job\"}".to_string());
+    };
+    if job.req == 0 {
+        return (
+            404,
+            JSON,
+            "{\"error\": \"job was not submitted over HTTP; no request context\"}".to_string(),
+        );
+    }
+    let Some(trace) = shared.obs.recorder.trace(job.req) else {
+        return (
+            404,
+            JSON,
+            "{\"error\": \"no trace retained for this request (aged out of the ring)\"}"
+                .to_string(),
+        );
+    };
+    // Merge phases and kernels into one start-ordered timeline; ties
+    // put the (enclosing) phase first.
+    enum Span<'a> {
+        Phase(&'a ecl_obs::PhaseSpan),
+        Kernel(&'a ecl_obs::KernelSpan),
+    }
+    let mut spans: Vec<Span> = trace.phases.iter().map(Span::Phase).collect();
+    spans.extend(trace.kernels.iter().map(Span::Kernel));
+    spans.sort_by_key(|s| match s {
+        Span::Phase(p) => (p.start_ns, 0u8),
+        Span::Kernel(k) => (k.start_ns, 1u8),
+    });
+    let rows: Vec<String> = spans
+        .iter()
+        .map(|s| match s {
+            Span::Phase(p) => format!(
+                "{{\"kind\": \"phase\", \"name\": \"{}\", \"start_ns\": {}, \"wall_ns\": {}}}",
+                escape(&p.name),
+                p.start_ns,
+                p.wall_ns
+            ),
+            Span::Kernel(k) => format!(
+                "{{\"kind\": \"kernel\", \"name\": \"{}\", \"shape\": \"{}\", \"seq\": {}, \
+                 \"start_ns\": {}, \"wall_ns\": {}, \"blocks\": {}, \"block_size\": {}, \
+                 \"imbalance_milli\": {}}}",
+                escape(&k.kernel),
+                k.shape,
+                k.seq,
+                k.start_ns,
+                k.wall_ns,
+                k.blocks,
+                k.block_size,
+                k.imbalance_milli
+            ),
+        })
+        .collect();
+    let body = format!(
+        "{{\"summary\": {}, \"spans\": [{}], \"dropped_kernels\": {}}}",
+        summary_json(&trace.summary),
+        rows.join(", "),
+        trace.dropped_kernels
+    );
+    (200, JSON, body)
+}
+
+/// `GET /v1/debug/requests[?slowest=N]` — the flight-recorder ring,
+/// newest-first by default or the N slowest completed requests.
+fn debug_requests_body(shared: &Arc<ServerShared>, raw_path: &str) -> Response {
+    let query = raw_path.split_once('?').map(|(_, q)| q).unwrap_or("");
+    let mut slowest: Option<usize> = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if key == "slowest" {
+            match value.parse::<usize>() {
+                Ok(n) => slowest = Some(n),
+                Err(_) => {
+                    return (
+                        400,
+                        JSON,
+                        "{\"error\": \"slowest must be a non-negative integer\"}".to_string(),
+                    );
+                }
+            }
+        }
+    }
+    let recorder = &shared.obs.recorder;
+    let (order, summaries) = match slowest {
+        Some(n) => ("slowest", recorder.slowest(n)),
+        None => ("newest", recorder.snapshot()),
+    };
+    let rows: Vec<String> = summaries.iter().map(summary_json).collect();
+    let body = format!(
+        "{{\"order\": \"{order}\", \"retained\": {}, \"requests\": [{}]}}",
+        recorder.retained(),
+        rows.join(", ")
+    );
+    (200, JSON, body)
 }
 
 /// Renders a job's full status document.

@@ -31,6 +31,7 @@ fn flood_server(max_connections: usize, read_timeout_ms: u64) -> Server {
         max_connections,
         read_timeout_ms,
         write_timeout_ms: 5_000,
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port")
 }

@@ -49,20 +49,24 @@ fn trace_block<R>(block: usize, block_size: usize, body: impl FnOnce() -> R) -> 
 }
 
 /// Dispatches a launch's blocks onto the pool, reporting a per-launch
-/// profile sample when `ecl-prof`'s sink is installed. The disabled
-/// path is the plain [`pool::dispatch`] plus one relaxed atomic load.
+/// profile sample when `ecl-prof`'s sink is installed and/or the
+/// launch runs inside a request context with `ecl-obs` installed. The
+/// disabled path is the plain [`pool::dispatch`] plus two relaxed
+/// atomic loads.
 fn dispatch_blocks<F>(name: &str, shape: &'static str, cfg: LaunchConfig, f: F)
 where
     F: Fn(usize) + Sync,
 {
-    if !ecl_prof::sink::is_enabled() {
+    let prof = ecl_prof::sink::is_enabled();
+    let obs = ecl_obs::sink::wants_samples();
+    if !prof && !obs {
         pool::dispatch(cfg.blocks, f);
         return;
     }
     let started = std::time::Instant::now();
     let participants = pool::dispatch_profiled(cfg.blocks, f);
     let wall_ns = started.elapsed().as_nanos() as u64;
-    ecl_prof::sink::on_launch(&ecl_prof::LaunchSample {
+    let sample = ecl_prof::LaunchSample {
         kernel: name.to_string(),
         shape,
         blocks: cfg.blocks as u64,
@@ -76,7 +80,14 @@ where
                 busy_ns: p.busy_ns,
             })
             .collect(),
-    });
+        req: ecl_obs::ctx::current(),
+    };
+    if prof {
+        ecl_prof::sink::on_launch(&sample);
+    }
+    if obs {
+        ecl_obs::sink::on_launch(&sample);
+    }
 }
 
 /// The stable shape label a [`LaunchShape`] reports in profile

@@ -276,6 +276,11 @@ struct Job {
     remaining: AtomicUsize,
     n: usize,
     grain: usize,
+    /// Request context of the submitting thread (`ecl-obs`
+    /// correlation; 0 = none). Workers re-enter it around their claims
+    /// so per-thread trace streams stay attributable even when workers
+    /// interleave claims from several concurrent jobs.
+    ctx: u64,
     /// The dispatch closure with its lifetime erased. See the SAFETY
     /// argument at the transmute in [`pooled_dispatch`].
     func: &'static (dyn Fn(usize) + Sync),
@@ -331,6 +336,11 @@ impl PoolShared {
 
     /// Claims and runs ticket ranges of `job` until none remain.
     fn run_job(&self, job: &Arc<Job>) {
+        // Adopt the submitter's request context for the duration of
+        // this job's claims (restored on return and on panic unwind).
+        // On the submitting thread this re-enters the same id — a
+        // cheap no-op with no trace marker.
+        let _ctx = (job.ctx != 0).then(|| ecl_obs::ctx::CtxGuard::enter(job.ctx));
         // Index of this thread's entry in `job.stats`, claimed lazily
         // on its first executed ticket range.
         let mut stat_slot: Option<usize> = None;
@@ -426,6 +436,7 @@ fn pooled_dispatch(
         remaining: AtomicUsize::new(n),
         n,
         grain,
+        ctx: ecl_obs::ctx::current(),
         func,
         panic: Mutex::new(None),
         stats: profiled.then(|| Mutex::new(Vec::new())),
@@ -464,6 +475,7 @@ fn spawn_chunked(
 ) -> Option<Vec<ParticipantStat>> {
     let chunk = n.div_ceil(workers);
     let stats = profiled.then(|| Mutex::new(Vec::new()));
+    let ctx = ecl_obs::ctx::current();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
@@ -471,6 +483,7 @@ fn spawn_chunked(
             .map(|(lo, hi)| {
                 let stats = stats.as_ref();
                 s.spawn(move || {
+                    let _ctx = (ctx != 0).then(|| ecl_obs::ctx::CtxGuard::enter(ctx));
                     let started = stats.map(|_| Instant::now());
                     for i in lo..hi {
                         f(i);

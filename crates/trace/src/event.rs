@@ -45,11 +45,16 @@ pub enum EventKind {
     /// (`ecl-check`'s `Rule::raw`), block = offending block or
     /// `u32::MAX` when not block-specific.
     CheckFinding = 11,
+    /// The recording thread switched request context (`ecl-obs`
+    /// correlation): block = high 32 bits of the request id, payload =
+    /// low 32 bits. Events after this marker on the same thread belong
+    /// to that request until the next `ReqCtx` (id 0 = none).
+    ReqCtx = 12,
 }
 
 impl EventKind {
     /// All kinds, wire-value ordered.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 12] = [
         EventKind::KernelLaunch,
         EventKind::BlockStart,
         EventKind::BlockEnd,
@@ -61,6 +66,7 @@ impl EventKind {
         EventKind::Round,
         EventKind::Marker,
         EventKind::CheckFinding,
+        EventKind::ReqCtx,
     ];
 
     /// Wire value of this kind.
@@ -87,6 +93,7 @@ impl EventKind {
             EventKind::Round => "round",
             EventKind::Marker => "marker",
             EventKind::CheckFinding => "check-finding",
+            EventKind::ReqCtx => "req-ctx",
         }
     }
 }
