@@ -39,6 +39,13 @@ struct Args {
     check: bool,
     profile: Option<String>,
     repeats: usize,
+    /// `--shards N`: run CC/MIS/SCC sharded across N modeled GPUs
+    /// through ecl-shard (1 = ordinary single-pool execution).
+    shards: u32,
+    /// `--bench-json <path>`: write a benchmark report instead of a
+    /// single run. With `--shards 1` this is the PR 3 dispatch-engine
+    /// benchmark; with `--shards N > 1` it is the shard scaling curve.
+    bench_json: Option<String>,
     /// `--tuned <manifest>`: apply the best-known schedule for
     /// (algo, input family) from an `ecl-tune/1` manifest. Overrides
     /// the toggle flags; an explicit `--block-size` still wins.
@@ -111,8 +118,10 @@ fn usage() -> ! {
          \x20      [--trace <path>]  (record a .etr event capture; see the ecl-trace binary)\n\
          \x20      [--profile <dir>] [--repeats n]  (write manifest.json/metrics.prom/flame.* \n\
          \x20                                        profiling artifacts; see the ecl-prof binary)\n\
+         \x20      [--shards n]  (run cc|mis|scc across n modeled GPUs via ecl-shard)\n\
          \x20      ecl-run --list    (show registered inputs)\n\
-         \x20      ecl-run --bench-json <path>  (dispatch-engine benchmark: pool vs. spawn)"
+         \x20      ecl-run --bench-json <path>  (dispatch-engine benchmark: pool vs. spawn)\n\
+         \x20      ecl-run --shards n --bench-json <path>  (shard scaling curve, torus + rmat)"
     );
     std::process::exit(2);
 }
@@ -134,6 +143,8 @@ fn parse() -> Args {
         check: false,
         profile: None,
         repeats: 3,
+        shards: 1,
+        bench_json: None,
         tuned: None,
     };
     let argv: Vec<String> = std::env::args().collect();
@@ -198,9 +209,17 @@ fn parse() -> Args {
                 a.repeats = argv[i + 1].parse().unwrap_or_else(|_| usage());
                 i += 1;
             }
+            "--shards" if i + 1 < argv.len() => {
+                a.shards = argv[i + 1].parse().unwrap_or_else(|_| usage());
+                if a.shards < 1 || a.shards as usize > ecl_shard::MAX_SHARDS as usize {
+                    eprintln!("--shards must be in [1, {}]", ecl_shard::MAX_SHARDS);
+                    std::process::exit(2);
+                }
+                i += 1;
+            }
             "--bench-json" if i + 1 < argv.len() => {
-                bench_json(&argv[i + 1]);
-                std::process::exit(0);
+                a.bench_json = Some(argv[i + 1].clone());
+                i += 1;
             }
             "--optimized" => a.optimized = true,
             "--fixed-launch" => a.fixed_launch = true,
@@ -213,7 +232,7 @@ fn parse() -> Args {
         }
         i += 1;
     }
-    if a.algo.is_empty() || a.input.is_empty() {
+    if a.bench_json.is_none() && (a.algo.is_empty() || a.input.is_empty()) {
         usage();
     }
     a
@@ -250,6 +269,37 @@ fn bench_json(path: &str) {
     eprintln!("bench: wrote {path}");
 }
 
+/// `--shards N --bench-json <path>`: run the shard scaling benchmark
+/// (CC across 1..N pools on the torus/RMAT pair) and write the
+/// `ecl-bench/2` report.
+fn shard_bench_json(path: &str, max_shards: u32) {
+    eprintln!("bench: measuring shard scaling up to {max_shards} pools (a minute or two)...");
+    let bench = ecl_bench::shard_bench::run(max_shards);
+    for c in &bench.cases {
+        for p in &c.points {
+            eprintln!(
+                "bench: cc on {} ({} vertices, {} arcs, {}): {} shards -> {:.0} units \
+                 ({:.2}x), cut {:.3}, {} msgs, {} supersteps",
+                c.graph,
+                c.vertices,
+                c.arcs,
+                p.strategy,
+                p.shards,
+                p.stats.modeled_time,
+                c.speedup(p.shards),
+                p.stats.cut_ratio(),
+                p.stats.exchange_messages,
+                p.stats.supersteps
+            );
+        }
+    }
+    if let Err(e) = std::fs::write(path, bench.to_json()) {
+        eprintln!("bench: failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("bench: wrote {path}");
+}
+
 fn print_cost(device: &ecl_gpusim::Device) {
     println!("\nmodeled cost: {:.0} units", device.modeled_time());
     for (kind, units) in device.cost().breakdown() {
@@ -261,6 +311,14 @@ fn print_cost(device: &ecl_gpusim::Device) {
 
 fn main() {
     let a = parse();
+    if let Some(path) = &a.bench_json {
+        if a.shards > 1 {
+            shard_bench_json(path, a.shards);
+        } else {
+            bench_json(path);
+        }
+        return;
+    }
     let spec = ecl_graphgen::registry::find(&a.input).unwrap_or_else(|| {
         eprintln!("unknown input '{}'; try --list", a.input);
         std::process::exit(2);
@@ -322,7 +380,73 @@ fn main() {
     run_algo(&a, spec, &device);
 }
 
+/// `--shards N` execution: partition the input and run through
+/// ecl-shard with one modeled GPU per shard. Results are bit-identical
+/// to the single-pool kernels; modeled time reflects max-over-shards
+/// compute plus the cross-shard exchange cost.
+fn run_sharded(a: &Args, spec: &ecl_graphgen::InputSpec) {
+    let min_sms = if a.algo == "scc" { ecl_bench::SCC_MIN_SMS } else { 1 };
+    let config = ecl_bench::scaled_config_min(a.scale, min_sms);
+    let devices = ecl_shard::devices_for(config, a.shards);
+    let g = spec.generate(a.scale, a.seed);
+    let part = ecl_shard::Partition::auto(&g, a.shards);
+    let print_stats = |stats: &ecl_shard::ShardStats| {
+        println!(
+            "  partition: {} ({} shards), cut {}/{} arcs ({:.3})",
+            stats.strategy.name(),
+            stats.shards,
+            stats.cut_arcs,
+            stats.total_arcs,
+            stats.cut_ratio()
+        );
+        println!(
+            "  supersteps: {}, exchange messages: {}",
+            stats.supersteps, stats.exchange_messages
+        );
+        println!("\nmodeled cost: {:.0} units (max-over-shards + exchange)", stats.modeled_time);
+    };
+    match a.algo.as_str() {
+        "cc" => {
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_shard::run_cc(&devices, &g, &part));
+            println!(
+                "\nECL-CC ({} shards): {} components in {secs:.3}s",
+                a.shards,
+                r.num_components()
+            );
+            print_stats(&r.stats);
+        }
+        "mis" => {
+            let salt = ecl_mis::MisConfig::seeded(a.seed).tie_salt;
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_shard::run_mis(&devices, &g, &part, salt));
+            println!("\nECL-MIS ({} shards): {} selected ({secs:.3}s)", a.shards, r.set_size());
+            print_stats(&r.stats);
+        }
+        "scc" => {
+            if !spec.directed {
+                eprintln!("'{}' is undirected; SCC needs one of the mesh inputs", spec.name);
+                std::process::exit(2);
+            }
+            let (r, secs) = ecl_gpusim::run_timed(|| ecl_shard::run_scc(&devices, &g, &part));
+            println!(
+                "\nECL-SCC ({} shards): {} SCCs in {} outer iterations ({secs:.3}s)",
+                a.shards,
+                r.num_sccs(),
+                r.outer_iterations
+            );
+            print_stats(&r.stats);
+        }
+        other => {
+            eprintln!("--shards supports cc|mis|scc (got '{other}')");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn run_algo(a: &Args, spec: &ecl_graphgen::InputSpec, device: &ecl_gpusim::Device) {
+    if a.shards > 1 {
+        run_sharded(a, spec);
+        return;
+    }
     match a.algo.as_str() {
         "cc" => {
             let g = spec.generate(a.scale, a.seed);

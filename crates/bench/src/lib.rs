@@ -19,6 +19,7 @@ pub mod dispatch_bench;
 pub mod experiments;
 pub mod mc_suite;
 pub mod profile_run;
+pub mod shard_bench;
 
 use ecl_gpusim::{Device, DeviceConfig};
 
@@ -42,10 +43,16 @@ pub fn scaled_device(scale: f64) -> Device {
 /// blocks (the paper's plots show 384), so the device must not shrink
 /// to a single SM at small input scales.
 pub fn scaled_device_min(scale: f64, min_sms: usize) -> Device {
+    Device::new(scaled_config_min(scale, min_sms))
+}
+
+/// The configuration behind [`scaled_device_min`]; the sharded runner
+/// builds one identical device per shard from it.
+pub fn scaled_config_min(scale: f64, min_sms: usize) -> DeviceConfig {
     assert!(scale > 0.0, "scale must be positive");
     let full = DeviceConfig::rtx4090();
     let num_sms = ((full.num_sms as f64 * scale).round() as usize).max(min_sms).max(1);
-    Device::new(DeviceConfig { num_sms, ..full })
+    DeviceConfig { num_sms, ..full }
 }
 
 /// SM floor used by the SCC experiments (8 SMs = 24 blocks of 512).

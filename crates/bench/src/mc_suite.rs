@@ -5,8 +5,9 @@
 //! Mirrors [`crate::check_suite`]: each entry declares its expected
 //! verdict and the run compares against it. Clean harnesses must
 //! verify with zero findings (the tentpole harnesses — ticket-claim,
-//! finish-path, and the serve reactor's event-ring / wake / handoff
-//! protocols — additionally *exhaustively*, or the entry fails — a
+//! finish-path, the serve reactor's event-ring / wake / handoff
+//! protocols, and the cross-shard mailbox exchange — additionally
+//! *exhaustively*, or the entry fails — a
 //! budget cut there means the CI budget no longer covers the
 //! protocol); fixtures must be found and classified under their
 //! declared rule, so the detector itself is regression-tested.
@@ -94,6 +95,7 @@ pub fn mc_suite() -> Vec<McSuiteEntry> {
         "serve-conn-ring",
         "serve-reactor-wakeup",
         "serve-reactor-handoff",
+        "shard-exchange",
     ];
     let mut entries: Vec<McSuiteEntry> = harnesses::ALL
         .iter()
@@ -216,6 +218,7 @@ mod tests {
             "serve-conn-ring",
             "serve-reactor-wakeup",
             "serve-reactor-handoff",
+            "shard-exchange",
         ] {
             let entry =
                 mc_suite().into_iter().find(|e| e.name == format!("harness/{name}")).unwrap();

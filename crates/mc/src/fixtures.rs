@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use ecl_check::Rule;
 
-use crate::harnesses::{drain, finish_path, reactor_handoff, reactor_wakeup};
+use crate::harnesses::{drain, finish_path, reactor_handoff, reactor_wakeup, shard_exchange};
 use crate::shim::atomic::McAtomicU64;
 use crate::shim::cell::McCell;
 use crate::shim::sync::McMutex;
@@ -72,6 +72,18 @@ pub const ALL: &[FixtureEntry] = &[
         name: "reactor-handoff-no-recheck",
         about: "no terminal re-check after waiter registration: wait_ms never answered",
         run: reactor_handoff_no_recheck,
+        expect: Rule::McAssertion,
+    },
+    FixtureEntry {
+        name: "shard-relaxed-publish",
+        about: "mailbox flag stored Relaxed: receiver applies an unsynchronized frontier",
+        run: shard_relaxed_publish,
+        expect: Rule::McRace,
+    },
+    FixtureEntry {
+        name: "shard-idle-before-apply",
+        about: "shard votes idle before applying its inbox: fixpoint with mail in flight",
+        run: shard_idle_before_apply,
         expect: Rule::McAssertion,
     },
 ];
@@ -139,6 +151,22 @@ pub fn reactor_wake_without_flag() {
 /// signal was drained and dropped, and no later sweep answers it.
 pub fn reactor_handoff_no_recheck() {
     reactor_handoff(false);
+}
+
+/// The exchange publication edge severed: the sender stores the
+/// mailbox flag with `Relaxed`, so the receiver's acquire swap orders
+/// nothing — its read of the frontier slot is a data race, the
+/// cross-shard lost-update class.
+pub fn shard_relaxed_publish() {
+    shard_exchange(false, true);
+}
+
+/// The termination rule raced: the receiving shard votes idle before
+/// applying its inbox, and a detector that samples the votes inside
+/// that window declares the global fixpoint with a frontier still in
+/// flight — sharded runs would terminate early with wrong labels.
+pub fn shard_idle_before_apply() {
+    shard_exchange(true, false);
 }
 
 /// Classic ABBA: thread 1 locks A then B, thread 2 locks B then A.

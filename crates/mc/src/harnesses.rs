@@ -83,6 +83,11 @@ pub const ALL: &[HarnessEntry] = &[
         about: "completion vs. waiter registration: every wait_ms answered exactly once",
         run: reactor_handoff_clean,
     },
+    HarnessEntry {
+        name: "shard-exchange",
+        about: "cross-shard mailbox publish + quiescence vote: fixpoint only after delivery",
+        run: shard_exchange_clean,
+    },
 ];
 
 /// Looks up a harness by name.
@@ -612,4 +617,102 @@ pub fn reactor_handoff(recheck_after_register: bool) {
 /// The clean handoff (post-registration terminal re-check).
 pub fn reactor_handoff_clean() {
     reactor_handoff(true);
+}
+
+/// Shared body for the cross-shard exchange harness and its seeded-
+/// defect fixtures. Models one `ecl-shard` superstep edge between two
+/// shards: shard 0 writes a frontier payload into shard 1's mailbox
+/// slot and publishes it with a flag store; shard 1 swaps the flag,
+/// applies the payload, and votes idle; a detector declares the
+/// global fixpoint only when both shards voted idle **and** the
+/// mailbox is empty — the `Mailboxes::quiescent()` half of the
+/// termination rule, checked last precisely because an idle vote can
+/// go stale the moment a publish lands after it.
+///
+/// `publish_release = false` severs the flag's release edge: the
+/// receiver's acquire swap no longer orders the slot write, so the
+/// frontier read is a data race — the cross-shard lost-update class.
+/// `apply_before_idle = false` reorders the receiver to vote idle
+/// before applying its inbox: the schedule where the detector samples
+/// the votes inside that window declares the fixpoint with a message
+/// still in flight — the premature-termination class.
+pub fn shard_exchange(publish_release: bool, apply_before_idle: bool) {
+    let slot = Arc::new(McCell::new("mailbox.slot", 0u64));
+    let flag = Arc::new(McAtomicBool::new("mailbox.flag", false));
+    // Atomic (unlike the payload slot) so the idle-before-apply defect
+    // is a pure termination bug, not a data race on the applied label.
+    let applied = Arc::new(McAtomicU64::new("shard1.applied", 0));
+    let sender_idle = Arc::new(McAtomicBool::new("shard0.idle", false));
+    let receiver_idle = Arc::new(McAtomicBool::new("shard1.idle", false));
+
+    let sender = {
+        let slot = Arc::clone(&slot);
+        let flag = Arc::clone(&flag);
+        let sender_idle = Arc::clone(&sender_idle);
+        thread::spawn("shard0", move || {
+            slot.write(42);
+            let order = if publish_release { Ordering::Release } else { Ordering::Relaxed };
+            flag.store(true, order);
+            sender_idle.store(true, Ordering::Release);
+        })
+    };
+
+    let receiver = {
+        let slot = Arc::clone(&slot);
+        let flag = Arc::clone(&flag);
+        let applied = Arc::clone(&applied);
+        let receiver_idle = Arc::clone(&receiver_idle);
+        thread::spawn("shard1", move || {
+            // One inbox sweep, as in the runner's `exchange()`: consume
+            // the flag, apply the frontier, then vote idle.
+            if apply_before_idle {
+                if flag.swap(false, Ordering::Acquire) {
+                    applied.store(slot.read(), Ordering::Relaxed);
+                }
+                receiver_idle.store(true, Ordering::Release);
+            } else {
+                // Defect: idle voted between the swap and the apply —
+                // the detector can observe "idle + empty mailbox" while
+                // the frontier sits unapplied in this window.
+                let seen = flag.swap(false, Ordering::Acquire);
+                receiver_idle.store(true, Ordering::Release);
+                if seen {
+                    applied.store(slot.read(), Ordering::Relaxed);
+                }
+            }
+        })
+    };
+
+    let detector = {
+        let flag = Arc::clone(&flag);
+        let applied = Arc::clone(&applied);
+        let sender_idle = Arc::clone(&sender_idle);
+        let receiver_idle = Arc::clone(&receiver_idle);
+        thread::spawn("detector", move || {
+            // Termination rule, mailbox last: the acquire of a true
+            // sender vote orders the publish before the flag load, so a
+            // missed message keeps the flag set and the fixpoint open;
+            // the flag only returns to zero through the receiver's
+            // consuming swap.
+            let quiescent = receiver_idle.load(Ordering::Acquire)
+                && sender_idle.load(Ordering::Acquire)
+                && !flag.load(Ordering::Acquire);
+            if quiescent {
+                assert_eq!(
+                    applied.load(Ordering::Relaxed),
+                    42,
+                    "fixpoint declared with an undelivered frontier"
+                );
+            }
+        })
+    };
+
+    sender.join();
+    receiver.join();
+    detector.join();
+}
+
+/// The clean exchange (released publish, apply before the idle vote).
+pub fn shard_exchange_clean() {
+    shard_exchange(true, true);
 }

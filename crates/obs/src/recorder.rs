@@ -406,6 +406,7 @@ mod tests {
             wall_ns,
             workers: Vec::new(),
             req: 7,
+            shard: 0,
         }
     }
 

@@ -129,6 +129,7 @@ mod tests {
             wall_ns: 10,
             workers: Vec::new(),
             req,
+            shard: 0,
         }
     }
 

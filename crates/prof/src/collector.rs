@@ -11,6 +11,7 @@ use crate::sample::LaunchSample;
 struct KernelAgg {
     name: String,
     shape: &'static str,
+    shard: u32,
     launches: u64,
     blocks: u64,
     threads: u64,
@@ -32,6 +33,9 @@ pub struct KernelStats {
     pub name: String,
     /// Launch shape.
     pub shape: String,
+    /// Shard the launches ran on (0 = single-pool; `ecl-shard` runs
+    /// produce one record per (kernel, shard) pair).
+    pub shard: u32,
     /// Launches folded into this record.
     pub launches: u64,
     /// Blocks executed across all launches.
@@ -51,8 +55,8 @@ pub struct KernelStats {
     pub claims: u64,
 }
 
-/// Thread-safe collector of launch samples, grouped by kernel name in
-/// first-seen order. Installed globally through [`crate::sink`];
+/// Thread-safe collector of launch samples, grouped by (kernel name,
+/// shard) in first-seen order. Installed globally through [`crate::sink`];
 /// recording takes a short mutex (launch completion is coarse-grained
 /// — hundreds per run, not millions).
 #[derive(Debug, Default)]
@@ -72,25 +76,27 @@ impl Collector {
         let busy: u64 = sample.workers.iter().map(|w| w.busy_ns).sum();
         let span = sample.wall_ns.saturating_mul(sample.workers.len() as u64);
         let mut kernels = self.kernels.lock().unwrap_or_else(|e| e.into_inner());
-        let agg = match kernels.iter_mut().find(|k| k.name == sample.kernel) {
-            Some(agg) => agg,
-            None => {
-                kernels.push(KernelAgg {
-                    name: sample.kernel.clone(),
-                    shape: sample.shape,
-                    launches: 0,
-                    blocks: 0,
-                    threads: 0,
-                    wall_ns: LogSketch::new(),
-                    imbalance_milli: LogSketch::new(),
-                    busy_ns_total: 0,
-                    span_ns_total: 0,
-                    claim_wait_ns_total: 0,
-                    claims_total: 0,
-                });
-                kernels.last_mut().expect("just pushed")
-            }
-        };
+        let agg =
+            match kernels.iter_mut().find(|k| k.name == sample.kernel && k.shard == sample.shard) {
+                Some(agg) => agg,
+                None => {
+                    kernels.push(KernelAgg {
+                        name: sample.kernel.clone(),
+                        shape: sample.shape,
+                        shard: sample.shard,
+                        launches: 0,
+                        blocks: 0,
+                        threads: 0,
+                        wall_ns: LogSketch::new(),
+                        imbalance_milli: LogSketch::new(),
+                        busy_ns_total: 0,
+                        span_ns_total: 0,
+                        claim_wait_ns_total: 0,
+                        claims_total: 0,
+                    });
+                    kernels.last_mut().expect("just pushed")
+                }
+            };
         agg.launches += 1;
         agg.blocks += sample.blocks;
         agg.threads += sample.threads();
@@ -118,6 +124,7 @@ impl Collector {
             .map(|k| KernelStats {
                 name: k.name.clone(),
                 shape: k.shape.to_string(),
+                shard: k.shard,
                 launches: k.launches,
                 blocks: k.blocks,
                 threads: k.threads,
@@ -153,6 +160,7 @@ mod tests {
                 .map(|&b| WorkerStat { blocks: 2, claims: 1, busy_ns: b })
                 .collect(),
             req: 0,
+            shard: 0,
         }
     }
 
@@ -188,6 +196,23 @@ mod tests {
         let snap = c.snapshot();
         assert_eq!(snap[0].imbalance_milli.count, 1);
         assert_eq!(snap[0].imbalance_milli.min, 1000);
+    }
+
+    #[test]
+    fn shards_do_not_collapse_into_one_series() {
+        let c = Collector::new();
+        let mut a = sample("sweep", 100, &[50]);
+        let mut b = sample("sweep", 200, &[70]);
+        a.shard = 0;
+        b.shard = 3;
+        c.record(&a);
+        c.record(&b);
+        c.record(&a);
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 2, "one record per (kernel, shard)");
+        assert_eq!((snap[0].shard, snap[0].launches), (0, 2));
+        assert_eq!((snap[1].shard, snap[1].launches), (3, 1));
+        assert_eq!(snap[1].wall_ns.min, 200);
     }
 
     #[test]

@@ -70,15 +70,22 @@ pub fn to_prometheus(manifest: &Manifest) -> String {
     }
 
     if !manifest.kernels.is_empty() {
+        // The shard label only appears once a manifest actually holds
+        // multi-pool samples: single-pool manifests (every kernel on
+        // shard 0) keep their historical label set, so existing
+        // scrapers and dashboards see byte-identical series.
+        let sharded = manifest.kernels.iter().any(|k| k.shard != 0);
+        let kernel_labels = |k: &crate::collector::KernelStats| {
+            if sharded {
+                format!("kernel=\"{}\",shard=\"{}\"", label(&k.name), k.shard)
+            } else {
+                format!("kernel=\"{}\"", label(&k.name))
+            }
+        };
         out.push_str("# HELP ecl_kernel_wall_ns Per-launch wall time by kernel.\n");
         out.push_str("# TYPE ecl_kernel_wall_ns summary\n");
         for k in &manifest.kernels {
-            write_sketch(
-                &mut out,
-                "ecl_kernel_wall_ns",
-                &format!("kernel=\"{}\"", label(&k.name)),
-                &k.wall_ns,
-            );
+            write_sketch(&mut out, "ecl_kernel_wall_ns", &kernel_labels(k), &k.wall_ns);
         }
         out.push_str("# HELP ecl_kernel_imbalance_milli Per-launch load-imbalance factor x1000.\n");
         out.push_str("# TYPE ecl_kernel_imbalance_milli summary\n");
@@ -86,7 +93,7 @@ pub fn to_prometheus(manifest: &Manifest) -> String {
             write_sketch(
                 &mut out,
                 "ecl_kernel_imbalance_milli",
-                &format!("kernel=\"{}\"", label(&k.name)),
+                &kernel_labels(k),
                 &k.imbalance_milli,
             );
         }
@@ -95,28 +102,24 @@ pub fn to_prometheus(manifest: &Manifest) -> String {
         for k in &manifest.kernels {
             let _ = writeln!(
                 out,
-                "ecl_kernel_utilization{{kernel=\"{}\"}} {}",
-                label(&k.name),
+                "ecl_kernel_utilization{{{}}} {}",
+                kernel_labels(k),
                 json::num(k.utilization)
             );
         }
         out.push_str("# HELP ecl_kernel_launches_total Launches by kernel.\n");
         out.push_str("# TYPE ecl_kernel_launches_total counter\n");
         for k in &manifest.kernels {
-            let _ = writeln!(
-                out,
-                "ecl_kernel_launches_total{{kernel=\"{}\"}} {}",
-                label(&k.name),
-                k.launches
-            );
+            let _ =
+                writeln!(out, "ecl_kernel_launches_total{{{}}} {}", kernel_labels(k), k.launches);
         }
         out.push_str("# HELP ecl_kernel_claim_wait_ns_total Ticket-claim wait by kernel.\n");
         out.push_str("# TYPE ecl_kernel_claim_wait_ns_total counter\n");
         for k in &manifest.kernels {
             let _ = writeln!(
                 out,
-                "ecl_kernel_claim_wait_ns_total{{kernel=\"{}\"}} {}",
-                label(&k.name),
+                "ecl_kernel_claim_wait_ns_total{{{}}} {}",
+                kernel_labels(k),
                 k.claim_wait_ns
             );
         }
@@ -163,6 +166,7 @@ mod tests {
             kernels: vec![KernelStats {
                 name: "select/flip\"x".into(),
                 shape: "flat".into(),
+                shard: 0,
                 launches: 3,
                 blocks: 24,
                 threads: 768,

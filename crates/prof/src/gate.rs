@@ -227,11 +227,15 @@ pub fn extract_metrics(v: &Value) -> MetricSet {
                 .map(|mm| (mm.name.clone(), mm.direction, mm.samples.clone()))
                 .collect();
             for k in &m.kernels {
-                metrics.push((
-                    format!("kernel/{}/wall_ns_p50", k.name),
-                    Direction::Lower,
-                    vec![k.wall_ns.p50 as f64],
-                ));
+                // Shard 0 keeps the historical metric name so existing
+                // baselines keep gating; multi-pool records gate per
+                // (kernel, shard) pair.
+                let name = if k.shard == 0 {
+                    format!("kernel/{}/wall_ns_p50", k.name)
+                } else {
+                    format!("kernel/{}@s{}/wall_ns_p50", k.name, k.shard)
+                };
+                metrics.push((name, Direction::Lower, vec![k.wall_ns.p50 as f64]));
             }
             return MetricSet { metrics, schema: Some(m.schema) };
         }

@@ -198,12 +198,13 @@ impl Manifest {
         for (i, k) in self.kernels.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "    {{\n      \"name\": \"{}\", \"shape\": \"{}\", \"launches\": {}, \
-                 \"blocks\": {}, \"threads\": {},\n      \"utilization\": {}, \
+                "    {{\n      \"name\": \"{}\", \"shape\": \"{}\", \"shard\": {}, \
+                 \"launches\": {}, \"blocks\": {}, \"threads\": {},\n      \"utilization\": {}, \
                  \"claim_wait_ns\": {}, \"claims\": {},\n      \"wall_ns\": {},\n      \
                  \"imbalance_milli\": {}\n    }}{}",
                 json::escape(&k.name),
                 json::escape(&k.shape),
+                k.shard,
                 k.launches,
                 k.blocks,
                 k.threads,
@@ -287,6 +288,9 @@ impl Manifest {
                 Some(KernelStats {
                     name: k.get("name")?.as_str()?.to_string(),
                     shape: k.get("shape").and_then(Value::as_str).unwrap_or("").to_string(),
+                    // Default 0 so manifests written before the shard
+                    // dimension existed keep parsing (and gating).
+                    shard: k.get("shard").and_then(Value::as_f64).unwrap_or(0.0) as u32,
                     launches: k.get("launches")?.as_f64()? as u64,
                     blocks: k.get("blocks").and_then(Value::as_f64).unwrap_or(0.0) as u64,
                     threads: k.get("threads").and_then(Value::as_f64).unwrap_or(0.0) as u64,
@@ -343,6 +347,7 @@ mod tests {
             kernels: vec![crate::collector::KernelStats {
                 name: "init".into(),
                 shape: "flat".into(),
+                shard: 2,
                 launches: 5,
                 blocks: 40,
                 threads: 1280,
@@ -370,6 +375,7 @@ mod tests {
         assert_eq!(back.metrics[0].direction, Direction::Lower);
         assert_eq!(back.metrics[0].samples, vec![0.11, 0.12, 0.10]);
         assert_eq!(back.kernels.len(), 1);
+        assert_eq!(back.kernels[0].shard, 2);
         assert_eq!(back.kernels[0].wall_ns, m.kernels[0].wall_ns);
         assert_eq!(back.distributions[0].1, m.distributions[0].1);
     }
@@ -379,6 +385,23 @@ mod tests {
         let text = demo().to_json();
         let v = crate::json::parse(&text).unwrap();
         assert_eq!(v.get("schema").unwrap().as_str(), Some(SCHEMA));
+    }
+
+    #[test]
+    fn kernels_without_shard_field_parse_as_shard_zero() {
+        // Manifests from before the shard dimension keep loading.
+        let m = Manifest::from_json(
+            r#"{"schema": "ecl-prof/1", "kernels": [
+                {"name": "init", "shape": "flat", "launches": 1,
+                 "wall_ns": {"count": 1, "sum": 5, "min": 5, "max": 5,
+                             "p50": 5, "p90": 5, "p99": 5, "buckets": [[3, 1]]},
+                 "imbalance_milli": {"count": 0, "sum": 0, "min": 0, "max": 0,
+                                     "p50": 0, "p90": 0, "p99": 0, "buckets": []}}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(m.kernels.len(), 1);
+        assert_eq!(m.kernels[0].shard, 0);
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub struct LaunchSample {
     /// Originating request id (`ecl-obs` correlation; 0 = no request
     /// context, e.g. CLI runs).
     pub req: u64,
+    /// Shard (simulated device instance) the launch ran on. 0 for
+    /// single-pool runs, so existing output is unchanged; `ecl-shard`
+    /// multi-pool runs attach the ambient shard id via
+    /// `ecl_gpusim::shard`, which keeps concurrent pool instances from
+    /// collapsing into one series.
+    pub shard: u32,
 }
 
 impl LaunchSample {
@@ -94,6 +100,7 @@ mod tests {
             wall_ns,
             workers,
             req: 0,
+            shard: 0,
         }
     }
 

@@ -100,6 +100,7 @@ mod tests {
             wall_ns: 10,
             workers: vec![WorkerStat { blocks: 2, claims: 1, busy_ns: 8 }],
             req: 0,
+            shard: 0,
         }
     }
 

@@ -25,9 +25,15 @@ pub const SCC_MIN_SMS: usize = 8;
 /// harness's `scaled_device_min` (serve cannot depend on ecl-bench —
 /// the bench crate hosts the serve binaries).
 pub fn scaled_device(scale: f64, min_sms: usize) -> Device {
+    Device::new(scaled_config(scale, min_sms))
+}
+
+/// The configuration behind [`scaled_device`]; the sharded path builds
+/// one identical device per shard from it.
+pub fn scaled_config(scale: f64, min_sms: usize) -> DeviceConfig {
     let full = DeviceConfig::rtx4090();
     let num_sms = ((full.num_sms as f64 * scale).round() as usize).max(min_sms).max(1);
-    Device::new(DeviceConfig { num_sms, ..full })
+    DeviceConfig { num_sms, ..full }
 }
 
 /// The deterministic, bit-comparable result of one job.
@@ -111,6 +117,16 @@ pub fn execute(spec: &JobSpec, catalog: &Arc<GraphCatalog>) -> Result<RunOutput,
     }
 
     let min_sms = if spec.algo == Algo::Scc { SCC_MIN_SMS } else { 1 };
+
+    // Multi-pool path: shard the graph across `spec.shards` modeled
+    // GPUs and run the algorithm through ecl-shard. Results are
+    // bit-identical to single-pool (see crates/shard), but modeled
+    // time and the shard aggregates are not — the cache key's shard
+    // count keeps the entries separate.
+    if spec.shards > 1 {
+        return execute_sharded(spec, &resolved, structure, min_sms);
+    }
+
     let device = scaled_device(spec.scale, min_sms);
 
     // Tuned-schedule attachment: the catalog pinned the best-known
@@ -221,6 +237,76 @@ pub fn execute(spec: &JobSpec, catalog: &Arc<GraphCatalog>) -> Result<RunOutput,
         aggregates,
         modeled_time: device.modeled_time(),
         tuned,
+    })
+}
+
+/// Runs `spec` across `spec.shards` modeled GPUs through ecl-shard.
+///
+/// CC/MIS/SCC produce the same solution checksums as the single-pool
+/// kernels (ecl-shard's fixpoints are bit-identical at every shard
+/// count); GC and MST have no sharded implementation and fail cleanly.
+/// Manifest schedules tune single-pool dispatch knobs and are not
+/// applied here, so sharded runs always report `tuned: false`.
+fn execute_sharded(
+    spec: &JobSpec,
+    resolved: &crate::catalog::ResolvedGraph,
+    structure: &ecl_graph::Csr,
+    min_sms: usize,
+) -> Result<RunOutput, String> {
+    if matches!(spec.algo, Algo::Gc | Algo::Mst) {
+        return Err(format!(
+            "{} does not support sharded execution (cc|mis|scc only)",
+            spec.algo.name()
+        ));
+    }
+    let g = resolved.csr.as_ref().ok_or("internal: unweighted view missing")?;
+    let part = ecl_shard::Partition::auto(g, spec.shards);
+    let devices = ecl_shard::devices_for(scaled_config(spec.scale, min_sms), spec.shards);
+    let (mut aggregates, stats) = match spec.algo {
+        Algo::Cc => {
+            let r = ecl_shard::run_cc(&devices, g, &part);
+            (
+                vec![
+                    ("num_components", r.num_components() as u64),
+                    ("labels_checksum", checksum_u32(&r.labels)),
+                ],
+                r.stats,
+            )
+        }
+        Algo::Mis => {
+            let salt = ecl_mis::MisConfig::seeded(spec.seed).tie_salt;
+            let r = ecl_shard::run_mis(&devices, g, &part, salt);
+            let set: Vec<u32> = r.in_set.iter().map(|&b| b as u32).collect();
+            (vec![("set_size", r.set_size() as u64), ("set_checksum", checksum_u32(&set))], r.stats)
+        }
+        Algo::Scc => {
+            let r = ecl_shard::run_scc(&devices, g, &part);
+            (
+                vec![
+                    ("num_sccs", r.num_sccs() as u64),
+                    ("outer_iterations", r.outer_iterations as u64),
+                    ("labels_checksum", checksum_u32(&r.labels)),
+                ],
+                r.stats,
+            )
+        }
+        Algo::Gc | Algo::Mst => unreachable!("rejected above"),
+    };
+    aggregates.extend([
+        ("shards", stats.shards as u64),
+        ("cut_arcs", stats.cut_arcs as u64),
+        ("supersteps", stats.supersteps as u64),
+        ("exchange_messages", stats.exchange_messages),
+    ]);
+    Ok(RunOutput {
+        algo: spec.algo,
+        graph: resolved.name.clone(),
+        graph_hash: resolved.content_hash,
+        vertices: structure.num_vertices(),
+        arcs: structure.num_arcs(),
+        aggregates,
+        modeled_time: stats.modeled_time,
+        tuned: false,
     })
 }
 
@@ -377,6 +463,56 @@ mod tests {
             base.aggregate("set_checksum"),
             "seed-derived salt must win over the manifest salt"
         );
+    }
+
+    #[test]
+    fn sharded_cc_matches_single_pool_checksums() {
+        let cat = catalog();
+        let mut spec = JobSpec::new(Algo::Cc, "internet");
+        let single = execute(&spec, &cat).unwrap();
+        spec.shards = 4;
+        let sharded = execute(&spec, &cat).unwrap();
+        assert_eq!(sharded.aggregate("labels_checksum"), single.aggregate("labels_checksum"));
+        assert_eq!(sharded.aggregate("num_components"), single.aggregate("num_components"));
+        assert_eq!(sharded.aggregate("shards"), Some(4));
+        assert!(sharded.aggregate("supersteps").unwrap() > 0);
+        assert!(!sharded.tuned);
+    }
+
+    #[test]
+    fn sharded_mis_seed_controls_tie_salt() {
+        let cat = catalog();
+        let mut spec = JobSpec::new(Algo::Mis, "internet");
+        spec.seed = 9;
+        let single = execute(&spec, &cat).unwrap();
+        spec.shards = 2;
+        let sharded = execute(&spec, &cat).unwrap();
+        assert_eq!(sharded.aggregate("set_checksum"), single.aggregate("set_checksum"));
+        assert_eq!(sharded.aggregate("set_size"), single.aggregate("set_size"));
+    }
+
+    #[test]
+    fn sharded_scc_matches_single_pool() {
+        let cat = catalog();
+        let name = ecl_graphgen::registry::scc_inputs()[0].name;
+        let mut spec = JobSpec::new(Algo::Scc, name);
+        let single = execute(&spec, &cat).unwrap();
+        spec.shards = 3;
+        let sharded = execute(&spec, &cat).unwrap();
+        assert_eq!(sharded.aggregate("labels_checksum"), single.aggregate("labels_checksum"));
+        assert_eq!(sharded.aggregate("num_sccs"), single.aggregate("num_sccs"));
+        assert_eq!(sharded.aggregate("outer_iterations"), single.aggregate("outer_iterations"));
+    }
+
+    #[test]
+    fn sharded_gc_and_mst_fail_cleanly() {
+        let cat = catalog();
+        let mut gc = JobSpec::new(Algo::Gc, "internet");
+        gc.shards = 2;
+        assert!(execute(&gc, &cat).unwrap_err().contains("sharded"));
+        let mut mst = JobSpec::new(Algo::Mst, "USA-road-d.NY");
+        mst.shards = 2;
+        assert!(execute(&mst, &cat).unwrap_err().contains("sharded"));
     }
 
     #[test]

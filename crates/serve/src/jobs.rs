@@ -94,6 +94,10 @@ pub struct JobSpec {
     pub seed: u64,
     /// SCC/GC block size override.
     pub block_size: Option<usize>,
+    /// Number of dispatch-pool shards (modeled GPUs). 1 = single-pool
+    /// execution through the ordinary kernels; >1 routes CC/MIS/SCC
+    /// through `ecl-shard` with one device per shard.
+    pub shards: u32,
     /// Relative deadline; a job that has not *started* by then is
     /// failed with `deadline-exceeded` instead of running.
     pub deadline_ms: Option<u64>,
@@ -110,6 +114,7 @@ impl JobSpec {
             scale: 0.001,
             seed: 0,
             block_size: None,
+            shards: 1,
             deadline_ms: None,
             fault: Fault::None,
         }
@@ -120,12 +125,17 @@ impl JobSpec {
     /// order. (Deadline and fault do not change *what* is computed.)
     pub fn param_key(&self) -> String {
         format!(
-            "algo={};scale={};seed={};block_size={}",
+            "algo={};scale={};seed={};block_size={};shards={}",
             self.algo.name(),
             // Exact bit pattern: 0.1 and 0.1000001 must not collide.
             self.scale.to_bits(),
             self.seed,
             self.block_size.map_or(-1i64, |b| b as i64),
+            // Sharded and single-pool runs share a cache entry only if
+            // bit-identical — which they are for results, but not for
+            // modeled time, so the shard count is always part of the
+            // key.
+            self.shards,
         )
     }
 }
@@ -440,10 +450,12 @@ mod tests {
         c.scale = 0.0011;
         let mut d = a.clone();
         d.block_size = Some(64);
-        let mut keys: Vec<String> = [&a, &b, &c, &d].iter().map(|s| s.param_key()).collect();
+        let mut f = a.clone();
+        f.shards = 4;
+        let mut keys: Vec<String> = [&a, &b, &c, &d, &f].iter().map(|s| s.param_key()).collect();
         keys.sort();
         keys.dedup();
-        assert_eq!(keys.len(), 4);
+        assert_eq!(keys.len(), 5);
         // Deadline and fault do NOT affect the key.
         let mut e = a.clone();
         e.deadline_ms = Some(5);

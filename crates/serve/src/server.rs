@@ -516,6 +516,11 @@ fn parse_job_spec(body: &[u8]) -> Result<(JobSpec, Option<u64>), String> {
             return Err(format!("block_size must be in [1, 1024], got {bs}"));
         }
     }
+    let shards = match v.get("shards").and_then(Value::as_f64) {
+        Some(s) if (1.0..=64.0).contains(&s) && s.fract() == 0.0 => s as u32,
+        Some(s) => return Err(format!("shards must be an integer in [1, 64], got {s}")),
+        None => 1,
+    };
     let deadline_ms = v.get("deadline_ms").and_then(Value::as_f64).map(|d| d as u64);
     let wait_ms = v.get("wait_ms").and_then(Value::as_f64).map(|w| (w as u64).min(MAX_WAIT_MS));
     let fault = match v.get("fault").and_then(Value::as_str) {
@@ -527,7 +532,7 @@ fn parse_job_spec(body: &[u8]) -> Result<(JobSpec, Option<u64>), String> {
             None => Fault::None,
         },
     };
-    Ok((JobSpec { algo, graph, scale, seed, block_size, deadline_ms, fault }, wait_ms))
+    Ok((JobSpec { algo, graph, scale, seed, block_size, shards, deadline_ms, fault }, wait_ms))
 }
 
 fn submit_job(req: &Request, shared: &Arc<ServerShared>, req_id: u64) -> Routed {

@@ -38,6 +38,7 @@ fn full_rendering() -> String {
         wall_ns: 10_000,
         workers: vec![ecl_prof::WorkerStat { blocks: 64, claims: 64, busy_ns: 9_000 }],
         req: 7,
+        shard: 0,
     });
 
     let slo = ecl_obs::SloEngine::from_spec("cc:p99=5ms,err=1%").expect("valid spec");

@@ -1,0 +1,247 @@
+//! Sharded connected components: Jacobi min-label propagation.
+//!
+//! Every vertex starts labeled with its own global id; each superstep,
+//! every owned vertex pulls the minimum label over itself and its
+//! neighbors (ghost mirrors included) into a next-state buffer. Owners
+//! broadcast changed boundary labels to their mirror holders between
+//! supersteps. The unique fixpoint of min-propagation labels every
+//! vertex with the smallest id in its component — exactly the labels
+//! `ecl_cc::run` produces — so the sharded result is bit-identical to
+//! the single-pool kernel at every shard count.
+//!
+//! The pull-only form needs no owner-directed messages: an undirected
+//! cut edge `{u, v}` is stored as an arc in *both* incident shards, so
+//! each side reads the other through its ghost mirror.
+
+use ecl_gpusim::atomics::atomic_u32_array;
+use ecl_gpusim::{launch_flat_named, CostKind, Device, LaunchConfig, ShardGuard};
+use ecl_graph::Csr;
+
+use crate::exchange::{Mailboxes, Message};
+use crate::partition::Partition;
+use crate::time::ShardClock;
+use crate::{check_devices, ShardStats, BLOCK_SIZE};
+
+/// Result of a sharded CC run.
+#[derive(Debug)]
+pub struct ShardCcResult {
+    /// Component label per global vertex: the minimum vertex id of its
+    /// component (identical to `ecl_cc::run` labels).
+    pub labels: Vec<u32>,
+    /// Run statistics.
+    pub stats: ShardStats,
+}
+
+impl ShardCcResult {
+    /// Number of connected components.
+    pub fn num_components(&self) -> usize {
+        self.labels.iter().enumerate().filter(|&(v, &l)| v as u32 == l).count()
+    }
+}
+
+/// Runs sharded connected components over `part` with one device per
+/// shard.
+///
+/// # Panics
+/// Panics if `g` is directed or `devices.len() != part.shards`.
+pub fn run_cc(devices: &[Device], g: &Csr, part: &Partition) -> ShardCcResult {
+    assert!(!g.is_directed(), "connected components consume undirected graphs");
+    check_devices(devices, part);
+    let graphs = part.shard_graphs(g);
+    let shards = part.shards as usize;
+
+    // Per-shard double-buffered label state over owned + ghost slots,
+    // initialized to global ids by an init kernel on each shard's
+    // device.
+    let mut cur: Vec<Vec<ecl_gpusim::CountedU32>> = Vec::with_capacity(shards);
+    let mut next: Vec<Vec<ecl_gpusim::CountedU32>> = Vec::with_capacity(shards);
+    let mut clock = ShardClock::new();
+    let params = *devices[0].params();
+
+    let mut init_max = 0.0f64;
+    for (s, sg) in graphs.iter().enumerate() {
+        let device = &devices[s];
+        let before = device.modeled_time();
+        let _guard = ShardGuard::enter(s as u32);
+        let globals = &sg.globals;
+        let locals = sg.locals();
+        let labels = atomic_u32_array(locals, |l| globals[l]);
+        launch_flat_named(device, "shard.cc.init", LaunchConfig::cover(locals, BLOCK_SIZE), |t| {
+            if t.global >= locals {
+                device.charge(CostKind::IdleCheck, 1);
+            } else {
+                device.charge(CostKind::ThreadWork, 1);
+            }
+        });
+        next.push(atomic_u32_array(locals, |l| globals[l]));
+        cur.push(labels);
+        init_max = init_max.max(device.modeled_time() - before);
+    }
+    clock.superstep(&params, init_max, 0);
+
+    let mut mail = Mailboxes::new(shards);
+    loop {
+        let mut any_changed = false;
+        let mut sweep_max = 0.0f64;
+        for (s, sg) in graphs.iter().enumerate() {
+            let device = &devices[s];
+            let before = device.modeled_time();
+            let _guard = ShardGuard::enter(s as u32);
+
+            // Refresh ghost mirrors from the inbox (host-side apply;
+            // the modeled transfer cost lives in the clock's exchange
+            // term).
+            for msg in mail.take_inbox(s as u32) {
+                let l = sg
+                    .ghost_local(msg.vertex)
+                    .expect("mirror update for a vertex this shard does not ghost");
+                cur[s][l].store(msg.payload as u32);
+            }
+
+            // Jacobi sweep: thread v reads the cur snapshot and writes
+            // next[v] exclusively — worker interleaving cannot affect
+            // the outcome.
+            let owned = sg.owned;
+            let csr = &sg.csr;
+            let (cur_s, next_s) = (&cur[s], &next[s]);
+            launch_flat_named(
+                device,
+                "shard.cc.sweep",
+                LaunchConfig::cover(owned, BLOCK_SIZE),
+                |t| {
+                    if t.global >= owned {
+                        device.charge(CostKind::IdleCheck, 1);
+                        return;
+                    }
+                    let v = t.global;
+                    let mut m = cur_s[v].load();
+                    for &u in csr.neighbors(v as u32) {
+                        m = m.min(cur_s[u as usize].load());
+                    }
+                    device.charge(CostKind::ThreadWork, 1 + csr.degree(v as u32) as u64);
+                    next_s[v].store(m);
+                },
+            );
+
+            // Commit next -> cur and queue mirror refreshes for
+            // changed boundary vertices (ascending local order keeps
+            // the message stream deterministic).
+            for v in 0..owned {
+                let new = next[s][v].load();
+                if new != cur[s][v].load() {
+                    any_changed = true;
+                    cur[s][v].store(new);
+                    if sg.ghost_of[v] != 0 {
+                        mail.broadcast(
+                            s as u32,
+                            sg.ghost_of[v],
+                            Message { vertex: sg.globals[v], payload: new as u64 },
+                        );
+                    }
+                }
+            }
+            sweep_max = sweep_max.max(device.modeled_time() - before);
+        }
+        let moved = mail.flush();
+        clock.superstep(&params, sweep_max, moved);
+        // Global fixpoint: every shard quiet and every mailbox
+        // drained.
+        if !any_changed && mail.quiescent() {
+            break;
+        }
+    }
+
+    let mut labels = vec![0u32; g.num_vertices()];
+    for (s, sg) in graphs.iter().enumerate() {
+        for v in 0..sg.owned {
+            labels[sg.globals[v] as usize] = cur[s][v].load();
+        }
+    }
+    ShardCcResult {
+        labels,
+        stats: ShardStats {
+            shards: part.shards,
+            strategy: part.strategy,
+            cut_arcs: part.cut_arcs,
+            total_arcs: part.total_arcs,
+            supersteps: clock.supersteps(),
+            exchange_messages: clock.messages(),
+            modeled_time: clock.total(),
+        },
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::devices_for;
+    use crate::partition::Strategy;
+    use ecl_gpusim::DeviceConfig;
+    use ecl_graph::GraphBuilder;
+
+    fn run_sharded(g: &Csr, shards: u32) -> ShardCcResult {
+        let part = Partition::new(g, shards, Strategy::Contiguous);
+        let devices = devices_for(DeviceConfig::test_small(), shards);
+        run_cc(&devices, g, &part)
+    }
+
+    #[test]
+    fn matches_reference_across_shard_counts() {
+        let g = ecl_graphgen::random::erdos_renyi(400, 2.0, 11);
+        let expect = ecl_ref::connected_components(&g);
+        for shards in [1u32, 2, 3, 4] {
+            let r = run_sharded(&g, shards);
+            assert_eq!(r.labels, expect, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn matches_single_pool_kernel() {
+        let g = ecl_graphgen::grid::torus_2d(12, 12);
+        let single = ecl_cc::run(&Device::test_small(), &g, &ecl_cc::CcConfig::baseline());
+        let r = run_sharded(&g, 4);
+        assert_eq!(r.labels, single.labels);
+        assert_eq!(r.num_components(), 1);
+    }
+
+    #[test]
+    fn disconnected_components_stay_separate() {
+        let mut b = GraphBuilder::new_undirected(8);
+        b.add_edge(0, 7); // spans the whole id range: always cut at 2+.
+        b.add_edge(3, 4);
+        let g = b.build();
+        let r = run_sharded(&g, 4);
+        assert_eq!(r.labels, vec![0, 1, 2, 3, 3, 5, 6, 0]);
+        assert_eq!(r.num_components(), 6);
+        assert!(r.stats.exchange_messages > 0, "cut edge must exchange");
+    }
+
+    #[test]
+    fn repeated_runs_bit_identical() {
+        let g = ecl_graphgen::grid::torus_2d(10, 10);
+        let a = run_sharded(&g, 3);
+        let b = run_sharded(&g, 3);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.stats.supersteps, b.stats.supersteps);
+        assert_eq!(a.stats.exchange_messages, b.stats.exchange_messages);
+        assert_eq!(a.stats.modeled_time.to_bits(), b.stats.modeled_time.to_bits());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5, false);
+        let r = run_sharded(&g, 2);
+        assert_eq!(r.labels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.stats.exchange_messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one device per shard")]
+    fn device_count_mismatch_rejected() {
+        let g = Csr::empty(4, false);
+        let part = Partition::new(&g, 2, Strategy::Contiguous);
+        let devices = devices_for(DeviceConfig::test_small(), 1);
+        run_cc(&devices, &g, &part);
+    }
+}

@@ -1,0 +1,180 @@
+//! Double-buffered cross-shard mailboxes.
+//!
+//! During a superstep each shard pushes messages into per-destination
+//! *outboxes*; after every shard has swept, [`Mailboxes::flush`] moves
+//! the outboxes into the destinations' *inboxes*, merging in ascending
+//! source-shard order. Shards consume their inbox at the start of the
+//! next superstep. The double buffer gives the exchange synchronous
+//! (Jacobi) semantics: nothing a shard sends is visible to any shard —
+//! including itself — before the next superstep, so results do not
+//! depend on the order shards are swept in.
+//!
+//! Determinism: sends from one shard preserve program order, flush
+//! concatenates source shards in ascending order, and inboxes are
+//! consumed as delivered. Any two runs that issue the same sends
+//! deliver the same inboxes in the same order.
+//!
+//! The global fixpoint detector ([`Mailboxes::quiescent`]) reflects
+//! the termination rule of every sharded algorithm here: a run may
+//! stop only when no shard changed local state **and** no message is
+//! buffered anywhere — an in-flight message can wake an otherwise
+//! quiet shard, so draining the mailboxes is part of the fixpoint.
+
+/// One cross-shard message: a global vertex id plus an
+/// algorithm-defined payload (a CC label, packed SCC signatures, or a
+/// MIS status byte).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Global vertex id the payload refers to.
+    pub vertex: u32,
+    /// Algorithm-defined payload.
+    pub payload: u64,
+}
+
+/// Double-buffered per-shard outbox/inbox matrix.
+#[derive(Debug)]
+pub struct Mailboxes {
+    shards: usize,
+    /// `out[src][dst]`: messages produced by `src` for `dst` this
+    /// superstep.
+    out: Vec<Vec<Vec<Message>>>,
+    /// `inbox[dst]`: messages delivered by the last flush.
+    inbox: Vec<Vec<Message>>,
+    total: u64,
+}
+
+impl Mailboxes {
+    /// Empty mailboxes for `shards` shards.
+    pub fn new(shards: usize) -> Mailboxes {
+        Mailboxes {
+            shards,
+            out: (0..shards).map(|_| vec![Vec::new(); shards]).collect(),
+            inbox: vec![Vec::new(); shards],
+            total: 0,
+        }
+    }
+
+    /// Queues `msg` from shard `src` to shard `dst` for delivery at
+    /// the next flush.
+    #[inline]
+    pub fn send(&mut self, src: u32, dst: u32, msg: Message) {
+        self.out[src as usize][dst as usize].push(msg);
+    }
+
+    /// Queues `msg` from `src` to every shard named in the holder
+    /// bitmask (bit `s` = shard `s`), the owner-to-mirrors broadcast.
+    pub fn broadcast(&mut self, src: u32, holders: u64, msg: Message) {
+        let mut mask = holders;
+        while mask != 0 {
+            let dst = mask.trailing_zeros();
+            self.send(src, dst, msg);
+            mask &= mask - 1;
+        }
+    }
+
+    /// Delivers all outboxes into the destination inboxes, merging in
+    /// ascending source-shard order, and returns the number of
+    /// messages moved. Undelivered inbox remnants are dropped first —
+    /// callers consume inboxes exactly once per superstep.
+    pub fn flush(&mut self) -> u64 {
+        let mut moved = 0u64;
+        for dst in 0..self.shards {
+            self.inbox[dst].clear();
+            for src in 0..self.shards {
+                let box_ = &mut self.out[src][dst];
+                moved += box_.len() as u64;
+                self.inbox[dst].append(box_);
+            }
+        }
+        self.total += moved;
+        moved
+    }
+
+    /// Takes shard `dst`'s delivered messages (empties the inbox).
+    pub fn take_inbox(&mut self, dst: u32) -> Vec<Message> {
+        std::mem::take(&mut self.inbox[dst as usize])
+    }
+
+    /// True when no message is buffered anywhere: all outboxes and all
+    /// inboxes are empty. Part of the global fixpoint test.
+    pub fn quiescent(&self) -> bool {
+        self.inbox.iter().all(Vec::is_empty)
+            && self.out.iter().all(|row| row.iter().all(Vec::is_empty))
+    }
+
+    /// Total messages delivered over the run's lifetime (the exchange
+    /// volume reported in benchmarks).
+    pub fn total_messages(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_quiescent() {
+        let m = Mailboxes::new(3);
+        assert!(m.quiescent());
+        assert_eq!(m.total_messages(), 0);
+    }
+
+    #[test]
+    fn send_breaks_quiescence_until_consumed() {
+        let mut m = Mailboxes::new(2);
+        m.send(0, 1, Message { vertex: 7, payload: 42 });
+        assert!(!m.quiescent(), "pending outbox");
+        assert_eq!(m.flush(), 1);
+        assert!(!m.quiescent(), "delivered but unconsumed inbox");
+        assert_eq!(m.take_inbox(1), vec![Message { vertex: 7, payload: 42 }]);
+        assert!(m.quiescent());
+        assert_eq!(m.total_messages(), 1);
+    }
+
+    #[test]
+    fn flush_merges_in_ascending_source_order() {
+        let mut m = Mailboxes::new(3);
+        m.send(2, 0, Message { vertex: 20, payload: 0 });
+        m.send(0, 0, Message { vertex: 1, payload: 0 });
+        m.send(1, 0, Message { vertex: 10, payload: 0 });
+        m.send(1, 0, Message { vertex: 11, payload: 0 });
+        m.flush();
+        let got: Vec<u32> = m.take_inbox(0).iter().map(|msg| msg.vertex).collect();
+        assert_eq!(got, vec![1, 10, 11, 20]);
+    }
+
+    #[test]
+    fn double_buffering_delays_delivery_one_flush() {
+        let mut m = Mailboxes::new(2);
+        m.send(0, 1, Message { vertex: 1, payload: 1 });
+        m.flush();
+        // A send during the "next superstep" is not visible in the
+        // already-delivered inbox.
+        m.send(0, 1, Message { vertex: 2, payload: 2 });
+        assert_eq!(m.take_inbox(1).len(), 1);
+        m.flush();
+        assert_eq!(m.take_inbox(1), vec![Message { vertex: 2, payload: 2 }]);
+    }
+
+    #[test]
+    fn broadcast_hits_every_holder_bit() {
+        let mut m = Mailboxes::new(4);
+        m.broadcast(1, 0b1101, Message { vertex: 5, payload: 9 });
+        assert_eq!(m.flush(), 3);
+        assert_eq!(m.take_inbox(0).len(), 1);
+        assert!(m.take_inbox(1).is_empty(), "bit 1 unset: no self message");
+        assert_eq!(m.take_inbox(2).len(), 1);
+        assert_eq!(m.take_inbox(3).len(), 1);
+    }
+
+    #[test]
+    fn self_send_still_buffers_one_superstep() {
+        let mut m = Mailboxes::new(1);
+        m.send(0, 0, Message { vertex: 0, payload: 3 });
+        assert!(!m.quiescent());
+        m.flush();
+        assert_eq!(m.take_inbox(0).len(), 1);
+    }
+}

@@ -81,6 +81,7 @@ where
             })
             .collect(),
         req: ecl_obs::ctx::current(),
+        shard: crate::shard::current(),
     };
     if prof {
         ecl_prof::sink::on_launch(&sample);

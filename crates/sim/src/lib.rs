@@ -37,6 +37,7 @@ pub mod launch;
 pub mod pool;
 pub mod profile;
 pub mod schedule;
+pub mod shard;
 pub mod timing;
 
 pub use atomics::{CountedU32, CountedU64, CountedU8};
@@ -51,4 +52,5 @@ pub use launch::{
 pub use pool::{ticket_range, DispatchMode, DispatchPolicy};
 pub use profile::{KernelProfile, KernelRecord};
 pub use schedule::{default_schedule, knob_registry, KnobDomain, KnobSpec, KnobValue, Schedule};
+pub use shard::ShardGuard;
 pub use timing::run_timed;

@@ -50,11 +50,16 @@ pub enum EventKind {
     /// low 32 bits. Events after this marker on the same thread belong
     /// to that request until the next `ReqCtx` (id 0 = none).
     ReqCtx = 12,
+    /// The recording thread switched shard context (`ecl-shard`
+    /// multi-pool attribution): payload = shard id + 1, 0 = none.
+    /// Events after this marker on the same thread belong to that
+    /// shard's simulated device until the next `ShardCtx`.
+    ShardCtx = 13,
 }
 
 impl EventKind {
     /// All kinds, wire-value ordered.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::KernelLaunch,
         EventKind::BlockStart,
         EventKind::BlockEnd,
@@ -67,6 +72,7 @@ impl EventKind {
         EventKind::Marker,
         EventKind::CheckFinding,
         EventKind::ReqCtx,
+        EventKind::ShardCtx,
     ];
 
     /// Wire value of this kind.
@@ -94,6 +100,7 @@ impl EventKind {
             EventKind::Marker => "marker",
             EventKind::CheckFinding => "check-finding",
             EventKind::ReqCtx => "req-ctx",
+            EventKind::ShardCtx => "shard-ctx",
         }
     }
 }

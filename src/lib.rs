@@ -56,6 +56,10 @@ pub use ecl_mst as mst;
 /// ECL-SCC: strongly connected components ([`ecl_scc`]).
 pub use ecl_scc as scc;
 
+/// Multi-pool sharded execution with cross-shard frontier exchange
+/// ([`ecl_shard`]).
+pub use ecl_shard as shard;
+
 /// Multi-tenant graph-analytics service: catalog, scheduler, result
 /// cache, HTTP surface, load generator ([`ecl_serve`]).
 pub use ecl_serve as serve;

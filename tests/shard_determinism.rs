@@ -1,0 +1,133 @@
+//! Shard-count determinism: the sharded CC/SCC/MIS runners must be
+//! bit-identical to the single-pool kernels at every shard count, and
+//! bit-identical to themselves (including the modeled-time bit
+//! pattern) across repeated runs — the multi-pool analogue of the
+//! PR 3 scheduler-determinism suite.
+//!
+//! The property is structural, not statistical: every sharded sweep is
+//! Jacobi double-buffered and the exchange merges in a fixed shard
+//! order, so there is no interleaving anywhere for a shard count to
+//! expose.
+
+#![allow(clippy::unwrap_used)]
+
+use ecl_suite::{cc, gen, graph, mis, scc, shard, sim};
+use graph::{Csr, GraphBuilder};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [u32; 3] = [1, 2, 4];
+
+fn undirected_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |edges| {
+            let mut b = GraphBuilder::new_undirected(n).drop_self_loops();
+            for (u, v) in edges {
+                b.add_edge(u, v);
+            }
+            b.build()
+        })
+    })
+}
+
+fn directed_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |edges| {
+            let mut b = GraphBuilder::new_directed(n);
+            for (u, v) in edges {
+                b.add_edge(u, v);
+            }
+            b.build()
+        })
+    })
+}
+
+fn devices(shards: u32) -> Vec<sim::Device> {
+    shard::devices_for(sim::DeviceConfig::test_small(), shards)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // CC: labels identical to the single-pool kernel at shards 1/2/4,
+    // and repeated runs at the same shard count agree down to the
+    // modeled-time bits.
+    #[test]
+    fn prop_cc_bit_identical_across_shard_counts(g in undirected_graph(100, 250)) {
+        let single = cc::run(&sim::Device::test_small(), &g, &cc::CcConfig::baseline());
+        for shards in SHARD_COUNTS {
+            let part = shard::Partition::auto(&g, shards);
+            let a = shard::run_cc(&devices(shards), &g, &part);
+            let b = shard::run_cc(&devices(shards), &g, &part);
+            prop_assert_eq!(&a.labels, &single.labels, "{} shards vs single-pool", shards);
+            prop_assert_eq!(&a.labels, &b.labels);
+            prop_assert_eq!(a.stats.supersteps, b.stats.supersteps);
+            prop_assert_eq!(a.stats.exchange_messages, b.stats.exchange_messages);
+            prop_assert_eq!(
+                a.stats.modeled_time.to_bits(),
+                b.stats.modeled_time.to_bits(),
+                "modeled time must be bit-stable at {} shards",
+                shards
+            );
+        }
+    }
+
+    // MIS: the salted greedy set is a pure function of (graph, salt) —
+    // the shard count must not be observable in the selection.
+    #[test]
+    fn prop_mis_bit_identical_across_shard_counts(
+        g in undirected_graph(100, 250),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = mis::MisConfig::seeded(seed);
+        let single = mis::run(&sim::Device::test_small(), &g, &cfg);
+        for shards in SHARD_COUNTS {
+            let part = shard::Partition::auto(&g, shards);
+            let a = shard::run_mis(&devices(shards), &g, &part, cfg.tie_salt);
+            let b = shard::run_mis(&devices(shards), &g, &part, cfg.tie_salt);
+            prop_assert_eq!(&a.in_set, &single.in_set, "{} shards vs single-pool", shards);
+            prop_assert_eq!(&a.in_set, &b.in_set);
+            prop_assert_eq!(a.stats.modeled_time.to_bits(), b.stats.modeled_time.to_bits());
+        }
+    }
+
+    // SCC: labels AND outer-iteration count match the single-pool
+    // kernel — the sharded outer loop must walk the same signature
+    // fixpoints, not merely reach an equivalent partition.
+    #[test]
+    fn prop_scc_bit_identical_across_shard_counts(g in directed_graph(80, 200)) {
+        let single = scc::run(&sim::Device::test_small(), &g, &scc::SccConfig::default());
+        for shards in SHARD_COUNTS {
+            let part = shard::Partition::auto(&g, shards);
+            let a = shard::run_scc(&devices(shards), &g, &part);
+            let b = shard::run_scc(&devices(shards), &g, &part);
+            prop_assert_eq!(&a.labels, &single.labels, "{} shards vs single-pool", shards);
+            prop_assert_eq!(
+                a.outer_iterations, single.outer_iterations,
+                "{} shards must take the same outer iterations", shards
+            );
+            prop_assert_eq!(&a.labels, &b.labels);
+            prop_assert_eq!(a.stats.modeled_time.to_bits(), b.stats.modeled_time.to_bits());
+        }
+    }
+}
+
+/// The CI smoke entry point: a fixed torus/RMAT pair (the same shapes
+/// the shard bench measures) checked across shard counts. Heavier
+/// than a proptest case, deterministic, and fast enough for every run.
+#[test]
+fn generator_inputs_bit_identical_across_shard_counts() {
+    let torus = gen::grid::torus_2d(24, 24);
+    let rmat = gen::rmat::rmat(9, 8.0, gen::rmat::RmatParams::rmat(), 42);
+    for g in [&torus, &rmat] {
+        let single_cc = cc::run(&sim::Device::test_small(), g, &cc::CcConfig::baseline());
+        let cfg = mis::MisConfig::seeded(7);
+        let single_mis = mis::run(&sim::Device::test_small(), g, &cfg);
+        for shards in SHARD_COUNTS {
+            let part = shard::Partition::auto(g, shards);
+            let r = shard::run_cc(&devices(shards), g, &part);
+            assert_eq!(r.labels, single_cc.labels, "cc at {shards} shards");
+            let m = shard::run_mis(&devices(shards), g, &part, cfg.tie_salt);
+            assert_eq!(m.in_set, single_mis.in_set, "mis at {shards} shards");
+        }
+    }
+}
